@@ -1,0 +1,265 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark reports the reproduced quantities as
+// custom metrics (µs of calibrated virtual time, utilization percent),
+// alongside the real ns/op of our Go implementation, whose asymptotic
+// shape must match the paper's O() analysis even though the hardware is
+// three decades newer. EXPERIMENTS.md records paper-vs-measured.
+package emeralds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/experiments"
+	"emeralds/internal/ipc"
+	"emeralds/internal/schedq"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
+)
+
+// --- Table 1: scheduler queue-operation overheads ----------------------
+
+func mkTCBs(n int) []*task.TCB {
+	ts := make([]*task.TCB, n)
+	for i := range ts {
+		ts[i] = task.New(i, task.Spec{Period: vtime.Duration(i+1) * vtime.Millisecond})
+		ts[i].BasePrio, ts[i].EffPrio = i, i
+		ts[i].State = task.Ready
+		ts[i].EffDeadline = vtime.Time(i+1) * vtime.Time(vtime.Millisecond)
+	}
+	return ts
+}
+
+// BenchmarkTable1 measures the real cost of each queue operation at the
+// paper's sample sizes and reports the calibrated 68040 cost alongside.
+func BenchmarkTable1(b *testing.B) {
+	prof := costmodel.M68040()
+	for _, n := range []int{5, 15, 30, 58} {
+		b.Run(fmt.Sprintf("EDF-select/n=%d", n), func(b *testing.B) {
+			var q schedq.Unsorted
+			for _, t := range mkTCBs(n) {
+				q.Insert(t)
+			}
+			b.ReportMetric(prof.EDFSelect(n).Micros(), "model-µs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.SelectEarliest()
+			}
+		})
+		b.Run(fmt.Sprintf("RM-block/n=%d", n), func(b *testing.B) {
+			var q schedq.Sorted
+			ts := mkTCBs(n)
+			for _, t := range ts {
+				t.State = task.Blocked
+				q.Insert(t)
+			}
+			head := ts[0]
+			b.ReportMetric(prof.RMBlock(n).Micros(), "model-µs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Worst case: the head blocks and the scan walks the
+				// whole queue.
+				head.State = task.Ready
+				q.Unblock(head)
+				head.State = task.Blocked
+				q.Block(head)
+			}
+		})
+		b.Run(fmt.Sprintf("RM-select/n=%d", n), func(b *testing.B) {
+			var q schedq.Sorted
+			for _, t := range mkTCBs(n) {
+				q.Insert(t)
+			}
+			b.ReportMetric(prof.RMSelect().Micros(), "model-µs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if q.HighestP() == nil {
+					b.Fatal("no ready task")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Heap-ops/n=%d", n), func(b *testing.B) {
+			var h schedq.Heap
+			ts := mkTCBs(n)
+			for _, t := range ts {
+				h.Insert(t)
+			}
+			lv := costmodel.Levels(n)
+			b.ReportMetric((prof.HeapBlock(lv) + prof.HeapUnblock(lv)).Micros(), "model-µs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := h.Peek()
+				h.Remove(t)
+				h.Insert(t)
+			}
+		})
+	}
+}
+
+// --- Table 2 / Figure 2: the EDF-feasible, RM-infeasible workload ------
+
+func BenchmarkFigure2(b *testing.B) {
+	var r experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure2(nil)
+	}
+	b.ReportMetric(float64(r.RMMisses), "rm-misses")
+	b.ReportMetric(float64(r.EDFMisses), "edf-misses")
+	b.ReportMetric(float64(r.CSD2Misses), "csd2-misses")
+}
+
+// --- Table 3: CSD-3 overhead case analysis -----------------------------
+
+func BenchmarkTable3(b *testing.B) {
+	var entries []experiments.Table3Entry
+	for i := 0; i < b.N; i++ {
+		entries = experiments.Table3(nil, 5, 15, 30)
+	}
+	for _, e := range entries {
+		if e.Event == "block" {
+			b.ReportMetric(e.PerPeriod.Micros(), e.Queue+"-t-µs")
+		}
+	}
+}
+
+// --- Figures 3–5: breakdown utilization sweeps --------------------------
+
+func benchBreakdown(b *testing.B, div int) {
+	var res *experiments.BreakdownResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.BreakdownFigure(experiments.BreakdownConfig{
+			Ns:        []int{15, 40},
+			PeriodDiv: div,
+			Workloads: 8,
+			Seed:      1,
+		})
+	}
+	last := len(res.Ns) - 1
+	for _, s := range res.Cfg.Schedulers {
+		b.ReportMetric(res.Series[s][last], s+"-pct@40")
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) { benchBreakdown(b, 1) }
+func BenchmarkFigure4(b *testing.B) { benchBreakdown(b, 2) }
+func BenchmarkFigure5(b *testing.B) { benchBreakdown(b, 3) }
+
+// --- Figures 11–12: semaphore acquire/release overhead ------------------
+
+func benchSemFigure(b *testing.B, kind experiments.SemQueueKind) {
+	var pts []experiments.SemPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.SemOverheadCurve(kind, []int{15}, nil)
+	}
+	b.ReportMetric(pts[0].Standard.Micros(), "standard-µs@15")
+	b.ReportMetric(pts[0].Optimized.Micros(), "optimized-µs@15")
+	b.ReportMetric(pts[0].SavingPct(), "saving-pct@15")
+}
+
+func BenchmarkFigure11(b *testing.B) { benchSemFigure(b, experiments.DPQueue) }
+func BenchmarkFigure12(b *testing.B) { benchSemFigure(b, experiments.FPQueue) }
+
+// --- §7: state messages vs mailboxes ------------------------------------
+
+func BenchmarkStateMessageVsMailbox(b *testing.B) {
+	var pts []experiments.IPCPoint
+	for i := 0; i < b.N; i++ {
+		pts = experiments.IPCComparison([]int{8}, []int{4}, nil)
+	}
+	b.ReportMetric(pts[0].StatePerMsg.Micros(), "state-µs/msg")
+	b.ReportMetric(pts[0].MailboxPerMsg.Micros(), "mailbox-µs/msg")
+	b.ReportMetric(pts[0].SpeedupX(), "speedup-x")
+}
+
+// BenchmarkStateMessageOp measures the raw Go-level cost of the
+// wait-free write/read pair.
+func BenchmarkStateMessageOp(b *testing.B) {
+	sm := ipc.NewStateMessage(0, "bench", 3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.Write(int64(i))
+		if _, ok := sm.Read(); !ok {
+			b.Fatal("read failed")
+		}
+	}
+}
+
+// --- §5.5.3: partition search cost ---------------------------------------
+
+func BenchmarkPartitionSearch(b *testing.B) {
+	prof := costmodel.M68040()
+	for _, n := range []int{20, 50, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			specs := workload.Generate(workload.Config{N: n, Utilization: 0.6, Seed: 5})
+			rm := analysis.SortRM(specs)
+			found := false
+			for i := 0; i < b.N; i++ {
+				_, _, found = analysis.BestPartition(prof, rm, 3)
+			}
+			if !found {
+				b.Log("no feasible partition at U=0.6")
+			}
+		})
+	}
+}
+
+// --- end-to-end kernel throughput ----------------------------------------
+
+// BenchmarkKernelSimulation measures simulator throughput: virtual
+// milliseconds of a 10-task CSD-3 system simulated per wall second.
+func BenchmarkKernelSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SemScenario(experiments.FPQueue, 10, true, nil)
+		if r <= 0 {
+			b.Fatal("degenerate scenario")
+		}
+	}
+}
+
+// --- ablations (beyond the paper; DESIGN.md §6) ---------------------------
+
+// BenchmarkAblationSemScheme decomposes the Figure 11/12 saving into
+// the hint and place-holder mechanisms at queue length 15.
+func BenchmarkAblationSemScheme(b *testing.B) {
+	for _, kind := range []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue} {
+		b.Run(string(kind), func(b *testing.B) {
+			var pts []experiments.SemAblationPoint
+			for i := 0; i < b.N; i++ {
+				pts = experiments.SemAblation(kind, []int{15}, nil)
+			}
+			p := pts[0]
+			b.ReportMetric(p.Standard.Micros(), "standard-µs")
+			b.ReportMetric(p.HintOnly.Micros(), "hint-only-µs")
+			b.ReportMetric(p.PlaceholderOnly.Micros(), "placeholder-µs")
+			b.ReportMetric(p.Full.Micros(), "full-µs")
+		})
+	}
+}
+
+// BenchmarkAblationCSDCounters quantifies the §5.3 ready counters.
+func BenchmarkAblationCSDCounters(b *testing.B) {
+	var with, without vtime.Duration
+	for i := 0; i < b.N; i++ {
+		with, without = experiments.CSDCounterAblation(nil)
+	}
+	b.ReportMetric(with.Millis(), "with-counters-ms")
+	b.ReportMetric(without.Millis(), "without-counters-ms")
+	b.ReportMetric(100*float64(without-with)/float64(without), "saving-pct")
+}
+
+// BenchmarkMailboxOp measures the raw Go-level cost of a mailbox
+// push/pop pair, the queue-management counterpart of
+// BenchmarkStateMessageOp.
+func BenchmarkMailboxOp(b *testing.B) {
+	m := ipc.NewMailbox(0, "bench", 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Push(ipc.Msg{Val: int64(i), Size: 8})
+		if got := m.Pop(); got.Val != int64(i) {
+			b.Fatal("value mismatch")
+		}
+	}
+}

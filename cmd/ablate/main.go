@@ -1,0 +1,46 @@
+// Command ablate runs the design-choice ablations of DESIGN.md §6:
+// the §6.2 semaphore optimization split into its hint and place-holder
+// halves, and the §5.3 CSD ready counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emeralds/internal/experiments"
+)
+
+func main() {
+	lens := flag.String("len", "5,10,15,20,25,30", "queue lengths for the semaphore ablation")
+	flag.Parse()
+
+	var ls []int
+	for _, f := range strings.Split(*lens, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 3 {
+			fmt.Fprintf(os.Stderr, "ablate: bad -len entry %q\n", f)
+			os.Exit(2)
+		}
+		ls = append(ls, v)
+	}
+
+	for _, kind := range []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue} {
+		fmt.Print(experiments.RenderSemAblation(kind, experiments.SemAblation(kind, ls, nil)))
+		fmt.Println()
+	}
+
+	with, without := experiments.CSDCounterAblation(nil)
+	saving := 100 * float64(without-with) / float64(without)
+	fmt.Println("CSD ready-counter ablation (total scheduler charge, 2 s run,")
+	fmt.Println("8 short DP tasks + 6 long FP tasks — DP queues mostly empty):")
+	fmt.Printf("  with counters:    %v\n", with)
+	fmt.Printf("  without counters: %v\n", without)
+	fmt.Printf("  counters save:    %.0f%%\n", saving)
+	fmt.Println()
+
+	pts := experiments.QueueCountSweep(nil, 30, []int{1, 2, 3, 4, 6, 8, 12, 20, 29}, 20, 5)
+	fmt.Print(experiments.RenderQueueSweep(30, pts))
+}

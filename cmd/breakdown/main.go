@@ -1,0 +1,79 @@
+// Command breakdown regenerates Figures 3–5 of the paper: average
+// breakdown utilization versus task count for RM, EDF, CSD-2, CSD-3
+// and CSD-4, at the three period scalings.
+//
+//	breakdown -div 1            # Figure 3 (base periods, 5 ms – 1 s)
+//	breakdown -div 2            # Figure 4 (periods halved)
+//	breakdown -div 3            # Figure 5 (periods ÷3)
+//	breakdown -workloads 500    # the paper's sample size
+//	breakdown -csv              # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emeralds/internal/experiments"
+	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
+)
+
+func main() {
+	div := flag.Int("div", 1, "divide task periods by this factor (1, 2, 3)")
+	workloads := flag.Int("workloads", 100, "random workloads per point (paper: 500)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	ns := flag.String("n", "", "comma-separated task counts (default 5..50 step 5)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	simulate := flag.Bool("sim", false, "cross-check EDF/RM points by simulation-driven breakdown (slow; harmonic horizon 400 ms)")
+	flag.Parse()
+
+	cfg := experiments.BreakdownConfig{
+		PeriodDiv: *div,
+		Workloads: *workloads,
+		Seed:      *seed,
+	}
+	if *ns != "" {
+		for _, f := range strings.Split(*ns, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "breakdown: bad -n entry %q\n", f)
+				os.Exit(2)
+			}
+			cfg.Ns = append(cfg.Ns, v)
+		}
+	}
+	res := experiments.BreakdownFigure(cfg)
+	if *csv {
+		fmt.Printf("n,%s\n", strings.Join(res.Cfg.Schedulers, ","))
+		for i, n := range res.Ns {
+			row := []string{strconv.Itoa(n)}
+			for _, s := range res.Cfg.Schedulers {
+				row = append(row, fmt.Sprintf("%.2f", res.Series[s][i]))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	fig := map[int]string{1: "Figure 3", 2: "Figure 4", 3: "Figure 5"}[*div]
+	if fig == "" {
+		fig = fmt.Sprintf("periods ÷%d", *div)
+	}
+	fmt.Printf("%s — %s", fig, res.Render())
+
+	if *simulate {
+		fmt.Println("\nsimulation cross-check (one workload per n, horizon 2 s):")
+		fmt.Printf("%6s %12s %12s %12s %12s\n", "n", "EDF-analytic", "EDF-sim", "RM-analytic", "RM-sim")
+		for _, n := range res.Ns {
+			specs := workload.Generate(workload.Config{
+				N: n, PeriodDiv: *div, Utilization: 0.5, Seed: *seed,
+			})
+			cmps := experiments.CompareBreakdowns(nil, specs, 2*vtime.Second)
+			fmt.Printf("%6d %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+				n, 100*cmps[0].Analytic, 100*cmps[0].Simulated,
+				100*cmps[1].Analytic, 100*cmps[1].Simulated)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Command ipcbench regenerates the §7 comparison (reconstructed; see
+// DESIGN.md): per-message kernel overhead of state-message IPC versus
+// mailbox IPC, across payload sizes and reader counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emeralds/internal/experiments"
+)
+
+func parseInts(s, flagName string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "ipcbench: bad -%s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	sizes := flag.String("sizes", "8,16,32,64", "payload sizes in bytes")
+	readers := flag.String("readers", "1,2,4,8", "consumer task counts")
+	flag.Parse()
+
+	pts := experiments.IPCComparison(parseInts(*sizes, "sizes"), parseInts(*readers, "readers"), nil)
+	fmt.Print(experiments.RenderIPC(pts))
+}

@@ -1,0 +1,35 @@
+// Command schedtab regenerates Table 1 (scheduler queue-operation
+// overheads), Table 3 (the CSD-3 overhead case analysis) and the
+// Table 2 / Figure 2 demonstration.
+//
+//	schedtab             # all three
+//	schedtab -table 1    # only Table 1
+//	schedtab -table 3 -q 4 -r 12 -n 30
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"emeralds/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table (1, 2, 3); 0 = all")
+	q := flag.Int("q", 5, "Table 3: DP1 queue length")
+	r := flag.Int("r", 15, "Table 3: total DP tasks")
+	n := flag.Int("n", 30, "Table 3: total tasks")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		fmt.Print(experiments.RenderTable1(experiments.Table1(nil)))
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		fmt.Print(experiments.Figure2(nil).Render())
+		fmt.Println()
+	}
+	if *table == 0 || *table == 3 {
+		fmt.Print(experiments.RenderTable3(experiments.Table3(nil, *q, *r, *n), *q, *r, *n))
+	}
+}

@@ -1,0 +1,56 @@
+// Command sembench regenerates Figures 11 and 12 of the paper:
+// semaphore acquire/release overhead versus scheduler queue length,
+// standard implementation versus the EMERALDS optimized scheme.
+//
+//	sembench -queue dp    # Figure 11: the EDF/DP queue
+//	sembench -queue fp    # Figure 12: the RM/FP queue
+//	sembench              # both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emeralds/internal/experiments"
+)
+
+func main() {
+	queue := flag.String("queue", "both", "which queue to exercise: dp, fp, both")
+	lens := flag.String("len", "3,6,9,12,15,18,21,24,27,30", "comma-separated queue lengths")
+	flag.Parse()
+
+	var ls []int
+	for _, f := range strings.Split(*lens, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 3 {
+			fmt.Fprintf(os.Stderr, "sembench: bad -len entry %q (minimum 3)\n", f)
+			os.Exit(2)
+		}
+		ls = append(ls, v)
+	}
+
+	show := func(kind experiments.SemQueueKind, figure string) {
+		pts := experiments.SemOverheadCurve(kind, ls, nil)
+		fmt.Printf("%s — semaphore acquire/release overhead, %s queue\n", figure, strings.ToUpper(string(kind)))
+		fmt.Printf("%10s %14s %14s %10s\n", "queue len", "standard", "optimized", "saving")
+		for _, p := range pts {
+			fmt.Printf("%10d %14v %14v %9.0f%%\n", p.QueueLen, p.Standard, p.Optimized, p.SavingPct())
+		}
+		fmt.Println()
+	}
+	switch *queue {
+	case "dp":
+		show(experiments.DPQueue, "Figure 11")
+	case "fp":
+		show(experiments.FPQueue, "Figure 12")
+	case "both":
+		show(experiments.DPQueue, "Figure 11")
+		show(experiments.FPQueue, "Figure 12")
+	default:
+		fmt.Fprintf(os.Stderr, "sembench: unknown -queue %q\n", *queue)
+		os.Exit(2)
+	}
+}

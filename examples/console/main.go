@@ -1,0 +1,144 @@
+// Operator console: aperiodic requests alongside hard periodic control
+// loops — the workload §5 uses against cyclic executives ("high-
+// priority aperiodic tasks receive poor response-time because their
+// arrival times cannot be anticipated off-line"). A machine controller
+// runs two hard loops; operator keypresses arrive in irregular bursts
+// and are handled two ways in back-to-back runs:
+//
+//   - through a polling server (a periodic task with a CPU budget,
+//     scheduled by CSD like everything else), giving each keypress a
+//     response bounded by roughly two server periods; or
+//   - in leftover background time (an aperiodic task that only runs
+//     when the CPU is otherwise idle), where the response depends
+//     entirely on the periodic load's gaps.
+//
+// Both configurations keep every hard deadline; the server trades a
+// small reserved budget for a bounded, predictable console.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"emeralds/internal/core"
+	"emeralds/internal/kernel"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+const (
+	keyWork   = 800 * vtime.Microsecond // per-keypress processing
+	horizonMs = 2000
+)
+
+// keypressTimes generates a deterministic irregular arrival pattern:
+// bursts of 1–3 presses every 40–90 ms.
+func keypressTimes() []vtime.Time {
+	var out []vtime.Time
+	t := 13 * vtime.Millisecond
+	for i := 0; vtime.Time(t) < vtime.Time(vtime.Millis(horizonMs))-vtime.Time(50*vtime.Millisecond); i++ {
+		burst := 1 + i%3
+		for j := 0; j < burst; j++ {
+			out = append(out, vtime.Time(t).Add(vtime.Duration(j)*200*vtime.Microsecond))
+		}
+		t += vtime.Duration(40+(i*17)%50) * vtime.Millisecond
+	}
+	return out
+}
+
+func buildBase(name string) *core.System {
+	sys := core.New(core.Config{Name: name})
+	// Hard loops: a 5 ms servo loop and a 25 ms supervisory loop.
+	sys.AddTask(task.Spec{Name: "servo-loop", Period: 5 * vtime.Millisecond, WCET: 2 * vtime.Millisecond})
+	sys.AddTask(task.Spec{Name: "supervisor", Period: 25 * vtime.Millisecond, WCET: 6 * vtime.Millisecond})
+	return sys
+}
+
+func runWithServer() (*core.System, *kernel.PollingServer) {
+	sys := buildBase("console-server")
+	ps := sys.Kernel().NewPollingServer("console-srv", 20*vtime.Millisecond, 3*vtime.Millisecond)
+	for _, at := range keypressTimes() {
+		at := at
+		sys.Kernel().Engine().At(at, "key", func() { ps.Submit(keyWork) })
+	}
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(vtime.Millis(horizonMs))
+	return sys, ps
+}
+
+// background run: keypresses release a lowest-priority aperiodic task.
+// Deadline-monotonic assignment puts the handler (1 s deadline) below
+// both hard loops, so it only runs in their gaps.
+func runBackground() (*core.System, *kernel.Thread, *vtime.Duration) {
+	sys := core.New(core.Config{Name: "console-bg", DeadlineMonotonic: true})
+	sys.AddTask(task.Spec{Name: "servo-loop", Period: 5 * vtime.Millisecond, WCET: 2 * vtime.Millisecond})
+	sys.AddTask(task.Spec{Name: "supervisor", Period: 25 * vtime.Millisecond, WCET: 6 * vtime.Millisecond})
+	k := sys.Kernel()
+	handler := sys.AddTask(task.Spec{
+		Name:     "console-bg",
+		Period:   0, // aperiodic
+		Deadline: vtime.Second,
+		Prog:     task.Program{task.Compute(keyWork)},
+	})
+	var maxResp vtime.Duration
+	pending := 0
+	var arrivals []vtime.Time
+	k.OnJobComplete = func(th *kernel.Thread) {
+		if th != handler || len(arrivals) == 0 {
+			return
+		}
+		resp := k.Now().Sub(arrivals[0])
+		arrivals = arrivals[1:]
+		if resp > maxResp {
+			maxResp = resp
+		}
+		pending--
+		if pending > 0 {
+			// Defer past the completion bookkeeping: the job is still
+			// marked active inside this hook.
+			k.Engine().At(k.Now(), "next-key", func() { k.ReleaseAperiodic(handler) })
+		}
+	}
+	for _, at := range keypressTimes() {
+		at := at
+		k.Engine().At(at, "key", func() {
+			arrivals = append(arrivals, k.Now())
+			pending++
+			if pending == 1 {
+				k.ReleaseAperiodic(handler)
+			}
+		})
+	}
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(vtime.Millis(horizonMs))
+	return sys, handler, &maxResp
+}
+
+func main() {
+	flag.Parse()
+
+	srvSys, ps := runWithServer()
+	bgSys, bgHandler, bgMax := runBackground()
+
+	fmt.Println("=== with polling server (20 ms period, 3 ms budget) ===")
+	fmt.Print(srvSys.Report())
+	fmt.Printf("keypresses: %d submitted, %d served; response avg %v, max %v\n\n",
+		ps.Submitted, ps.Served, ps.AvgResp(), ps.MaxResp)
+
+	fmt.Println("=== background processing (idle time only) ===")
+	fmt.Print(bgSys.Report())
+	fmt.Printf("keypresses served: %d; response max %v\n\n", bgHandler.TCB.Completions, *bgMax)
+
+	if srvSys.Stats().Misses+bgSys.Stats().Misses == 0 {
+		fmt.Println("all hard deadlines met in both configurations")
+	}
+	fmt.Printf("server: worst case provable a priori (≈2 periods + service = 43ms); observed %v\n", ps.MaxResp)
+	fmt.Printf("background: no a-priori bound — observed %v under THIS load, but any added\n", *bgMax)
+	fmt.Println("periodic work stretches it without limit, which is §5's case against")
+	fmt.Println("handling aperiodics in leftover time")
+}

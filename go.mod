@@ -1,0 +1,3 @@
+module emeralds
+
+go 1.22

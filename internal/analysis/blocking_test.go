@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func TestSortDM(t *testing.T) {
+	specs := []task.Spec{
+		{Period: 10 * vtime.Millisecond, Deadline: 9 * vtime.Millisecond},
+		{Period: 20 * vtime.Millisecond, Deadline: 4 * vtime.Millisecond},
+		{Period: 5 * vtime.Millisecond},
+	}
+	sorted := SortDM(specs)
+	if sorted[0].RelDeadline() != 4*vtime.Millisecond ||
+		sorted[1].RelDeadline() != 5*vtime.Millisecond ||
+		sorted[2].RelDeadline() != 9*vtime.Millisecond {
+		t.Errorf("DM order: %v %v %v",
+			sorted[0].RelDeadline(), sorted[1].RelDeadline(), sorted[2].RelDeadline())
+	}
+}
+
+// TestDMBeatsRMOnConstrainedDeadlines: the classic case where RM's
+// period-based assignment fails but DM succeeds — a long-period task
+// with a tight deadline.
+func TestDMBeatsRMOnConstrainedDeadlines(t *testing.T) {
+	zero := costmodel.Zero()
+	specs := []task.Spec{
+		{Period: 10 * vtime.Millisecond, WCET: 5 * vtime.Millisecond},
+		{Period: 50 * vtime.Millisecond, WCET: 3 * vtime.Millisecond, Deadline: 4 * vtime.Millisecond},
+	}
+	// RM ranks the 10 ms task higher: the 50 ms task's response is
+	// 3 + 5 = 8 > 4. DM ranks the tight-deadline task higher: its
+	// response is 3 ≤ 4, and the 10 ms task still fits (5 + 3 = 8 ≤ 10).
+	if FeasibleRM(zero, specs) {
+		t.Error("RM should reject this set")
+	}
+	if !FeasibleDM(zero, specs) {
+		t.Error("DM should accept this set")
+	}
+}
+
+func TestDMEqualsRMForImplicitDeadlines(t *testing.T) {
+	p := costmodel.M68040()
+	specs := specsOf(4, 1, 5, 1, 10, 3)
+	if FeasibleDM(p, specs) != FeasibleRM(p, specs) {
+		t.Error("DM and RM must agree on implicit deadlines")
+	}
+}
+
+func TestFeasibleFPWithBlocking(t *testing.T) {
+	zero := costmodel.Zero()
+	sorted := SortRM(specsOf(10, 4, 20, 5))
+	// Without blocking: R1 = 4, R2 = 5 + 2·4 = 13 ≤ 20: feasible.
+	if !FeasibleFPWithBlocking(zero, sorted, nil) {
+		t.Error("unblocked set rejected")
+	}
+	// 7 ms of blocking on the top task: R1 = 11 > 10: infeasible.
+	if FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{7 * vtime.Millisecond, 0}) {
+		t.Error("heavily blocked set accepted")
+	}
+	// 5 ms of blocking: R1 = 9 ≤ 10, R2 unchanged: feasible.
+	if !FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{5 * vtime.Millisecond, 0}) {
+		t.Error("moderately blocked set rejected")
+	}
+}
+
+func TestPIBlockingBounds(t *testing.T) {
+	sorted := SortRM(specsOf(5, 1, 10, 1, 20, 1, 40, 1))
+	// Semaphore 0 shared by tasks 0 and 3; semaphore 1 by tasks 1 and 2.
+	shares := [][]int{{0}, {1}, {1}, {0}}
+	cs := []vtime.Duration{
+		100 * vtime.Microsecond,
+		200 * vtime.Microsecond,
+		300 * vtime.Microsecond,
+		900 * vtime.Microsecond,
+	}
+	b := PIBlockingBounds(sorted, shares, cs)
+	// Task 0 shares sem 0 with lower-priority task 3: B₀ = 900 µs.
+	if b[0] != 900*vtime.Microsecond {
+		t.Errorf("B0 = %v", b[0])
+	}
+	// Task 1 shares sem 1 with task 2 (lower), and task 3's sem 0 also
+	// blocks it because sem 0 is used by higher-priority task 0:
+	// B₁ = max(300, 900) = 900 µs.
+	if b[1] != 900*vtime.Microsecond {
+		t.Errorf("B1 = %v", b[1])
+	}
+	// Task 2 can be blocked by task 3 (sem 0, used by task 0 above it).
+	if b[2] != 900*vtime.Microsecond {
+		t.Errorf("B2 = %v", b[2])
+	}
+	// Nothing is below task 3.
+	if b[3] != 0 {
+		t.Errorf("B3 = %v", b[3])
+	}
+}
+
+// TestBlockingBoundMatchesSimulation: the RTA-with-blocking bound must
+// cover the worst response the simulator produces for a PI workload.
+func TestBlockingBoundMatchesSimulation(t *testing.T) {
+	// The inversion scenario of the kernel tests: hi (P=20, c=1+cs)
+	// shares a lock with lo (cs = 5 ms); mid computes 3 ms.
+	zero := costmodel.Zero()
+	sorted := []task.Spec{
+		{Period: 20 * vtime.Millisecond, WCET: vtime.Millisecond},
+		{Period: 50 * vtime.Millisecond, WCET: 3 * vtime.Millisecond},
+		{Period: 100 * vtime.Millisecond, WCET: 5 * vtime.Millisecond},
+	}
+	blocking := []vtime.Duration{5 * vtime.Millisecond, 5 * vtime.Millisecond, 0}
+	if !FeasibleFPWithBlocking(zero, sorted, blocking) {
+		t.Error("PI-bounded set rejected")
+	}
+	// The corresponding simulation (TestPriorityInheritanceBoundsInversion
+	// in the kernel package) measures hi's max response ≤ 7 ms; the
+	// analytical bound here is R = 1 + 5 = 6 ms ≤ 20 ms. Consistent.
+}

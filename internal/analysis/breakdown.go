@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+)
+
+// This file implements the breakdown-utilization experiment of §5.7:
+// "Our test procedure involves generating random task workloads, then
+// for each workload, scaling the execution times of tasks until the
+// workload is no longer feasible for a given scheduler. The utilization
+// at which the workload becomes infeasible is called the breakdown
+// utilization."
+
+// breakdownPrecision is the relative width at which the scale-factor
+// bisection stops.
+const breakdownPrecision = 1e-3
+
+// Breakdown bisects the execution-time scale factor and returns the raw
+// workload utilization Σ cᵢ/Pᵢ at the feasibility boundary for the
+// given feasibility predicate. Returns 0 when even the unscaled-to-zero
+// workload is infeasible (run-time overhead alone saturates the CPU).
+func Breakdown(specs []task.Spec, feasible func(scaled []task.Spec) bool) float64 {
+	base := task.TotalUtilization(specs)
+	if base <= 0 {
+		return 0
+	}
+	// Upper bound: U = 1.05 is infeasible under every policy once
+	// overhead is charged; double until infeasible to be safe.
+	hi := 1.05 / base
+	for i := 0; i < 10 && feasible(task.Scale(specs, hi)); i++ {
+		hi *= 2
+	}
+	lo := 0.0
+	if !feasible(task.Scale(specs, lo)) {
+		return 0
+	}
+	for hi-lo > breakdownPrecision*hi {
+		mid := (lo + hi) / 2
+		if feasible(task.Scale(specs, mid)) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return base * lo
+}
+
+// BreakdownEDF returns the breakdown utilization under EDF.
+func BreakdownEDF(p *costmodel.Profile, specs []task.Spec) float64 {
+	return Breakdown(specs, func(s []task.Spec) bool { return FeasibleEDF(p, s) })
+}
+
+// BreakdownRM returns the breakdown utilization under RM.
+func BreakdownRM(p *costmodel.Profile, specs []task.Spec) float64 {
+	return Breakdown(specs, func(s []task.Spec) bool { return FeasibleRM(p, s) })
+}
+
+// BreakdownCSD returns the breakdown utilization under CSD-numQueues,
+// where at each probed scale the partition search of §5.5.3 may choose
+// a different queue split (the workload is feasible if *some* partition
+// is). The last feasible partition is retried first at the next probe,
+// which makes the bisection nearly as cheap as a fixed-partition test
+// on the feasible side.
+func BreakdownCSD(p *costmodel.Profile, specs []task.Spec, numQueues int) float64 {
+	rmSorted := SortRM(specs)
+	var lastGood *sched.Partition
+	return Breakdown(rmSorted, func(s []task.Spec) bool {
+		part, ok := FindPartition(p, s, numQueues, lastGood)
+		if ok {
+			lastGood = &part
+		}
+		return ok
+	})
+}

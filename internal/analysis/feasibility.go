@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"sort"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// maxCheckpoints bounds the processor-demand analysis. Workloads that
+// exceed it (busy periods exploding as utilization approaches 1) are
+// declared infeasible, which is conservative: the breakdown search
+// then reports a slightly lower utilization, never a higher one.
+const maxCheckpoints = 200000
+
+// SortRM returns the specs sorted shortest-period-first (RM priority
+// order), ties broken by original index for determinism.
+func SortRM(specs []task.Spec) []task.Spec {
+	out := make([]task.Spec, len(specs))
+	copy(out, specs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Period < out[j].Period })
+	return out
+}
+
+// inflated is a task with its WCET inflated by scheduler overhead.
+type inflated struct {
+	period   vtime.Duration
+	deadline vtime.Duration
+	wcet     vtime.Duration
+}
+
+func inflate(specs []task.Spec, over func(i int) vtime.Duration) []inflated {
+	out := make([]inflated, len(specs))
+	for i, s := range specs {
+		out[i] = inflated{
+			period:   s.Period,
+			deadline: s.RelDeadline(),
+			wcet:     s.WCET + over(i),
+		}
+	}
+	return out
+}
+
+func utilization(ts []inflated) float64 {
+	var u float64
+	for _, t := range ts {
+		u += float64(t.wcet) / float64(t.period)
+	}
+	return u
+}
+
+// FeasibleEDF tests the workload under EDF including run-time overhead:
+// Σ (cᵢ + t)/Pᵢ ≤ 1 (§5.2: EDF schedules all workloads with U ≤ 1, so
+// its schedulability overhead is zero; only the run-time overhead
+// matters). Deadlines shorter than periods fall back to the
+// processor-demand test.
+func FeasibleEDF(p *costmodel.Profile, specs []task.Spec) bool {
+	n := len(specs)
+	t := EDFOverheads(p, n).PerPeriod()
+	ts := inflate(specs, func(int) vtime.Duration { return t })
+	implicit := true
+	for _, s := range specs {
+		if s.RelDeadline() < s.Period {
+			implicit = false
+			break
+		}
+	}
+	if implicit {
+		return utilization(ts) <= 1.0
+	}
+	return edfDemandFeasible(ts, nil)
+}
+
+// FeasibleRM tests the workload under RM including run-time overhead,
+// using exact response-time analysis on the RM-sorted set.
+func FeasibleRM(p *costmodel.Profile, specs []task.Spec) bool {
+	n := len(specs)
+	t := RMOverheads(p, n).PerPeriod()
+	sorted := SortRM(specs)
+	ts := inflate(sorted, func(int) vtime.Duration { return t })
+	return rmFeasible(ts)
+}
+
+// FeasibleRMHeap is FeasibleRM with the heap implementation's costs.
+func FeasibleRMHeap(p *costmodel.Profile, specs []task.Spec) bool {
+	n := len(specs)
+	t := RMHeapOverheads(p, n).PerPeriod()
+	sorted := SortRM(specs)
+	ts := inflate(sorted, func(int) vtime.Duration { return t })
+	return rmFeasible(ts)
+}
+
+// rmFeasible runs response-time analysis over priority-sorted inflated
+// tasks: Rᵢ = cᵢ + Σ_{j<i} ⌈Rᵢ/Pⱼ⌉·cⱼ iterated to a fixed point,
+// feasible iff Rᵢ ≤ Dᵢ for all i.
+func rmFeasible(ts []inflated) bool {
+	for i := range ts {
+		r := ts[i].wcet
+		for iter := 0; ; iter++ {
+			w := ts[i].wcet
+			for j := 0; j < i; j++ {
+				w += vtime.Duration(ceilDiv(int64(r), int64(ts[j].period))) * ts[j].wcet
+			}
+			if w > ts[i].deadline {
+				return false
+			}
+			if w == r {
+				break
+			}
+			r = w
+			if iter > 10000 {
+				return false // defensive: should have converged or exceeded D
+			}
+		}
+	}
+	return true
+}
+
+// FeasibleCSD tests the workload under CSD with the given partition,
+// including run-time overhead from the Table 3 case analysis. The test
+// is hierarchical:
+//
+//   - the top DP queue runs pure EDF, so it is feasible iff its
+//     (inflated) utilization is ≤ 1 (implicit deadlines);
+//   - every lower DP queue is tested by processor-demand analysis under
+//     ceiling interference from all higher queues;
+//   - FP tasks are tested by response-time analysis treating all DP
+//     tasks and all higher-priority FP tasks as interference.
+//
+// The test is sufficient (conservative). Specs must be RM-sorted
+// (SortRM) because the partition assigns RM-priority prefixes.
+func FeasibleCSD(p *costmodel.Profile, rmSorted []task.Spec, part sched.Partition) bool {
+	n := len(rmSorted)
+	if part.Validate(n) != nil {
+		return false
+	}
+	sizes := queueSizes(part, n)
+	numDP := len(sizes) - 1
+
+	// Inflate per queue assignment.
+	assign := make([]int, n)
+	idx := 0
+	for k := 0; k < numDP; k++ {
+		for j := 0; j < sizes[k]; j++ {
+			assign[idx] = k
+			idx++
+		}
+	}
+	for ; idx < n; idx++ {
+		assign[idx] = numDP
+	}
+	perQueue := make([]vtime.Duration, len(sizes))
+	for k := range sizes {
+		perQueue[k] = CSDOverheads(p, sizes, k).PerPeriod()
+	}
+	ts := inflate(rmSorted, func(i int) vtime.Duration { return perQueue[assign[i]] })
+
+	// Partition the inflated tasks by queue.
+	groups := make([][]inflated, len(sizes))
+	for i, t := range ts {
+		groups[assign[i]] = append(groups[assign[i]], t)
+	}
+
+	// DP queues, top down, each under interference from higher queues.
+	var higher []inflated
+	for k := 0; k < numDP; k++ {
+		if len(groups[k]) == 0 {
+			continue
+		}
+		if len(higher) == 0 && implicitDeadlines(groups[k]) {
+			if utilization(groups[k]) > 1.0 {
+				return false
+			}
+		} else if !edfDemandFeasible(groups[k], higher) {
+			return false
+		}
+		higher = append(higher, groups[k]...)
+	}
+
+	// FP tasks: RTA with all DP tasks plus higher-priority FP tasks.
+	fp := groups[numDP]
+	for i := range fp {
+		r := fp[i].wcet
+		for iter := 0; ; iter++ {
+			w := fp[i].wcet
+			for _, h := range higher {
+				w += vtime.Duration(ceilDiv(int64(r), int64(h.period))) * h.wcet
+			}
+			for j := 0; j < i; j++ {
+				w += vtime.Duration(ceilDiv(int64(r), int64(fp[j].period))) * fp[j].wcet
+			}
+			if w > fp[i].deadline {
+				return false
+			}
+			if w == r {
+				break
+			}
+			r = w
+			if iter > 10000 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func implicitDeadlines(ts []inflated) bool {
+	for _, t := range ts {
+		if t.deadline < t.period {
+			return false
+		}
+	}
+	return true
+}
+
+// edfDemandFeasible runs the processor-demand test for `own` tasks
+// scheduled EDF under ceiling interference from `higher` tasks:
+//
+//	∀d ∈ deadlines(own), d ≤ L:  dbf_own(d) + Σ_higher ⌈d/Pₕ⌉·cₕ ≤ d
+//
+// where L is the level-(own ∪ higher) busy period. Exceeding the
+// checkpoint budget counts as infeasible (conservative).
+func edfDemandFeasible(own, higher []inflated) bool {
+	if len(own) == 0 {
+		return true
+	}
+	var total float64
+	for _, t := range own {
+		total += float64(t.wcet) / float64(t.period)
+	}
+	for _, t := range higher {
+		total += float64(t.wcet) / float64(t.period)
+	}
+	if total > 1.0 {
+		return false
+	}
+
+	// Busy period: L = Σ ⌈L/Pᵢ⌉·cᵢ over own ∪ higher.
+	var sumC vtime.Duration
+	for _, t := range own {
+		sumC += t.wcet
+	}
+	for _, t := range higher {
+		sumC += t.wcet
+	}
+	l := int64(sumC)
+	for iter := 0; iter < 1000; iter++ {
+		var w int64
+		for _, t := range own {
+			w += ceilDiv(l, int64(t.period)) * int64(t.wcet)
+		}
+		for _, t := range higher {
+			w += ceilDiv(l, int64(t.period)) * int64(t.wcet)
+		}
+		if w == l {
+			break
+		}
+		l = w
+		if iter == 999 {
+			return false // busy period did not converge: treat as infeasible
+		}
+	}
+
+	checkpoints := 0
+	for _, t := range own {
+		for d := int64(t.deadline); d <= l; d += int64(t.period) {
+			checkpoints++
+			if checkpoints > maxCheckpoints {
+				return false
+			}
+			var demand int64
+			for _, o := range own {
+				if d >= int64(o.deadline) {
+					jobs := (d-int64(o.deadline))/int64(o.period) + 1
+					demand += jobs * int64(o.wcet)
+				}
+			}
+			for _, h := range higher {
+				demand += ceilDiv(d, int64(h.period)) * int64(h.wcet)
+			}
+			if demand > d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+)
+
+// This file implements the off-line queue-partition search of §5.5.3:
+// "we use an off-line exhaustive search ... to find the best possible
+// allocation of tasks to DP1, DP2, and FP queues. The search runs in
+// O(n²) time for three queues."
+
+// Candidates enumerates the partitions tried for a CSD scheduler with
+// numQueues queues over n RM-sorted tasks. For CSD-2 this is every DP
+// length r ∈ [1, n] (O(n)); for CSD-3 every (q, r) with
+// 1 ≤ q < r ≤ n (O(n²), as in the paper); for CSD-4 and beyond the
+// innermost boundaries are strided so the candidate count stays near
+// O(n²) — the paper itself stops exhaustive search at three queues
+// ("this is a computationally-intensive task").
+func Candidates(numQueues, n int) []sched.Partition {
+	var out []sched.Partition
+	switch {
+	case numQueues <= 1:
+		out = append(out, sched.Partition{DPSizes: nil}) // pure RM
+	case numQueues == 2:
+		for r := 1; r <= n; r++ {
+			out = append(out, sched.Partition{DPSizes: []int{r}})
+		}
+	case numQueues == 3:
+		for r := 2; r <= n; r++ {
+			for q := 1; q < r; q++ {
+				out = append(out, sched.Partition{DPSizes: []int{q, r - q}})
+			}
+		}
+	default:
+		// CSD-4+: strided search. §5.5.2's guidance — "keep only a few
+		// tasks in DP1" because the shortest-period tasks dominate the
+		// run-time overhead — caps the first boundary at 8; the later
+		// boundaries are strided so the candidate count stays near the
+		// O(n²) of the paper's own three-queue search.
+		maxA := 8
+		if maxA > n-2 {
+			maxA = n - 2
+		}
+		for a := 1; a <= maxA; a++ {
+			stepB := 1
+			if n-a > 12 {
+				stepB = (n - a) / 12
+			}
+			for b := a + 1; b < n; b += stepB {
+				stepC := 1
+				if n-b > 12 {
+					stepC = (n - b) / 12
+				}
+				for c := b + 1; c <= n; c += stepC {
+					sizes := []int{a, b - a, c - b}
+					for len(sizes) < numQueues-1 {
+						sizes = append(sizes, 0)
+					}
+					out = append(out, sched.Partition{DPSizes: sizes[:numQueues-1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FindPartition returns the first feasible partition for the RM-sorted
+// workload under CSD with numQueues queues, trying `first` (the last
+// known-good partition) before the full candidate sweep. The boolean
+// reports whether any candidate was feasible.
+func FindPartition(p *costmodel.Profile, rmSorted []task.Spec, numQueues int, first *sched.Partition) (sched.Partition, bool) {
+	if first != nil && first.NumQueues() == numQueues &&
+		first.Validate(len(rmSorted)) == nil &&
+		FeasibleCSD(p, rmSorted, *first) {
+		return *first, true
+	}
+	for _, cand := range Candidates(numQueues, len(rmSorted)) {
+		if FeasibleCSD(p, rmSorted, cand) {
+			return cand, true
+		}
+	}
+	return sched.Partition{}, false
+}
+
+// BestPartition returns the feasible partition that minimizes the total
+// scheduler overhead fraction Σᵢ tᵢ/Pᵢ (§5.5.2: "Task allocation should
+// minimize the sum of the run-time and schedulability overheads" —
+// schedulability is enforced by feasibility, run-time by the score).
+// The boolean reports whether any partition is feasible.
+func BestPartition(p *costmodel.Profile, rmSorted []task.Spec, numQueues int) (sched.Partition, float64, bool) {
+	best := sched.Partition{}
+	bestScore := 0.0
+	found := false
+	for _, cand := range Candidates(numQueues, len(rmSorted)) {
+		if !FeasibleCSD(p, rmSorted, cand) {
+			continue
+		}
+		score := OverheadFraction(p, rmSorted, cand)
+		if !found || score < bestScore {
+			best, bestScore, found = cand, score, true
+		}
+	}
+	return best, bestScore, found
+}
+
+// OverheadFraction computes Σᵢ tᵢ/Pᵢ — the CPU fraction consumed by
+// scheduler run-time overhead — for the RM-sorted workload under the
+// given CSD partition.
+func OverheadFraction(p *costmodel.Profile, rmSorted []task.Spec, part sched.Partition) float64 {
+	n := len(rmSorted)
+	sizes := queueSizes(part, n)
+	numDP := len(sizes) - 1
+	perQueue := make([]float64, len(sizes))
+	for k := range sizes {
+		perQueue[k] = float64(CSDOverheads(p, sizes, k).PerPeriod())
+	}
+	var frac float64
+	idx := 0
+	for k := 0; k < numDP; k++ {
+		for j := 0; j < sizes[k]; j++ {
+			frac += perQueue[k] / float64(rmSorted[idx].Period)
+			idx++
+		}
+	}
+	for ; idx < n; idx++ {
+		frac += perQueue[numDP] / float64(rmSorted[idx].Period)
+	}
+	return frac
+}

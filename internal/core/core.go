@@ -1,0 +1,276 @@
+// Package core is the public façade of the EMERALDS library: it
+// assembles the paper's three contributions — the CSD scheduler (§5),
+// the optimized semaphore implementation (§6), and state-message IPC
+// (§7) — plus all the substrate services into a bootable system with
+// one call.
+//
+// Typical use:
+//
+//	sys := core.New(core.Config{})            // CSD-3, optimized sems
+//	sem := sys.NewSemaphore("obj")
+//	sys.AddTask(task.Spec{Period: ..., Prog: ...})
+//	if err := sys.Boot(); err != nil { ... }
+//	sys.Run(2 * vtime.Second)
+//	fmt.Println(sys.Report())
+//
+// Boot runs the §6.2.1 code parser over every task program (inserting
+// semaphore hints) and, for CSD, the §5.5.3 off-line partition search
+// over the admitted workload.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/kernel"
+	"emeralds/internal/mem"
+	"emeralds/internal/parser"
+	"emeralds/internal/sched"
+	"emeralds/internal/sim"
+	"emeralds/internal/task"
+	"emeralds/internal/trace"
+	"emeralds/internal/vtime"
+)
+
+// Policy names a scheduling policy.
+type Policy string
+
+// Available policies.
+const (
+	PolicyCSD    Policy = "csd" // combined static/dynamic (default)
+	PolicyEDF    Policy = "edf"
+	PolicyRM     Policy = "rm"
+	PolicyRMHeap Policy = "rm-heap"
+)
+
+// Config configures a System. The zero value is the paper's
+// recommended build: CSD-3 with the optimized semaphore scheme on the
+// 68040 cost profile.
+type Config struct {
+	// Policy selects the scheduler; default PolicyCSD.
+	Policy Policy
+	// Queues is the CSD queue count x (default 3, the paper's sweet
+	// spot: "CSD-3 delivers consistently good performance over a wide
+	// range of task workload characteristics").
+	Queues int
+	// Partition fixes the CSD queue split; nil runs the §5.5.3 search
+	// at Boot.
+	Partition *sched.Partition
+	// Profile is the cost model; nil = costmodel.M68040().
+	Profile *costmodel.Profile
+	// StandardSem selects the §6.1 standard semaphore implementation
+	// instead of the §6.2 optimized scheme (for comparisons).
+	StandardSem bool
+	// NoParser skips the §6.2.1 hint-insertion pass (for comparisons;
+	// without hints the optimized scheme cannot save switches).
+	NoParser bool
+	// DeadlineMonotonic assigns fixed priorities by relative deadline
+	// instead of period.
+	DeadlineMonotonic bool
+	// PriorityCeiling swaps the §6 priority-inheritance mutexes for the
+	// immediate priority ceiling protocol: deadlock freedom and a
+	// single-blocking bound, at the cost of a boost on every acquire.
+	PriorityCeiling bool
+	// RAMBudget bounds the kernel's accounted dynamic memory in bytes
+	// (§2's 32–128 KB on-chip constraint); 0 = unlimited.
+	RAMBudget int
+	// RecordResponses keeps per-task latency histograms; Report then
+	// shows p50/p95/p99 alongside avg/max.
+	RecordResponses bool
+	// TraceCapacity > 0 enables execution tracing with that ring size.
+	TraceCapacity int
+	// Engine shares a discrete-event engine across nodes; nil creates
+	// a private one.
+	Engine *sim.Engine
+	// Name labels the node.
+	Name string
+}
+
+// System is a configured EMERALDS node.
+type System struct {
+	cfg  Config
+	kern *kernel.Kernel
+	tr   *trace.Log
+	part sched.Partition
+	prof *costmodel.Profile
+}
+
+// New creates a System. Tasks and kernel objects are added before
+// Boot.
+func New(cfg Config) *System {
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyCSD
+	}
+	if cfg.Queues <= 1 {
+		cfg.Queues = 3
+	}
+	prof := cfg.Profile
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	var tr *trace.Log
+	if cfg.TraceCapacity > 0 {
+		tr = trace.New(cfg.TraceCapacity)
+	}
+	k, err := kernel.New(cfg.Engine, kernel.Options{
+		Profile:           prof,
+		OptimizedSem:      !cfg.StandardSem,
+		Trace:             tr,
+		DeadlineMonotonic: cfg.DeadlineMonotonic,
+		PriorityCeiling:   cfg.PriorityCeiling,
+		RecordResponses:   cfg.RecordResponses,
+		RAMBudget:         cfg.RAMBudget,
+		Name:              cfg.Name,
+	})
+	if err != nil {
+		panic(err) // only reachable on programmer error
+	}
+	return &System{cfg: cfg, kern: k, tr: tr, prof: prof}
+}
+
+// Kernel exposes the underlying kernel for object creation and
+// advanced wiring (ISRs, devices, bus ports).
+func (s *System) Kernel() *kernel.Kernel { return s.kern }
+
+// AddTask admits a periodic task (aperiodic when Period is 0),
+// running the §6.2.1 parser over its program unless disabled.
+func (s *System) AddTask(spec task.Spec) *kernel.Thread {
+	if !s.cfg.NoParser && spec.Prog != nil {
+		spec.Prog = parser.InsertHints(spec.Prog)
+	}
+	return s.kern.AddTask(spec)
+}
+
+// AddTaskIn is AddTask into a specific process.
+func (s *System) AddTaskIn(proc int, spec task.Spec) *kernel.Thread {
+	if !s.cfg.NoParser && spec.Prog != nil {
+		spec.Prog = parser.InsertHints(spec.Prog)
+	}
+	return s.kern.AddTaskIn(proc, spec)
+}
+
+// Convenience delegates for kernel object creation.
+
+// NewSemaphore creates a mutex with priority inheritance.
+func (s *System) NewSemaphore(name string) int { return s.kern.NewSemaphore(name) }
+
+// NewCountingSemaphore creates a counting semaphore.
+func (s *System) NewCountingSemaphore(name string, n int) int {
+	return s.kern.NewCountingSemaphore(name, n)
+}
+
+// NewEvent creates an event object.
+func (s *System) NewEvent(name string) int { return s.kern.NewEvent(name) }
+
+// NewCondVar creates a condition variable.
+func (s *System) NewCondVar(name string) int { return s.kern.NewCondVar(name) }
+
+// NewMailbox creates a mailbox.
+func (s *System) NewMailbox(name string, capacity int) int {
+	return s.kern.NewMailbox(name, capacity)
+}
+
+// NewStateMessage creates a §7 state message.
+func (s *System) NewStateMessage(name string, depth, size int) int {
+	return s.kern.NewStateMessage(name, depth, size)
+}
+
+// NewProcess creates an address space.
+func (s *System) NewProcess() int { return s.kern.NewProcess() }
+
+// Boot selects the scheduler (running the CSD partition search when
+// needed), binds it, and starts the system at virtual time zero.
+func (s *System) Boot() error {
+	switch s.cfg.Policy {
+	case PolicyEDF:
+		s.kern.SetScheduler(sched.NewEDF(s.prof))
+	case PolicyRM:
+		s.kern.SetScheduler(sched.NewRM(s.prof))
+	case PolicyRMHeap:
+		s.kern.SetScheduler(sched.NewRMHeap(s.prof))
+	case PolicyCSD:
+		part, err := s.choosePartition()
+		if err != nil {
+			return err
+		}
+		s.part = part
+		s.kern.SetScheduler(sched.NewCSD(s.prof, part))
+	default:
+		return fmt.Errorf("core: unknown policy %q", s.cfg.Policy)
+	}
+	return s.kern.Boot()
+}
+
+func (s *System) choosePartition() (sched.Partition, error) {
+	if s.cfg.Partition != nil {
+		return *s.cfg.Partition, nil
+	}
+	var specs []task.Spec
+	for _, th := range s.kern.Threads() {
+		if th.TCB.Spec.Period > 0 {
+			specs = append(specs, th.TCB.Spec)
+		}
+	}
+	n := len(specs)
+	if n == 0 {
+		return sched.Partition{DPSizes: make([]int, s.cfg.Queues-1)}, nil
+	}
+	rmSorted := analysis.SortRM(specs)
+	if part, _, ok := analysis.BestPartition(s.prof, rmSorted, s.cfg.Queues); ok {
+		return part, nil
+	}
+	// No partition passes the schedulability test (overload): degrade
+	// to the all-DP split, which behaves like EDF — the best a
+	// dynamic-priority scheduler can do under overload.
+	sizes := make([]int, s.cfg.Queues-1)
+	sizes[0] = n
+	return sched.Partition{DPSizes: sizes}, nil
+}
+
+// Partition reports the CSD partition chosen at Boot.
+func (s *System) Partition() sched.Partition { return s.part }
+
+// Run advances virtual time by d.
+func (s *System) Run(d vtime.Duration) { s.kern.Run(d) }
+
+// Now reports the current virtual time.
+func (s *System) Now() vtime.Time { return s.kern.Now() }
+
+// Stats returns kernel-wide accounting.
+func (s *System) Stats() kernel.Stats { return s.kern.Stats() }
+
+// Trace returns the trace log (nil when disabled).
+func (s *System) Trace() *trace.Log { return s.tr }
+
+// Report renders a per-task and system summary.
+func (s *System) Report() string {
+	var b strings.Builder
+	ths := append([]*kernel.Thread(nil), s.kern.Threads()...)
+	sort.Slice(ths, func(i, j int) bool { return ths[i].TCB.BasePrio < ths[j].TCB.BasePrio })
+	fmt.Fprintf(&b, "%s @ %v  scheduler=%s", s.kern.Name(), s.kern.Now(), s.kern.Scheduler().Name())
+	if s.cfg.Policy == PolicyCSD {
+		fmt.Fprintf(&b, " partition=%v", s.part.DPSizes)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-12s %10s %8s %6s %6s %7s %12s %12s\n",
+		"task", "period", "jobs", "done", "miss", "preempt", "avg-resp", "max-resp")
+	for _, th := range ths {
+		t := th.TCB
+		fmt.Fprintf(&b, "  %-12s %10v %8d %6d %6d %7d %12v %12v\n",
+			t.Name, t.Spec.Period, t.Releases, t.Completions, t.Misses, t.Preemptions,
+			t.AvgResp(), t.MaxResp)
+		if h := th.Responses(); h != nil && h.Count() > 0 {
+			fmt.Fprintf(&b, "  %-12s   response %s  %s\n", "", h.Summary(), h.Sparkline(24))
+		}
+	}
+	st := s.kern.Stats()
+	fmt.Fprintf(&b, "  switches=%d saved=%d preempt=%d misses=%d overhead=%v useful=%v\n",
+		st.ContextSwitches, st.SavedSwitches, st.Preemptions, st.Misses,
+		st.TotalOverhead(), st.UsefulCompute)
+	fmt.Fprintf(&b, "  kernel code %d bytes (budget %d); RAM %d bytes\n",
+		s.kern.Footprint().Total(), mem.KernelBudget, s.kern.RAM().Used())
+	return b.String()
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
+)
+
+func TestDefaultBuildIsCSD3Optimized(t *testing.T) {
+	sys := New(Config{})
+	for _, s := range workload.Table2() {
+		sys.AddTask(s)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Kernel().Scheduler().Name(); got != "CSD-3" {
+		t.Errorf("scheduler = %q", got)
+	}
+	sys.Run(500 * vtime.Millisecond)
+	if sys.Stats().Misses != 0 {
+		t.Errorf("misses = %d on the Table 2 workload", sys.Stats().Misses)
+	}
+}
+
+func TestPolicySelection(t *testing.T) {
+	for _, pol := range []Policy{PolicyEDF, PolicyRM, PolicyRMHeap, PolicyCSD} {
+		sys := New(Config{Policy: pol})
+		sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
+		if err := sys.Boot(); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		sys.Run(50 * vtime.Millisecond)
+		if sys.Stats().Completions == 0 {
+			t.Errorf("%s: nothing ran", pol)
+		}
+	}
+	sys := New(Config{Policy: "bogus"})
+	sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
+	if err := sys.Boot(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestAutoPartitionMatchesSearch(t *testing.T) {
+	sys := New(Config{Queues: 2})
+	for _, s := range workload.Table2() {
+		sys.AddTask(s)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	// The §5.5.3 search puts τ1–τ5 in the DP queue.
+	if got := sys.Partition().DPSizes[0]; got != 5 {
+		t.Errorf("auto partition = %v", sys.Partition().DPSizes)
+	}
+}
+
+func TestExplicitPartitionRespected(t *testing.T) {
+	part := sched.Partition{DPSizes: []int{3, 2}}
+	sys := New(Config{Partition: &part})
+	for _, s := range workload.Table2() {
+		sys.AddTask(s)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Partition(); got.DPSizes[0] != 3 || got.DPSizes[1] != 2 {
+		t.Errorf("partition = %v", got.DPSizes)
+	}
+}
+
+func TestOverloadFallsBackToAllDP(t *testing.T) {
+	sys := New(Config{})
+	// Hopelessly overloaded: no partition passes the analysis.
+	for i := 0; i < 4; i++ {
+		sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: 9 * vtime.Millisecond})
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Partition().DPSizes[0]; got != 4 {
+		t.Errorf("overload fallback = %v, want all tasks in DP1", sys.Partition().DPSizes)
+	}
+}
+
+func TestParserRunsAtAddTask(t *testing.T) {
+	sys := New(Config{})
+	sem := sys.NewSemaphore("m")
+	ev := sys.NewEvent("e")
+	th := sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, Prog: task.Program{
+		task.WaitEvent(ev),
+		task.Acquire(sem),
+		task.Release(sem),
+	}})
+	if got := th.TCB.Spec.Prog[0].Hint; got != sem {
+		t.Errorf("hint = %d, parser did not run", got)
+	}
+
+	noParse := New(Config{NoParser: true})
+	sem2 := noParse.NewSemaphore("m")
+	ev2 := noParse.NewEvent("e")
+	th2 := noParse.AddTask(task.Spec{Period: 10 * vtime.Millisecond, Prog: task.Program{
+		task.WaitEvent(ev2),
+		task.Acquire(sem2),
+		task.Release(sem2),
+	}})
+	if got := th2.TCB.Spec.Prog[0].Hint; got != task.NoHint {
+		t.Errorf("hint = %d with NoParser", got)
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	sys := New(Config{TraceCapacity: 128})
+	sys.AddTask(task.Spec{Name: "pump", Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(50 * vtime.Millisecond)
+	rep := sys.Report()
+	for _, frag := range []string{"pump", "CSD-3", "switches=", "useful="} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	if sys.Trace() == nil {
+		t.Error("trace should be enabled")
+	}
+	if sys.Now() != vtime.Time(50*vtime.Millisecond) {
+		t.Errorf("now = %v", sys.Now())
+	}
+}
+
+func TestEmptySystemBoots(t *testing.T) {
+	sys := New(Config{})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10 * vtime.Millisecond)
+}
+
+func TestObjectCreationDelegates(t *testing.T) {
+	sys := New(Config{})
+	if sys.NewSemaphore("a") != 0 || sys.NewSemaphore("b") != 1 {
+		t.Error("semaphore ids")
+	}
+	if sys.NewCountingSemaphore("c", 3) != 2 {
+		t.Error("counting semaphore id")
+	}
+	if sys.NewEvent("e") != 0 || sys.NewCondVar("cv") != 0 ||
+		sys.NewMailbox("m", 4) != 0 || sys.NewStateMessage("s", 3, 8) != 0 {
+		t.Error("object ids")
+	}
+	if sys.NewProcess() <= 0 {
+		t.Error("process id")
+	}
+}
+
+func TestStandardSemConfig(t *testing.T) {
+	sys := New(Config{StandardSem: true})
+	sem := sys.NewSemaphore("m")
+	ev := sys.NewEvent("e")
+	wait := task.WaitEvent(ev)
+	sys.AddTask(task.Spec{Name: "w", Period: 10 * vtime.Millisecond, Prog: task.Program{
+		wait, task.Acquire(sem), task.Release(sem),
+	}})
+	sys.AddTask(task.Spec{Name: "s", Period: 10 * vtime.Millisecond, Phase: vtime.Millisecond, Prog: task.Program{
+		task.Acquire(sem), task.SignalEvent(ev), task.Release(sem),
+	}})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * vtime.Millisecond)
+	if sys.Stats().SavedSwitches != 0 {
+		t.Error("standard build must not save switches")
+	}
+}
+
+func TestCoreDMAndRAMOptions(t *testing.T) {
+	sys := New(Config{DeadlineMonotonic: true, RAMBudget: 64 * 1024, TraceCapacity: 8})
+	sys.AddTask(task.Spec{Name: "tight", Period: 50 * vtime.Millisecond,
+		WCET: 2 * vtime.Millisecond, Deadline: 5 * vtime.Millisecond})
+	sys.AddTask(task.Spec{Name: "fast", Period: 10 * vtime.Millisecond, WCET: 4 * vtime.Millisecond})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100 * vtime.Millisecond)
+	if sys.Stats().Misses != 0 {
+		t.Errorf("misses = %d under DM", sys.Stats().Misses)
+	}
+	if !strings.Contains(sys.Report(), "RAM") {
+		t.Error("report missing RAM line")
+	}
+
+	tiny := New(Config{RAMBudget: 128})
+	tiny.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
+	if err := tiny.Boot(); err == nil {
+		t.Error("128-byte budget booted")
+	}
+}
+
+func TestCorePriorityCeilingOption(t *testing.T) {
+	sys := New(Config{Policy: PolicyRM, PriorityCeiling: true})
+	a := sys.NewSemaphore("A")
+	b := sys.NewSemaphore("B")
+	// Opposite-order locking: deadlocks under PI, runs clean under ICPP.
+	sys.AddTask(task.Spec{Name: "ab", Period: 25 * vtime.Millisecond, Prog: task.Program{
+		task.Acquire(a), task.Compute(vtime.Millisecond),
+		task.Acquire(b), task.Compute(500 * vtime.Microsecond),
+		task.Release(b), task.Release(a),
+	}})
+	sys.AddTask(task.Spec{Name: "ba", Period: 15 * vtime.Millisecond, Phase: 500 * vtime.Microsecond, Prog: task.Program{
+		task.Acquire(b), task.Compute(vtime.Millisecond),
+		task.Acquire(a), task.Compute(500 * vtime.Microsecond),
+		task.Release(a), task.Release(b),
+	}})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(200 * vtime.Millisecond)
+	if sys.Stats().Completions < 16 {
+		t.Errorf("completions = %d: ICPP not in effect", sys.Stats().Completions)
+	}
+}
+
+func TestRecordResponsesInReport(t *testing.T) {
+	sys := New(Config{RecordResponses: true})
+	sys.AddTask(task.Spec{Name: "pump", Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(500 * vtime.Millisecond)
+	th := sys.Kernel().Threads()[0]
+	h := th.Responses()
+	if h == nil || h.Count() < 49 {
+		t.Fatalf("histogram missing or short: %v", h)
+	}
+	if h.Quantile(0.99) < vtime.Millisecond {
+		t.Errorf("p99 = %v, below the pure WCET", h.Quantile(0.99))
+	}
+	if !strings.Contains(sys.Report(), "p99=") {
+		t.Error("report missing quantiles")
+	}
+}

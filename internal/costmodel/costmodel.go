@@ -1,0 +1,282 @@
+// Package costmodel holds the virtual-time cost profiles that map
+// scheduler and kernel operations onto the execution times the paper
+// measured on its 25 MHz Motorola 68040 target.
+//
+// Table 1 of the paper gives the scheduler queue-operation overheads as
+// linear (or logarithmic, for the heap) functions of the number of
+// tasks n:
+//
+//	          EDF - queue     RM - queue          RM - sorted heap
+//	t_b       1.6             1.0 + 0.36 n        0.4 + 2.8 ceil(log2(n+1))
+//	t_u       1.2             1.4                 1.9 + 0.7 ceil(log2(n+1))
+//	t_s       1.2 + 0.25 n    0.6                 0.6
+//
+// (values in µs). Section 5.7 adds that CSD-x pays a further 0.55 µs per
+// queue to parse the prioritized list of queues. The simulator performs
+// the *real* queue operations and charges the base coefficient plus the
+// per-element coefficient times the number of elements actually
+// examined, so in the worst case it reproduces Table 1 exactly and in
+// the average case it reproduces what the hardware would have done.
+//
+// The context-switch and semaphore-path constants are calibrated from
+// §6.4: with a DP queue of length 15 the new semaphore scheme saves
+// 11 µs (28%) over the standard implementation, and on the FP queue the
+// new scheme's acquire/release pair is a constant 29.4 µs. See
+// EXPERIMENTS.md for the calibration.
+package costmodel
+
+import (
+	"math/bits"
+
+	"emeralds/internal/vtime"
+)
+
+// Profile is a set of cost constants for one hardware target.
+// All per-operation costs are charged to the simulated clock by the
+// kernel; a Profile with every field zero charges nothing and is useful
+// for pure-logic tests.
+type Profile struct {
+	Name string
+
+	// EDF unsorted-queue costs (Table 1, column 1).
+	EDFBlockBase    vtime.Duration // t_b: O(1) TCB update
+	EDFUnblockBase  vtime.Duration // t_u: O(1) TCB update
+	EDFSelectBase   vtime.Duration // t_s fixed part
+	EDFSelectPerElt vtime.Duration // t_s per task examined
+
+	// RM sorted-queue costs (Table 1, column 2).
+	RMBlockBase    vtime.Duration // t_b fixed part
+	RMBlockPerElt  vtime.Duration // t_b per task scanned for next ready
+	RMUnblockBase  vtime.Duration // t_u: O(1) compare against highestP
+	RMSelectBase   vtime.Duration // t_s: O(1) read of highestP
+	RMInsertPerElt vtime.Duration // sorted insert scan (task creation, standard PI)
+
+	// RM binary-heap costs (Table 1, column 3). Charged per heap level
+	// actually traversed.
+	HeapBlockBase     vtime.Duration
+	HeapBlockPerLvl   vtime.Duration
+	HeapUnblockBase   vtime.Duration
+	HeapUnblockPerLvl vtime.Duration
+	HeapSelectBase    vtime.Duration
+
+	// CSD queue-list parse cost, per queue examined during selection
+	// (§5.7: "an additional x·0.55 µs").
+	CSDQueueParse vtime.Duration
+
+	// Context switch between threads (save/restore, address-space
+	// switch). The paper stresses "highly optimized context switching".
+	ContextSwitch vtime.Duration
+
+	// User→kernel→user mode transition for one system call.
+	Syscall vtime.Duration
+
+	// Semaphore bookkeeping on an uncontended lock or unlock
+	// (test-and-set of the owner field, wait-queue check).
+	SemBookkeeping vtime.Duration
+
+	// One O(1) priority-inheritance step (inherit or restore) under the
+	// EMERALDS place-holder scheme, or for DP tasks (which are unsorted).
+	PIStep vtime.Duration
+
+	// Standard-scheme priority inheritance on the sorted FP queue:
+	// base plus per-element reposition scan, paid twice per
+	// inherit/restore pair.
+	PIRepositionBase   vtime.Duration
+	PIRepositionPerElt vtime.Duration
+
+	// Cost of the hint check at the unblocking event E in the new
+	// semaphore scheme (§6.2): is S free?
+	SemHintCheck vtime.Duration
+
+	// Timer interrupt service (release of a periodic task).
+	TimerInterrupt vtime.Duration
+
+	// Generic interrupt dispatch (vector fetch, prologue/epilogue).
+	InterruptEntry vtime.Duration
+
+	// Mailbox IPC: fixed cost per send/receive plus a per-byte copy
+	// cost (the 68040 copies roughly 4 bytes per 10 cycles).
+	MailboxOp      vtime.Duration
+	CopyPerByte    vtime.Duration
+	StateMsgOp     vtime.Duration // fixed cost of a state-message read or write
+	SharedMemMapOp vtime.Duration // mapping a region into an address space
+}
+
+// M68040 returns the profile calibrated to the paper's measurements on
+// the 25 MHz Motorola 68040.
+func M68040() *Profile {
+	return &Profile{
+		Name: "m68040-25MHz",
+
+		EDFBlockBase:    vtime.Micros(1.6),
+		EDFUnblockBase:  vtime.Micros(1.2),
+		EDFSelectBase:   vtime.Micros(1.2),
+		EDFSelectPerElt: vtime.Micros(0.25),
+
+		RMBlockBase:    vtime.Micros(1.0),
+		RMBlockPerElt:  vtime.Micros(0.36),
+		RMUnblockBase:  vtime.Micros(1.4),
+		RMSelectBase:   vtime.Micros(0.6),
+		RMInsertPerElt: vtime.Micros(0.36),
+
+		HeapBlockBase:     vtime.Micros(0.4),
+		HeapBlockPerLvl:   vtime.Micros(2.8),
+		HeapUnblockBase:   vtime.Micros(1.9),
+		HeapUnblockPerLvl: vtime.Micros(0.7),
+		HeapSelectBase:    vtime.Micros(0.6),
+
+		CSDQueueParse: vtime.Micros(0.55),
+
+		// Calibrated so the optimized-scheme FP acquire/release pair of
+		// the Figure 6 scenario costs exactly the paper's constant
+		// 29.4 µs (§6.4); ~196 cycles at 25 MHz, consistent with
+		// "highly optimized context switching".
+		ContextSwitch: vtime.Micros(7.85),
+		Syscall:       vtime.Micros(3.0),
+
+		SemBookkeeping: vtime.Micros(1.0),
+		PIStep:         vtime.Micros(1.0),
+
+		PIRepositionBase:   vtime.Micros(1.0),
+		PIRepositionPerElt: vtime.Micros(0.36),
+
+		SemHintCheck: vtime.Micros(0.5),
+
+		TimerInterrupt: vtime.Micros(2.0),
+		InterruptEntry: vtime.Micros(1.5),
+
+		MailboxOp:      vtime.Micros(4.0),
+		CopyPerByte:    vtime.Micros(0.1),
+		StateMsgOp:     vtime.Micros(1.0),
+		SharedMemMapOp: vtime.Micros(5.0),
+	}
+}
+
+// Zero returns a profile that charges nothing, for pure-logic testing.
+func Zero() *Profile { return &Profile{Name: "zero"} }
+
+// Levels returns ceil(log2(n+1)), the heap-depth term used by Table 1's
+// heap column. Levels(0) = 0.
+func Levels(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n)) // ceil(log2(n+1)) for n >= 1
+}
+
+// linear charges base + per·count.
+func linear(base, per vtime.Duration, count int) vtime.Duration {
+	return base + vtime.Duration(count)*per
+}
+
+// EDFBlock is the charge for blocking a task in the EDF queue.
+func (p *Profile) EDFBlock() vtime.Duration { return p.EDFBlockBase }
+
+// EDFUnblock is the charge for unblocking a task in the EDF queue.
+func (p *Profile) EDFUnblock() vtime.Duration { return p.EDFUnblockBase }
+
+// EDFSelect is the charge for selecting among scanned tasks in the EDF
+// queue.
+func (p *Profile) EDFSelect(scanned int) vtime.Duration {
+	return linear(p.EDFSelectBase, p.EDFSelectPerElt, scanned)
+}
+
+// RMBlock is the charge for blocking a task in the RM sorted queue,
+// scanning `scanned` entries to re-home highestP.
+func (p *Profile) RMBlock(scanned int) vtime.Duration {
+	return linear(p.RMBlockBase, p.RMBlockPerElt, scanned)
+}
+
+// RMUnblock is the charge for unblocking a task in the RM sorted queue.
+func (p *Profile) RMUnblock() vtime.Duration { return p.RMUnblockBase }
+
+// RMSelect is the charge for reading highestP.
+func (p *Profile) RMSelect() vtime.Duration { return p.RMSelectBase }
+
+// RMInsert is the charge for a sorted insert that scanned `scanned`
+// entries.
+func (p *Profile) RMInsert(scanned int) vtime.Duration {
+	return linear(0, p.RMInsertPerElt, scanned)
+}
+
+// HeapBlock is the charge for a heap removal traversing `levels` levels.
+func (p *Profile) HeapBlock(levels int) vtime.Duration {
+	return linear(p.HeapBlockBase, p.HeapBlockPerLvl, levels)
+}
+
+// HeapUnblock is the charge for a heap insert traversing `levels` levels.
+func (p *Profile) HeapUnblock(levels int) vtime.Duration {
+	return linear(p.HeapUnblockBase, p.HeapUnblockPerLvl, levels)
+}
+
+// HeapSelect is the charge for reading the heap root.
+func (p *Profile) HeapSelect() vtime.Duration { return p.HeapSelectBase }
+
+// CSDParse is the charge for walking `queues` entries of the CSD queue
+// list during selection.
+func (p *Profile) CSDParse(queues int) vtime.Duration {
+	return linear(0, p.CSDQueueParse, queues)
+}
+
+// PIReposition is the charge for one standard-scheme reposition of a
+// task within the sorted FP queue.
+func (p *Profile) PIReposition(scanned int) vtime.Duration {
+	return linear(p.PIRepositionBase, p.PIRepositionPerElt, scanned)
+}
+
+// MailboxTransfer is the charge for moving size bytes through a mailbox
+// (one side: send or receive).
+func (p *Profile) MailboxTransfer(size int) vtime.Duration {
+	return linear(p.MailboxOp, p.CopyPerByte, size)
+}
+
+// StateMsgTransfer is the charge for one state-message read or write of
+// size bytes.
+func (p *Profile) StateMsgTransfer(size int) vtime.Duration {
+	return linear(p.StateMsgOp, p.CopyPerByte, size)
+}
+
+// Scaled returns a copy of the profile with every cost multiplied by
+// factor — a first-order model of the paper's other targets (§2 names
+// the Motorola 68332, Intel i960 and Hitachi SH-2, all 15–25 MHz): a
+// 16 MHz part runs the same code ≈25/16 slower. The evaluation's
+// relative claims (orderings, crossovers) must be insensitive to this
+// scaling, which TestBreakdownOrderingScaleInvariant checks.
+func Scaled(base *Profile, factor float64, name string) *Profile {
+	s := func(d vtime.Duration) vtime.Duration { return vtime.Scale(d, factor) }
+	p := *base
+	p.Name = name
+	p.EDFBlockBase = s(base.EDFBlockBase)
+	p.EDFUnblockBase = s(base.EDFUnblockBase)
+	p.EDFSelectBase = s(base.EDFSelectBase)
+	p.EDFSelectPerElt = s(base.EDFSelectPerElt)
+	p.RMBlockBase = s(base.RMBlockBase)
+	p.RMBlockPerElt = s(base.RMBlockPerElt)
+	p.RMUnblockBase = s(base.RMUnblockBase)
+	p.RMSelectBase = s(base.RMSelectBase)
+	p.RMInsertPerElt = s(base.RMInsertPerElt)
+	p.HeapBlockBase = s(base.HeapBlockBase)
+	p.HeapBlockPerLvl = s(base.HeapBlockPerLvl)
+	p.HeapUnblockBase = s(base.HeapUnblockBase)
+	p.HeapUnblockPerLvl = s(base.HeapUnblockPerLvl)
+	p.HeapSelectBase = s(base.HeapSelectBase)
+	p.CSDQueueParse = s(base.CSDQueueParse)
+	p.ContextSwitch = s(base.ContextSwitch)
+	p.Syscall = s(base.Syscall)
+	p.SemBookkeeping = s(base.SemBookkeeping)
+	p.PIStep = s(base.PIStep)
+	p.PIRepositionBase = s(base.PIRepositionBase)
+	p.PIRepositionPerElt = s(base.PIRepositionPerElt)
+	p.SemHintCheck = s(base.SemHintCheck)
+	p.TimerInterrupt = s(base.TimerInterrupt)
+	p.InterruptEntry = s(base.InterruptEntry)
+	p.MailboxOp = s(base.MailboxOp)
+	p.CopyPerByte = s(base.CopyPerByte)
+	p.StateMsgOp = s(base.StateMsgOp)
+	p.SharedMemMapOp = s(base.SharedMemMapOp)
+	return &p
+}
+
+// M68332 approximates the paper's slowest named target, a 16 MHz
+// Motorola 68332: the 68040 profile scaled by 25/16.
+func M68332() *Profile { return Scaled(M68040(), 25.0/16.0, "m68332-16MHz") }

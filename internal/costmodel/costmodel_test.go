@@ -1,0 +1,163 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"emeralds/internal/vtime"
+)
+
+// TestTable1Exact pins the calibrated profile to the paper's Table 1:
+// any drift in these constants silently invalidates every reproduced
+// figure.
+func TestTable1Exact(t *testing.T) {
+	p := M68040()
+	us := vtime.Micros
+	cases := []struct {
+		name string
+		got  vtime.Duration
+		want vtime.Duration
+	}{
+		{"EDF t_b", p.EDFBlock(), us(1.6)},
+		{"EDF t_u", p.EDFUnblock(), us(1.2)},
+		{"EDF t_s(0)", p.EDFSelect(0), us(1.2)},
+		{"EDF t_s(10)", p.EDFSelect(10), us(1.2 + 2.5)},
+		{"EDF t_s(58)", p.EDFSelect(58), us(1.2 + 0.25*58)},
+		{"RM t_b(0)", p.RMBlock(0), us(1.0)},
+		{"RM t_b(10)", p.RMBlock(10), us(1.0 + 3.6)},
+		{"RM t_u", p.RMUnblock(), us(1.4)},
+		{"RM t_s", p.RMSelect(), us(0.6)},
+		{"heap t_b(lv4)", p.HeapBlock(4), us(0.4 + 2.8*4)},
+		{"heap t_u(lv4)", p.HeapUnblock(4), us(1.9 + 0.7*4)},
+		{"heap t_s", p.HeapSelect(), us(0.6)},
+		{"CSD parse(3)", p.CSDParse(3), us(0.55 * 3)},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestLevels pins ⌈log₂(n+1)⌉, the heap-depth term of Table 1.
+func TestLevels(t *testing.T) {
+	cases := map[int]int{
+		0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5,
+		31: 5, 32: 6, 57: 6, 58: 6, 63: 6, 64: 7,
+	}
+	for n, want := range cases {
+		if got := Levels(n); got != want {
+			t.Errorf("Levels(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestZeroProfileChargesNothing(t *testing.T) {
+	p := Zero()
+	checks := []vtime.Duration{
+		p.EDFBlock(), p.EDFUnblock(), p.EDFSelect(100),
+		p.RMBlock(100), p.RMUnblock(), p.RMSelect(), p.RMInsert(100),
+		p.HeapBlock(10), p.HeapUnblock(10), p.HeapSelect(),
+		p.CSDParse(10), p.PIReposition(100),
+		p.MailboxTransfer(1000), p.StateMsgTransfer(1000),
+		p.ContextSwitch, p.Syscall, p.SemBookkeeping, p.PIStep,
+		p.SemHintCheck, p.TimerInterrupt, p.InterruptEntry,
+	}
+	for i, d := range checks {
+		if d != 0 {
+			t.Errorf("zero profile charge #%d = %v", i, d)
+		}
+	}
+}
+
+func TestLinearityInQueueLength(t *testing.T) {
+	p := M68040()
+	f := func(a, b uint8) bool {
+		n, m := int(a%100), int(b%100)
+		if n > m {
+			n, m = m, n
+		}
+		// Linear functions of scan length must be monotone and have a
+		// constant per-element increment.
+		d1 := p.EDFSelect(m) - p.EDFSelect(n)
+		d2 := vtime.Duration(m-n) * p.EDFSelectPerElt
+		if d1 != d2 {
+			return false
+		}
+		return p.RMBlock(m)-p.RMBlock(n) == vtime.Duration(m-n)*p.RMBlockPerElt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferCosts(t *testing.T) {
+	p := M68040()
+	if p.MailboxTransfer(0) != p.MailboxOp {
+		t.Error("zero-byte transfer should cost the fixed op cost")
+	}
+	if p.MailboxTransfer(100)-p.MailboxTransfer(0) != 100*p.CopyPerByte {
+		t.Error("mailbox per-byte cost wrong")
+	}
+	if p.StateMsgTransfer(8) != p.StateMsgOp+8*p.CopyPerByte {
+		t.Error("state message cost wrong")
+	}
+	// §7's point: the state-message fixed cost must be well below the
+	// mailbox path (no syscall, no queue manipulation).
+	if p.StateMsgOp >= p.MailboxOp {
+		t.Errorf("state fixed cost %v should be below mailbox %v", p.StateMsgOp, p.MailboxOp)
+	}
+}
+
+func TestNilSafeNames(t *testing.T) {
+	if M68040().Name != "m68040-25MHz" {
+		t.Errorf("name = %q", M68040().Name)
+	}
+	if Zero().Name != "zero" {
+		t.Errorf("zero name = %q", Zero().Name)
+	}
+}
+
+// TestHeapVersusQueueCrossover reproduces the §5.1 conclusion: with
+// the 1.5(t_b+t_u+2t_s) total, the heap implementation only beats the
+// sorted queue for very large n (the paper measured 58).
+func TestHeapVersusQueueCrossover(t *testing.T) {
+	p := M68040()
+	total := func(tb, tu, ts vtime.Duration) vtime.Duration {
+		return vtime.Scale(tb+tu+2*ts, 1.5)
+	}
+	cross := -1
+	for n := 2; n <= 100; n++ {
+		q := total(p.RMBlock(n), p.RMUnblock(), p.RMSelect())
+		lv := Levels(n)
+		h := total(p.HeapBlock(lv), p.HeapUnblock(lv), p.HeapSelect())
+		if h < q {
+			cross = n
+			break
+		}
+	}
+	if cross < 50 || cross > 70 {
+		t.Errorf("heap/queue crossover at n=%d, paper reports 58", cross)
+	}
+}
+
+func TestScaledProfile(t *testing.T) {
+	slow := M68332()
+	fast := M68040()
+	if slow.Name != "m68332-16MHz" {
+		t.Errorf("name = %q", slow.Name)
+	}
+	// Every scaled cost is larger by the clock ratio.
+	ratio := 25.0 / 16.0
+	if got := slow.EDFSelect(10); got != vtime.Scale(fast.EDFSelectBase, ratio)+10*vtime.Scale(fast.EDFSelectPerElt, ratio) {
+		t.Errorf("scaled EDF select = %v", got)
+	}
+	if slow.ContextSwitch <= fast.ContextSwitch {
+		t.Error("scaled switch not slower")
+	}
+	// Identity scaling is a no-op.
+	same := Scaled(fast, 1.0, "same")
+	if same.RMBlock(7) != fast.RMBlock(7) {
+		t.Error("identity scaling changed costs")
+	}
+}

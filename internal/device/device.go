@@ -1,0 +1,146 @@
+// Package device provides the user-level device drivers of Figure 1:
+// sensors that sample the environment from interrupt context, actuators
+// driven by task IO calls, and a generic register-style input device.
+// Per §3, drivers run in the calling thread ("support for user-level
+// device drivers"); the kernel only charges the driver's CPU cost and
+// dispatches interrupts.
+package device
+
+import (
+	"emeralds/internal/kernel"
+	"emeralds/internal/vtime"
+)
+
+// Sensor models an input device that samples a physical signal on a
+// fixed period from its own interrupt (e.g. a crank-position pickup or
+// a microphone ADC). Each sample is published through a state message —
+// the §7 pattern: periodic state, freshest-value semantics, no queue.
+type Sensor struct {
+	Name_   string
+	Period  vtime.Duration
+	StateID int                      // state message receiving samples
+	Signal  func(t vtime.Time) int64 // sampled waveform
+	Jitter  vtime.Duration           // optional fixed ISR latency added to each sample time
+	Samples uint64
+	stopped bool
+}
+
+// Start begins periodic sampling on kernel k.
+func (s *Sensor) Start(k *kernel.Kernel) {
+	s.schedule(k, k.Now().Add(s.Period))
+}
+
+// Stop ceases sampling after the next tick.
+func (s *Sensor) Stop() { s.stopped = true }
+
+func (s *Sensor) schedule(k *kernel.Kernel, at vtime.Time) {
+	k.Engine().At(at, "sensor:"+s.Name_, func() {
+		if s.stopped {
+			return
+		}
+		t := k.Now().Add(s.Jitter)
+		k.StateWriteISR(s.StateID, s.Signal(t))
+		s.Samples++
+		s.schedule(k, at.Add(s.Period))
+	})
+}
+
+// MailboxSensor is a sensor variant that delivers samples into a
+// mailbox instead — the baseline the §7 comparison measures state
+// messages against.
+type MailboxSensor struct {
+	Name_   string
+	Period  vtime.Duration
+	MboxID  int
+	Size    int
+	Signal  func(t vtime.Time) int64
+	Samples uint64
+	Dropped uint64
+	stopped bool
+}
+
+// Start begins periodic sampling on kernel k.
+func (m *MailboxSensor) Start(k *kernel.Kernel) {
+	m.schedule(k, k.Now().Add(m.Period))
+}
+
+// Stop ceases sampling after the next tick.
+func (m *MailboxSensor) Stop() { m.stopped = true }
+
+func (m *MailboxSensor) schedule(k *kernel.Kernel, at vtime.Time) {
+	k.Engine().At(at, "mbsensor:"+m.Name_, func() {
+		if m.stopped {
+			return
+		}
+		if !k.InjectMessage(m.MboxID, m.Signal(k.Now()), m.Size) {
+			m.Dropped++
+		}
+		m.Samples++
+		m.schedule(k, at.Add(m.Period))
+	})
+}
+
+// Actuation is one recorded actuator command.
+type Actuation struct {
+	At  vtime.Time
+	Val int64
+}
+
+// Actuator records the commands tasks issue through task.IO ops; the
+// recorded timeline is what the examples assert on (e.g. injection
+// pulses tracking crank position).
+type Actuator struct {
+	Name_   string
+	Cost    vtime.Duration
+	Outputs []Actuation
+}
+
+var _ kernel.Device = (*Actuator)(nil)
+
+// Name implements kernel.Device.
+func (a *Actuator) Name() string { return a.Name_ }
+
+// IOCost implements kernel.Device.
+func (a *Actuator) IOCost() vtime.Duration {
+	if a.Cost == 0 {
+		return vtime.Micros(5)
+	}
+	return a.Cost
+}
+
+// Handle implements kernel.Device: latch the thread's last value as the
+// actuator command.
+func (a *Actuator) Handle(k *kernel.Kernel, th *kernel.Thread) {
+	a.Outputs = append(a.Outputs, Actuation{At: k.Now(), Val: th.LastMsg()})
+}
+
+// Register is an input device returning a register value to the caller
+// (ADC reads, status registers).
+type Register struct {
+	Name_ string
+	Cost  vtime.Duration
+	Value func(t vtime.Time) int64
+	Reads uint64
+}
+
+var _ kernel.Device = (*Register)(nil)
+
+// Name implements kernel.Device.
+func (r *Register) Name() string { return r.Name_ }
+
+// IOCost implements kernel.Device.
+func (r *Register) IOCost() vtime.Duration {
+	if r.Cost == 0 {
+		return vtime.Micros(3)
+	}
+	return r.Cost
+}
+
+// Handle implements kernel.Device: deliver the register value to the
+// calling thread.
+func (r *Register) Handle(k *kernel.Kernel, th *kernel.Thread) {
+	r.Reads++
+	if r.Value != nil {
+		th.Deliver(r.Value(k.Now()))
+	}
+}

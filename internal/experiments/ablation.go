@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/kernel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out: which
+// half of the §6 semaphore optimization buys what, and what the §5.3
+// per-queue ready counters are worth.
+
+// SemAblationPoint decomposes the Figure 11/12 saving at one queue
+// length into the contribution of each mechanism.
+type SemAblationPoint struct {
+	QueueLen        int
+	Standard        vtime.Duration // §6.1 baseline
+	HintOnly        vtime.Duration // context-switch elimination only
+	PlaceholderOnly vtime.Duration // O(1) PI only
+	Full            vtime.Duration // the complete §6.2 scheme
+}
+
+// SemAblation measures the four builds on the Figure 6 scenario.
+func SemAblation(kind SemQueueKind, lens []int, prof *costmodel.Profile) []SemAblationPoint {
+	out := make([]SemAblationPoint, 0, len(lens))
+	for _, l := range lens {
+		out = append(out, SemAblationPoint{
+			QueueLen:        l,
+			Standard:        SemScenarioAblated(kind, l, false, false, false, prof),
+			HintOnly:        SemScenarioAblated(kind, l, true, false, true, prof),
+			PlaceholderOnly: SemScenarioAblated(kind, l, true, true, false, prof),
+			Full:            SemScenarioAblated(kind, l, true, false, false, prof),
+		})
+	}
+	return out
+}
+
+// RenderSemAblation prints the decomposition.
+func RenderSemAblation(kind SemQueueKind, pts []SemAblationPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Semaphore-scheme ablation, %s queue (acquire/release overhead)\n", strings.ToUpper(string(kind)))
+	fmt.Fprintf(&b, "%10s %12s %12s %14s %12s\n", "queue len", "standard", "hint-only", "placeholder", "full §6.2")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %12v %12v %14v %12v\n",
+			p.QueueLen, p.Standard, p.HintOnly, p.PlaceholderOnly, p.Full)
+	}
+	return b.String()
+}
+
+// CSDCounterAblation measures the §5.3 ready counters: total scheduler
+// selection cost over a run of a CSD-3 system in which the DP queues
+// are frequently empty (long-period DP tasks), with and without the
+// counters. Returns (withCounters, withoutCounters) total overhead.
+func CSDCounterAblation(prof *costmodel.Profile) (vtime.Duration, vtime.Duration) {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	run := func(disable bool) vtime.Duration {
+		pol := sched.NewCSD(prof, sched.Partition{DPSizes: []int{4, 4}})
+		if disable {
+			pol.DisableReadyCounters()
+		}
+		k, err := kernel.New(nil, kernel.Options{Profile: prof, Scheduler: pol})
+		if err != nil {
+			panic(err)
+		}
+		// DP tasks: short jobs, so their queues sit empty most of the
+		// time; FP tasks do the bulk of the running — the regime the
+		// counters are for.
+		for i := 0; i < 8; i++ {
+			k.AddTask(task.Spec{
+				Name:   fmt.Sprintf("dp%d", i),
+				Period: vtime.Duration(5+i) * vtime.Millisecond,
+				WCET:   50 * vtime.Microsecond,
+			})
+		}
+		for i := 0; i < 6; i++ {
+			k.AddTask(task.Spec{
+				Name:   fmt.Sprintf("fp%d", i),
+				Period: vtime.Duration(40+10*i) * vtime.Millisecond,
+				WCET:   4 * vtime.Millisecond,
+			})
+		}
+		if err := k.Boot(); err != nil {
+			panic(err)
+		}
+		k.Run(2 * vtime.Second)
+		return k.Stats().SchedCharge
+	}
+	return run(false), run(true)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/task"
+	"emeralds/internal/workload"
+)
+
+// workloadSpec keeps breakdownFor signatures compact.
+type workloadSpec = task.Spec
+
+// This file regenerates Figures 3–5 (§5.7): average breakdown
+// utilization versus number of tasks, for RM, EDF, CSD-2, CSD-3 and
+// CSD-4, at three period scalings (base, ÷2, ÷3). The paper averages
+// 500 random workloads per point; Workloads configures that (the cmd
+// defaults to 100, the benchmarks use fewer; the shapes stabilize well
+// before 100).
+
+// BreakdownConfig parameterizes the experiment.
+type BreakdownConfig struct {
+	Ns        []int // task counts (paper: 5..50)
+	PeriodDiv int   // 1 (Figure 3), 2 (Figure 4), 3 (Figure 5)
+	Workloads int   // workloads per point (paper: 500)
+	Seed      int64
+	Profile   *costmodel.Profile
+	// Schedulers to include; nil = the paper's five.
+	Schedulers []string
+}
+
+// DefaultNs is the paper's x-axis.
+var DefaultNs = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+
+// BreakdownSchedulers is the paper's scheduler set, in legend order.
+var BreakdownSchedulers = []string{"CSD-4", "CSD-3", "CSD-2", "EDF", "RM"}
+
+// BreakdownResult holds one figure's series: Series[scheduler][i] is
+// the average breakdown utilization (%) at Ns[i].
+type BreakdownResult struct {
+	Cfg    BreakdownConfig
+	Ns     []int
+	Series map[string][]float64
+}
+
+// BreakdownFigure runs the experiment.
+func BreakdownFigure(cfg BreakdownConfig) *BreakdownResult {
+	if len(cfg.Ns) == 0 {
+		cfg.Ns = DefaultNs
+	}
+	if cfg.PeriodDiv <= 0 {
+		cfg.PeriodDiv = 1
+	}
+	if cfg.Workloads <= 0 {
+		cfg.Workloads = 100
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = costmodel.M68040()
+	}
+	if len(cfg.Schedulers) == 0 {
+		cfg.Schedulers = BreakdownSchedulers
+	}
+	res := &BreakdownResult{Cfg: cfg, Ns: cfg.Ns, Series: map[string][]float64{}}
+	for _, name := range cfg.Schedulers {
+		res.Series[name] = make([]float64, len(cfg.Ns))
+	}
+	for xi, n := range cfg.Ns {
+		batch := workload.Batch(workload.Config{
+			N:           n,
+			PeriodDiv:   cfg.PeriodDiv,
+			Utilization: 0.5,
+			Seed:        cfg.Seed + int64(n)*1000003,
+		}, cfg.Workloads)
+		sums := map[string]float64{}
+		for _, specs := range batch {
+			for _, name := range cfg.Schedulers {
+				sums[name] += breakdownFor(cfg.Profile, name, specs)
+			}
+		}
+		for _, name := range cfg.Schedulers {
+			res.Series[name][xi] = 100 * sums[name] / float64(cfg.Workloads)
+		}
+	}
+	return res
+}
+
+func breakdownFor(p *costmodel.Profile, name string, specs []workloadSpec) float64 {
+	switch name {
+	case "EDF":
+		return analysis.BreakdownEDF(p, specs)
+	case "RM":
+		return analysis.BreakdownRM(p, specs)
+	case "RM-heap":
+		return analysis.Breakdown(specs, func(s []workloadSpec) bool {
+			return analysis.FeasibleRMHeap(p, s)
+		})
+	case "CSD-2":
+		return analysis.BreakdownCSD(p, specs, 2)
+	case "CSD-3":
+		return analysis.BreakdownCSD(p, specs, 3)
+	case "CSD-4":
+		return analysis.BreakdownCSD(p, specs, 4)
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheduler %q", name))
+	}
+}
+
+// Render prints the figure as an aligned text table (one row per n).
+func (r *BreakdownResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Breakdown utilization (%%), periods ÷%d, %d workloads/point\n",
+		r.Cfg.PeriodDiv, r.Cfg.Workloads)
+	fmt.Fprintf(&b, "%6s", "n")
+	for _, s := range r.Cfg.Schedulers {
+		fmt.Fprintf(&b, "%9s", s)
+	}
+	b.WriteString("\n")
+	for i, n := range r.Ns {
+		fmt.Fprintf(&b, "%6d", n)
+		for _, s := range r.Cfg.Schedulers {
+			fmt.Fprintf(&b, "%9.1f", r.Series[s][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

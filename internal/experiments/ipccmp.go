@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/kernel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// This file regenerates the §7 comparison (reconstructed; see
+// DESIGN.md): per-message kernel overhead of state-message IPC versus
+// mailbox IPC for periodic producer/consumer communication, across
+// payload sizes and reader counts.
+//
+// The scenario is the paper's motivating pattern: one producer task
+// publishes a periodic state update (a sensor reading) and R consumer
+// tasks each want the freshest value. With state messages the producer
+// performs one wait-free write and each consumer one wait-free read —
+// no system call, no blocking, no scheduler interaction. With
+// mailboxes the producer sends one copy per consumer and each consumer
+// blocks on an empty mailbox, so every delivery drags in system calls,
+// wait-queue manipulation and context switches.
+//
+// The metric is (total kernel overhead − overhead of the identical
+// task structure with the IPC ops stripped) / messages delivered,
+// which isolates the IPC mechanism itself including the scheduling it
+// induces.
+
+// IPCPoint is one comparison measurement.
+type IPCPoint struct {
+	Size    int
+	Readers int
+
+	StatePerMsg   vtime.Duration
+	MailboxPerMsg vtime.Duration
+
+	StateSwitchesPerMsg   float64
+	MailboxSwitchesPerMsg float64
+}
+
+// SpeedupX reports how many times cheaper state messages are.
+func (p IPCPoint) SpeedupX() float64 {
+	if p.StatePerMsg == 0 {
+		return 0
+	}
+	return float64(p.MailboxPerMsg) / float64(p.StatePerMsg)
+}
+
+// IPCComparison sweeps payload sizes and reader counts.
+func IPCComparison(sizes, readers []int, prof *costmodel.Profile) []IPCPoint {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	var out []IPCPoint
+	for _, r := range readers {
+		for _, sz := range sizes {
+			so, ss := ipcScenario("state", sz, r, prof)
+			mo, ms := ipcScenario("mailbox", sz, r, prof)
+			bo, bs := ipcScenario("none", sz, r, prof)
+			msgs := ipcMessages(r)
+			pt := IPCPoint{
+				Size:                  sz,
+				Readers:               r,
+				StatePerMsg:           (so - bo) / vtime.Duration(msgs),
+				MailboxPerMsg:         (mo - bo) / vtime.Duration(msgs),
+				StateSwitchesPerMsg:   (ss - bs) / float64(msgs),
+				MailboxSwitchesPerMsg: (ms - bs) / float64(msgs),
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+const (
+	ipcHorizon        = 1 * vtime.Second
+	ipcProducerPeriod = 5 * vtime.Millisecond
+)
+
+// ipcMessages is the number of deliveries in one run: one per consumer
+// per producer period.
+func ipcMessages(readers int) int64 {
+	return int64(ipcHorizon/ipcProducerPeriod) * int64(readers)
+}
+
+// ipcScenario runs one configuration and returns total kernel overhead
+// and context-switch count.
+func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime.Duration, float64) {
+	k, err := kernel.New(nil, kernel.Options{
+		Profile:      prof,
+		Scheduler:    sched.NewRM(prof),
+		OptimizedSem: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	var stateID int
+	mboxes := make([]int, readers)
+	switch mode {
+	case "state":
+		stateID = k.NewStateMessage("sample", 3, size)
+	case "mailbox":
+		for i := range mboxes {
+			mboxes[i] = k.NewMailbox(fmt.Sprintf("mb%d", i), 2)
+		}
+	}
+
+	// Producer: offset half a period so consumers are already waiting —
+	// under mailboxes each consumer blocks on its empty mailbox and the
+	// producer's send wakes it, the pattern whose switches state
+	// messages are designed to avoid.
+	prodProg := task.Program{task.Compute(200 * vtime.Microsecond)}
+	switch mode {
+	case "state":
+		prodProg = append(prodProg, task.StateWrite(stateID, 42, size))
+	case "mailbox":
+		for i := range mboxes {
+			prodProg = append(prodProg, task.Send(mboxes[i], 42, size))
+		}
+	}
+	k.AddTask(task.Spec{
+		Name:   "producer",
+		Period: ipcProducerPeriod,
+		Phase:  ipcProducerPeriod / 2,
+		Prog:   prodProg,
+	})
+
+	// Consumers: same rate, released first.
+	for i := 0; i < readers; i++ {
+		prog := task.Program{task.Compute(100 * vtime.Microsecond)}
+		switch mode {
+		case "state":
+			prog = append(prog, task.StateRead(stateID))
+		case "mailbox":
+			prog = append(prog, task.Recv(mboxes[i]))
+		}
+		k.AddTask(task.Spec{
+			Name:   fmt.Sprintf("consumer%d", i),
+			Period: ipcProducerPeriod,
+			Phase:  vtime.Duration(i) * 10 * vtime.Microsecond,
+			Prog:   prog,
+		})
+	}
+
+	if err := k.Boot(); err != nil {
+		panic(err)
+	}
+	k.Run(ipcHorizon)
+	st := k.Stats()
+	return st.TotalOverhead(), float64(st.ContextSwitches)
+}
+
+// RenderIPC prints the comparison.
+func RenderIPC(pts []IPCPoint) string {
+	var b strings.Builder
+	b.WriteString("State messages vs mailboxes: kernel overhead per delivered message\n")
+	fmt.Fprintf(&b, "%8s %8s %14s %14s %10s %12s %12s\n",
+		"readers", "size", "state/msg", "mailbox/msg", "speedup", "state cs/m", "mbox cs/m")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %8d %14v %14v %9.1fx %12.2f %12.2f\n",
+			p.Readers, p.Size, p.StatePerMsg, p.MailboxPerMsg, p.SpeedupX(),
+			p.StateSwitchesPerMsg, p.MailboxSwitchesPerMsg)
+	}
+	return b.String()
+}

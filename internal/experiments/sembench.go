@@ -1,0 +1,193 @@
+// Package experiments implements the harnesses that regenerate every
+// table and figure of the paper's evaluation. Each experiment is a
+// plain function returning data series, shared by the cmd/ tools (which
+// print them) and by bench_test.go (which reports them as benchmark
+// metrics). EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/kernel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// This file regenerates Figures 11 and 12 (§6.4): semaphore
+// acquire/release overhead versus scheduler queue length, standard
+// versus optimized scheme, for the DP (EDF) queue and the FP (RM)
+// queue.
+//
+// The measured scenario is exactly Figure 6 of the paper: thread T₂
+// (highest priority among the runnable three) blocks on an event E
+// whose hint names semaphore S; low-priority T₁ locks S; the unrelated
+// Tₓ is executing when E arrives while T₁ still holds S, so T₂ must
+// obtain S through priority inheritance. The metric is the total
+// kernel overhead charged between E and the end of T₂'s critical
+// section — the window that contains the whole acquire/release
+// interaction and nothing else (padding tasks never run, and no timer
+// releases land inside the window).
+
+// SemQueueKind selects which scheduler queue the scenario exercises.
+type SemQueueKind string
+
+// Queue kinds for SemOverheadCurve.
+const (
+	DPQueue SemQueueKind = "dp" // EDF-style unsorted queue (Figure 11)
+	FPQueue SemQueueKind = "fp" // RM sorted queue (Figure 12)
+)
+
+// SemPoint is one measurement of the semaphore experiment.
+type SemPoint struct {
+	QueueLen  int
+	Standard  vtime.Duration
+	Optimized vtime.Duration
+}
+
+// SavingPct reports the optimized scheme's relative improvement.
+func (p SemPoint) SavingPct() float64 {
+	if p.Standard == 0 {
+		return 0
+	}
+	return 100 * float64(p.Standard-p.Optimized) / float64(p.Standard)
+}
+
+// SemOverheadCurve measures the acquire/release pair overhead at each
+// queue length under both semaphore implementations.
+func SemOverheadCurve(kind SemQueueKind, lens []int, prof *costmodel.Profile) []SemPoint {
+	out := make([]SemPoint, 0, len(lens))
+	for _, l := range lens {
+		out = append(out, SemPoint{
+			QueueLen:  l,
+			Standard:  SemScenario(kind, l, false, prof),
+			Optimized: SemScenario(kind, l, true, prof),
+		})
+	}
+	return out
+}
+
+// SemScenario runs one Figure 6 scenario with the scheduler queue
+// padded to queueLen tasks and returns the overhead charged between
+// event E and the completion of T₂'s critical section.
+func SemScenario(kind SemQueueKind, queueLen int, optimized bool, prof *costmodel.Profile) vtime.Duration {
+	return SemScenarioAblated(kind, queueLen, optimized, false, false, prof)
+}
+
+// SemScenarioAblated is SemScenario with the two halves of the §6
+// optimization individually switchable: disableHints removes the
+// context-switch elimination, disablePlaceholder removes the O(1)
+// priority inheritance. The ablation benchmark uses it to attribute
+// the Figure 11/12 savings to each mechanism.
+func SemScenarioAblated(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile) vtime.Duration {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	var pol sched.Scheduler
+	if kind == FPQueue {
+		pol = sched.NewRM(prof)
+	} else {
+		pol = sched.NewEDF(prof)
+	}
+	k, err := kernel.New(nil, kernel.Options{
+		Profile:            prof,
+		Scheduler:          pol,
+		OptimizedSem:       optimized,
+		DisableHints:       disableHints,
+		DisablePlaceholder: disablePlaceholder,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	sem := k.NewSemaphore("S")
+	ev := k.NewEvent("E")
+
+	// T2: highest priority of the three actors. Blocks on E with hint
+	// S, then locks S. The hint is what the §6.2.1 parser would have
+	// inserted; the standard build ignores it.
+	waitOp := task.WaitEvent(ev)
+	waitOp.Hint = sem
+	t2 := k.AddTask(task.Spec{
+		Name:   "T2",
+		Period: 50 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Compute(500 * vtime.Microsecond),
+			waitOp,
+			task.Acquire(sem),
+			task.Compute(500 * vtime.Microsecond),
+			task.Release(sem),
+		},
+	})
+
+	// Tx: middle priority, executing when E arrives (Figure 6's
+	// unrelated thread).
+	k.AddTask(task.Spec{
+		Name:   "Tx",
+		Period: 60 * vtime.Millisecond,
+		Phase:  2 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Compute(2 * vtime.Millisecond),
+		},
+	})
+
+	// T1: lowest priority; holds S across E.
+	k.AddTask(task.Spec{
+		Name:   "T1",
+		Period: 80 * vtime.Millisecond,
+		Phase:  1 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Acquire(sem),
+			task.Compute(4 * vtime.Millisecond),
+			task.Release(sem),
+		},
+	})
+
+	// Padding: inert tasks inflating the scheduler queue to queueLen.
+	// Their phases lie beyond the horizon, so they stay blocked in the
+	// queue for the whole run. Their periods are *shorter* than T2's,
+	// placing them ahead of T2 in the sorted FP queue: the standard
+	// scheme's PI reposition of T1 (to just ahead of T2) and its
+	// restore (back to the tail) each walk across them, reproducing
+	// the O(n−r) cost of §6.1; in the unsorted DP queue they lengthen
+	// every O(n) selection scan.
+	for i := 3; i < queueLen; i++ {
+		k.AddTask(task.Spec{
+			Name:   fmt.Sprintf("pad%02d", i),
+			Period: 10*vtime.Millisecond + vtime.Duration(i)*vtime.Microsecond,
+			Phase:  10 * vtime.Second,
+			WCET:   10 * vtime.Microsecond,
+		})
+	}
+
+	var (
+		startMark vtime.Duration
+		endMark   vtime.Duration
+		armed     bool
+		done      bool
+	)
+	// E arrives at exactly 3 ms, while Tx executes (Tx runs 2–4 ms)
+	// and T1 holds S (locked since ~1 ms, 4 ms of critical section
+	// left). The snapshot is taken before any signal processing, so
+	// the window contains every charge of the interaction.
+	k.Engine().At(vtime.Time(3*vtime.Millisecond), "eventE", func() {
+		armed = true
+		startMark = k.Stats().TotalOverhead()
+		k.SignalEventISR(ev)
+	})
+	k.OnJobComplete = func(th *kernel.Thread) {
+		if th == t2 && armed && !done {
+			done = true
+			endMark = k.Stats().TotalOverhead()
+		}
+	}
+	if err := k.Boot(); err != nil {
+		panic(err)
+	}
+	k.Run(40 * vtime.Millisecond)
+	if !done {
+		panic(fmt.Sprintf("experiments: sem scenario did not complete (kind=%s len=%d opt=%v)", kind, queueLen, optimized))
+	}
+	return endMark - startMark
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/kernel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// Simulation-based breakdown utilization: the same §5.7 protocol as the
+// analytic engine, but feasibility of each probed scale is decided by
+// actually running the workload on the kernel and watching for misses.
+// It validates the analytic curves end-to-end — the analysis charges
+// only the §5.1 scheduler costs (as the paper's does), while the
+// simulator additionally pays context switches, timer interrupts and
+// system calls, so the simulated breakdown sits at or slightly below
+// the analytic one.
+
+// SimulateMisses boots the workload under the policy and returns the
+// deadline-miss count over the horizon.
+func SimulateMisses(prof *costmodel.Profile, pol sched.Scheduler, specs []task.Spec, horizon vtime.Duration) uint64 {
+	k, err := kernel.New(nil, kernel.Options{Profile: prof, Scheduler: pol})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range specs {
+		k.AddTask(s)
+	}
+	if err := k.Boot(); err != nil {
+		panic(err)
+	}
+	k.Run(horizon)
+	return k.Stats().Misses
+}
+
+// SimBreakdown bisects the execution-time scale like
+// analysis.Breakdown, with simulation deciding feasibility. The horizon
+// should cover several hyperperiods of the workload; a finite horizon
+// makes the result an upper bound (a miss may hide beyond it), which is
+// why validation pairs it with the conservative analytic result.
+func SimBreakdown(prof *costmodel.Profile, specs []task.Spec, policy string, horizon vtime.Duration) float64 {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	mk := func() sched.Scheduler {
+		switch policy {
+		case "EDF":
+			return sched.NewEDF(prof)
+		case "RM":
+			return sched.NewRM(prof)
+		default:
+			panic(fmt.Sprintf("experiments: SimBreakdown does not support %q", policy))
+		}
+	}
+	rmSorted := analysis.SortRM(specs)
+	return analysis.Breakdown(rmSorted, func(s []task.Spec) bool {
+		return SimulateMisses(prof, mk(), s, horizon) == 0
+	})
+}
+
+// SimVsAnalytic compares the two breakdown estimates for one workload.
+type SimVsAnalytic struct {
+	Policy    string
+	Analytic  float64
+	Simulated float64
+}
+
+// CompareBreakdowns runs both engines for EDF and RM on the workload.
+func CompareBreakdowns(prof *costmodel.Profile, specs []task.Spec, horizon vtime.Duration) []SimVsAnalytic {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	return []SimVsAnalytic{
+		{"EDF", analysis.BreakdownEDF(prof, specs), SimBreakdown(prof, specs, "EDF", horizon)},
+		{"RM", analysis.BreakdownRM(prof, specs), SimBreakdown(prof, specs, "RM", horizon)},
+	}
+}

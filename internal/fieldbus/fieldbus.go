@@ -1,0 +1,181 @@
+// Package fieldbus simulates the low-speed (1–2 Mbit/s) multi-drop
+// network that connects the 5–10 nodes of the paper's distributed
+// target systems (§2: "automotive and avionics control systems").
+//
+// The model is CAN-like: one shared medium; when the bus goes idle,
+// pending frames arbitrate by priority (lowest frame id wins, ties by
+// node id) and the winner transmits for (framing + 8·payload) bits at
+// the configured bit rate. Delivery raises activity on the destination
+// node: the frame is injected into a mailbox or published as a state
+// message, from interrupt context, exactly as a network device driver
+// would (§3: nodes "exchange short, simple messages over fieldbuses"
+// by "talking directly to network device drivers" — there is no
+// protocol stack in the kernel).
+package fieldbus
+
+import (
+	"fmt"
+
+	"emeralds/internal/kernel"
+	"emeralds/internal/sim"
+	"emeralds/internal/vtime"
+)
+
+// framingBits approximates CAN 2.0A framing overhead per frame
+// (arbitration, control, CRC, ACK, EOF, interframe space).
+const framingBits = 47
+
+// Frame is one bus transmission.
+type Frame struct {
+	Prio int // arbitration priority: lower wins
+	Src  int
+	Val  int64
+	Size int // payload bytes
+	port *Port
+}
+
+// Bus is the shared medium.
+type Bus struct {
+	eng      *sim.Engine
+	bitrate  int64 // bits per second
+	ports    []*Port
+	busyTill vtime.Time
+	armed    bool
+
+	// Stats.
+	Transmitted uint64
+	BitsOnWire  uint64
+}
+
+// NewBus creates a fieldbus on the shared engine at the given bit rate
+// (the paper's range is 1–2 Mbit/s).
+func NewBus(eng *sim.Engine, bitrate int64) *Bus {
+	if bitrate <= 0 {
+		bitrate = 1_000_000
+	}
+	return &Bus{eng: eng, bitrate: bitrate}
+}
+
+// FrameTime reports the wire time of a payload of size bytes.
+func (b *Bus) FrameTime(size int) vtime.Duration {
+	bits := int64(framingBits + 8*size)
+	return vtime.Duration(bits * int64(vtime.Second) / b.bitrate)
+}
+
+// Delivery routes a received frame on the destination node.
+type Delivery struct {
+	Node     *kernel.Kernel
+	Mailbox  int // mailbox id on Node; used when UseState is false
+	State    int // state message id on Node
+	UseState bool
+}
+
+// Port is one node's bus interface. It implements kernel.BusPort, so
+// task programs transmit with task.BusSend ops; received frames go to
+// the statically configured Delivery (embedded systems know at build
+// time which resources live where, §3).
+type Port struct {
+	bus   *Bus
+	name  string
+	id    int
+	prio  int
+	route Delivery
+	txq   []Frame
+
+	Sent    uint64
+	Dropped uint64
+}
+
+var _ kernel.BusPort = (*Port)(nil)
+
+// NewPort attaches a port to the bus. prio is the port's arbitration
+// priority (lower wins); route says where frames land.
+func (b *Bus) NewPort(name string, prio int, route Delivery) *Port {
+	p := &Port{bus: b, name: name, id: len(b.ports), prio: prio, route: route}
+	b.ports = append(b.ports, p)
+	return p
+}
+
+// Name implements kernel.BusPort.
+func (p *Port) Name() string { return p.name }
+
+// Send implements kernel.BusPort: queue a frame for arbitration.
+func (p *Port) Send(val int64, size int) {
+	if size <= 0 {
+		size = 8
+	}
+	if size > 8 {
+		// CAN payloads top out at 8 bytes; larger sends fragment, and
+		// the paper's "short, simple messages" never need to. Model
+		// the first fragment and count the rest as dropped detail.
+		size = 8
+	}
+	p.txq = append(p.txq, Frame{Prio: p.prio, Src: p.id, Val: val, Size: size, port: p})
+	p.Sent++
+	p.bus.arm()
+}
+
+// arm schedules the next arbitration when the bus is idle.
+func (b *Bus) arm() {
+	if b.armed {
+		return
+	}
+	b.armed = true
+	at := vtime.MaxTime(b.eng.Now(), b.busyTill)
+	b.eng.At(at, "bus:arbitrate", b.arbitrate)
+}
+
+func (b *Bus) arbitrate() {
+	b.armed = false
+	var win *Port
+	for _, p := range b.ports {
+		if len(p.txq) == 0 {
+			continue
+		}
+		if win == nil || p.txq[0].Prio < win.txq[0].Prio ||
+			(p.txq[0].Prio == win.txq[0].Prio && p.id < win.id) {
+			win = p
+		}
+	}
+	if win == nil {
+		return
+	}
+	f := win.txq[0]
+	win.txq = win.txq[1:]
+	d := b.FrameTime(f.Size)
+	b.busyTill = b.eng.Now().Add(d)
+	b.BitsOnWire += uint64(framingBits + 8*f.Size)
+	b.eng.At(b.busyTill, "bus:deliver", func() {
+		b.Transmitted++
+		b.deliver(f)
+		b.arm()
+	})
+}
+
+func (b *Bus) deliver(f Frame) {
+	r := f.port.route
+	if r.Node == nil {
+		f.port.Dropped++
+		return
+	}
+	if r.UseState {
+		r.Node.StateWriteISR(r.State, f.Val)
+		return
+	}
+	if !r.Node.InjectMessage(r.Mailbox, f.Val, f.Size) {
+		f.port.Dropped++
+	}
+}
+
+// Pending reports queued frames across all ports (tests).
+func (b *Bus) Pending() int {
+	n := 0
+	for _, p := range b.ports {
+		n += len(p.txq)
+	}
+	return n
+}
+
+func (b *Bus) String() string {
+	return fmt.Sprintf("fieldbus %.1f Mbit/s, %d ports", float64(b.bitrate)/1e6, len(b.ports))
+}

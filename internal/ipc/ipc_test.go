@@ -1,0 +1,214 @@
+package ipc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox(0, "m", 4)
+	for i := int64(1); i <= 4; i++ {
+		m.Push(Msg{Val: i, Size: 8})
+	}
+	if !m.Full() {
+		t.Error("should be full")
+	}
+	for i := int64(1); i <= 4; i++ {
+		if got := m.Pop(); got.Val != i {
+			t.Fatalf("pop = %d, want %d", got.Val, i)
+		}
+	}
+	if !m.Empty() {
+		t.Error("should be empty")
+	}
+}
+
+func TestMailboxWrapAround(t *testing.T) {
+	m := NewMailbox(0, "m", 3)
+	for round := int64(0); round < 10; round++ {
+		m.Push(Msg{Val: round})
+		m.Push(Msg{Val: round + 100})
+		if m.Pop().Val != round {
+			t.Fatal("wrap order broken")
+		}
+		if m.Pop().Val != round+100 {
+			t.Fatal("wrap order broken")
+		}
+	}
+}
+
+func TestMailboxPushFullPanics(t *testing.T) {
+	m := NewMailbox(0, "m", 1)
+	m.Push(Msg{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Push(Msg{})
+}
+
+func TestMailboxPopEmptyPanics(t *testing.T) {
+	m := NewMailbox(0, "m", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Pop()
+}
+
+func TestMailboxMinimumCapacity(t *testing.T) {
+	m := NewMailbox(0, "m", 0)
+	if m.Cap() != 1 {
+		t.Errorf("cap = %d", m.Cap())
+	}
+}
+
+func TestMailboxLen(t *testing.T) {
+	m := NewMailbox(0, "m", 5)
+	for i := 0; i < 3; i++ {
+		m.Push(Msg{})
+	}
+	if m.Len() != 3 {
+		t.Errorf("len = %d", m.Len())
+	}
+	m.Pop()
+	if m.Len() != 2 {
+		t.Errorf("len = %d", m.Len())
+	}
+}
+
+// --- state messages ---------------------------------------------------
+
+func TestStateMessageFreshest(t *testing.T) {
+	s := NewStateMessage(0, "s", 3, 8)
+	if _, ok := s.Read(); ok {
+		t.Error("unwritten state message returned a value")
+	}
+	for v := int64(1); v <= 10; v++ {
+		s.Write(v)
+		got, ok := s.Read()
+		if !ok || got != v {
+			t.Fatalf("read = %d/%v after writing %d", got, ok, v)
+		}
+	}
+	if s.Writes() != 10 || s.Reads() != 10 {
+		t.Errorf("writes=%d reads=%d", s.Writes(), s.Reads())
+	}
+}
+
+func TestStateMessageMinimums(t *testing.T) {
+	s := NewStateMessage(0, "s", 0, 0)
+	if s.Depth() != 2 || s.Size() != 8 {
+		t.Errorf("depth=%d size=%d", s.Depth(), s.Size())
+	}
+}
+
+func TestMinDepth(t *testing.T) {
+	if MinDepth(0) != 2 || MinDepth(3) != 5 || MinDepth(-1) != 2 {
+		t.Error("MinDepth formula wrong")
+	}
+}
+
+// TestStateMessageTornReadDetected drives the step API adversarially:
+// with a buffer of depth N, a reader that is preempted by ≥ N writes
+// mid-copy observes a torn slot, and Finish reports it.
+func TestStateMessageTornReadDetected(t *testing.T) {
+	const depth = 3
+	s := NewStateMessage(0, "s", depth, 16)
+	s.Write(1)
+	r, ok := s.BeginRead()
+	if !ok {
+		t.Fatal("nothing to read")
+	}
+	r.Step() // copy one byte, then get preempted…
+	// …by exactly `depth` writer activations: the last one laps onto
+	// the slot being read.
+	for v := int64(2); v < 2+depth; v++ {
+		s.Write(v)
+	}
+	if _, consistent := r.Finish(); consistent {
+		t.Error("lapped read reported consistent")
+	}
+}
+
+// TestStateMessageDepthBoundHolds is the §7 consistency property: with
+// depth ≥ MinDepth(w), w writer activations during a read can never
+// tear it.
+func TestStateMessageDepthBoundHolds(t *testing.T) {
+	f := func(wRaw, depthExtra uint8) bool {
+		w := int(wRaw % 6)
+		depth := MinDepth(w) + int(depthExtra%3)
+		s := NewStateMessage(0, "s", depth, 16)
+		s.Write(1)
+		r, ok := s.BeginRead()
+		if !ok {
+			return false
+		}
+		r.Step()
+		for v := 0; v < w; v++ {
+			s.Write(int64(v + 2))
+		}
+		_, consistent := r.Finish()
+		return consistent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStateMessageInterleavedWriteRead interleaves single-byte write
+// and read steps in every alignment; within the depth bound the reader
+// must always see a complete, previously published payload.
+func TestStateMessageInterleavedWriteRead(t *testing.T) {
+	const size = 8
+	for offset := 0; offset < size; offset++ {
+		s := NewStateMessage(0, "s", 3, size)
+		w0 := s.BeginWrite()
+		w0.SetWord(0x0101010101010101)
+		w0.Commit()
+
+		r, _ := s.BeginRead()
+		for i := 0; i < offset; i++ {
+			r.Step()
+		}
+		// One full writer activation in the middle of the read.
+		w1 := s.BeginWrite()
+		w1.SetWord(0x0202020202020202)
+		w1.Commit()
+
+		buf, consistent := r.Finish()
+		if !consistent {
+			t.Fatalf("offset %d: torn within depth bound", offset)
+		}
+		for _, b := range buf {
+			if b != 0x01 {
+				t.Fatalf("offset %d: mixed payload %x", offset, buf)
+			}
+		}
+	}
+}
+
+func TestStateMessageWriterNeverTouchesPublishedSlot(t *testing.T) {
+	s := NewStateMessage(0, "s", 2, 8)
+	for v := int64(0); v < 20; v++ {
+		w := s.BeginWrite()
+		// Before commit, the published value must still be readable.
+		if v > 0 {
+			got, ok := s.Read()
+			if !ok || got != v-1 {
+				t.Fatalf("mid-write read = %d/%v, want %d", got, ok, v-1)
+			}
+		}
+		w.SetWord(v)
+		w.Commit()
+	}
+}
+
+func TestStateMessageString(t *testing.T) {
+	s := NewStateMessage(3, "rpm", 3, 8)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

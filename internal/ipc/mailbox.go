@@ -1,0 +1,71 @@
+// Package ipc implements the intra-node communication mechanisms of
+// Figure 1: mailboxes (bounded, copying message queues), and the state
+// messages reconstructed from §7 — the single-writer multi-reader
+// wait-free mechanism EMERALDS advocates for periodic sensor/actuator
+// data. Shared-memory IPC is provided by package mem (regions mapped
+// into several address spaces).
+//
+// This package holds the pure data structures; blocking semantics,
+// cost charging and scheduler interaction live in the kernel.
+package ipc
+
+import "fmt"
+
+// Msg is one mailbox message: an opaque word plus the payload size used
+// for copy-cost accounting (fieldbus messages are "short, simple
+// messages", §3, so a word of payload plus a size is representative).
+type Msg struct {
+	Val  int64
+	Size int
+}
+
+// Mailbox is a bounded FIFO message queue.
+type Mailbox struct {
+	ID   int
+	Name string
+	buf  []Msg
+	head int
+	n    int
+}
+
+// NewMailbox returns a mailbox holding at most capacity messages.
+func NewMailbox(id int, name string, capacity int) *Mailbox {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Mailbox{ID: id, Name: name, buf: make([]Msg, capacity)}
+}
+
+// Cap reports the capacity.
+func (m *Mailbox) Cap() int { return len(m.buf) }
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int { return m.n }
+
+// Full reports whether a send would block.
+func (m *Mailbox) Full() bool { return m.n == len(m.buf) }
+
+// Empty reports whether a receive would block.
+func (m *Mailbox) Empty() bool { return m.n == 0 }
+
+// Push enqueues a message; it panics if full (the kernel checks Full
+// and blocks the sender instead — pushing to a full mailbox is a kernel
+// bug).
+func (m *Mailbox) Push(msg Msg) {
+	if m.Full() {
+		panic(fmt.Sprintf("ipc: push to full mailbox %q", m.Name))
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = msg
+	m.n++
+}
+
+// Pop dequeues the oldest message; it panics if empty.
+func (m *Mailbox) Pop() Msg {
+	if m.Empty() {
+		panic(fmt.Sprintf("ipc: pop from empty mailbox %q", m.Name))
+	}
+	msg := m.buf[m.head]
+	m.head = (m.head + 1) % len(m.buf)
+	m.n--
+	return msg
+}

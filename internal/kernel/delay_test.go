@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func TestDelayOp(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	th := k.AddTask(task.Spec{Name: "sleepy", Period: 20 * vtime.Millisecond, Prog: task.Program{
+		task.Compute(vtime.Millisecond),
+		task.Delay(5 * vtime.Millisecond),
+		task.Compute(vtime.Millisecond),
+	}})
+	boot(t, k)
+	k.Run(60 * vtime.Millisecond)
+	if th.TCB.Completions != 3 {
+		t.Errorf("completions = %d", th.TCB.Completions)
+	}
+	// Response = 1 ms compute + 5 ms delay + 1 ms compute.
+	if th.TCB.MaxResp != 7*vtime.Millisecond {
+		t.Errorf("max resp = %v, want exactly 7 ms", th.TCB.MaxResp)
+	}
+}
+
+func TestDelayYieldsCPU(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	sleeper := k.AddTask(task.Spec{Name: "sleeper", Period: 20 * vtime.Millisecond, Prog: task.Program{
+		task.Delay(10 * vtime.Millisecond),
+	}})
+	worker := k.AddTask(task.Spec{Name: "worker", Period: 20 * vtime.Millisecond,
+		WCET: 8 * vtime.Millisecond})
+	boot(t, k)
+	k.Run(40 * vtime.Millisecond)
+	// The worker (later deadline? same period — tie by id; sleeper runs
+	// first, blocks immediately, worker gets the CPU during the delay.
+	if worker.TCB.MaxResp > 9*vtime.Millisecond {
+		t.Errorf("worker resp %v: delay did not yield the CPU", worker.TCB.MaxResp)
+	}
+	if sleeper.TCB.Misses != 0 {
+		t.Errorf("sleeper missed %d", sleeper.TCB.Misses)
+	}
+}
+
+// TestDelayHintSavesSwitch: a delay immediately preceding an acquire is
+// a §6.2 hint carrier — waking from the delay while the lock is held
+// performs PI without a context switch.
+func TestDelayHintSavesSwitch(t *testing.T) {
+	prof := costmodel.M68040()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewRM(prof), OptimizedSem: true})
+	sem := k.NewSemaphore("S")
+	d := task.Delay(2 * vtime.Millisecond)
+	d.Hint = sem // as the parser would insert
+	k.AddTask(task.Spec{Name: "T2", Period: 20 * vtime.Millisecond, Prog: task.Program{
+		d,
+		task.Acquire(sem),
+		task.Compute(100 * vtime.Microsecond),
+		task.Release(sem),
+	}})
+	k.AddTask(task.Spec{Name: "T1", Period: 20 * vtime.Millisecond, Phase: vtime.Millisecond, Prog: task.Program{
+		task.Acquire(sem),
+		task.Compute(4 * vtime.Millisecond), // holds S across T2's timeout
+		task.Release(sem),
+	}})
+	boot(t, k)
+	k.Run(100 * vtime.Millisecond)
+	if k.Stats().SavedSwitches == 0 {
+		t.Error("delay hint saved nothing")
+	}
+	if k.Stats().Misses != 0 {
+		t.Errorf("misses = %d", k.Stats().Misses)
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	th := k.AddTask(task.Spec{Name: "victim", Period: 10 * vtime.Millisecond,
+		WCET: 8 * vtime.Millisecond})
+	boot(t, k)
+	k.Engine().At(vtime.Time(2*vtime.Millisecond), "suspend", func() { k.Suspend(th) })
+	k.Engine().At(vtime.Time(35*vtime.Millisecond), "resume", func() { k.Resume(th) })
+	k.Run(100 * vtime.Millisecond)
+	if !th.Suspended() == false && th.Suspended() {
+		t.Error("still suspended")
+	}
+	// Releases at 10, 20, 30 fire while suspended; the resumed job is
+	// still finishing its 6 remaining ms at the release of 40: four
+	// overruns in total.
+	if k.Stats().Overruns != 4 {
+		t.Errorf("overruns = %d, want 4 lost releases", k.Stats().Overruns)
+	}
+	// After resume, the in-flight job finishes and later jobs run.
+	if th.TCB.Completions < 6 {
+		t.Errorf("completions = %d", th.TCB.Completions)
+	}
+	// Double suspend/resume are no-ops.
+	k.Suspend(th)
+	k.Suspend(th)
+	k.Resume(th)
+	k.Resume(th)
+}
+
+func TestSuspendAbsorbsWakeups(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	ev := k.NewEvent("E")
+	th := k.AddTask(task.Spec{Name: "waiter", Period: 50 * vtime.Millisecond, Prog: task.Program{
+		task.WaitEvent(ev),
+		task.Compute(vtime.Millisecond),
+	}})
+	boot(t, k)
+	k.Engine().At(vtime.Time(1*vtime.Millisecond), "suspend", func() { k.Suspend(th) })
+	k.Engine().At(vtime.Time(2*vtime.Millisecond), "signal", func() { k.SignalEventISR(ev) })
+	k.Engine().At(vtime.Time(10*vtime.Millisecond), "resume", func() { k.Resume(th) })
+	k.Run(40 * vtime.Millisecond)
+	// The signal landed during suspension; the thread must complete
+	// only after the resume, not at the signal.
+	if th.TCB.Completions != 1 {
+		t.Errorf("completions = %d", th.TCB.Completions)
+	}
+	if th.TCB.MaxResp < 10*vtime.Millisecond {
+		t.Errorf("resp = %v, woke during suspension", th.TCB.MaxResp)
+	}
+}

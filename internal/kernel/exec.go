@@ -1,0 +1,402 @@
+package kernel
+
+import (
+	"fmt"
+
+	"emeralds/internal/sim"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// Execution model
+//
+// The CPU executes one *segment* at a time: either a preemptible slice
+// of an OpCompute, or a non-preemptible kernel operation (system calls
+// run with a short critical section, as on the real hardware).
+// Asynchronous kernel work — timer releases, unblocks caused by other
+// threads, scheduler selections — is charged by *extending* the active
+// segment: the running thread loses exactly that much CPU, which is how
+// the paper's analysis accounts overhead too. When the CPU is idle the
+// charge accrues in idleDebt and delays the start of the next segment.
+
+type segKind uint8
+
+const (
+	segCompute segKind = iota
+	segKernelOp
+)
+
+type segment struct {
+	th          *Thread
+	kind        segKind
+	op          task.Op
+	startedAt   vtime.Time
+	pure        vtime.Duration // useful duration at start
+	injected    vtime.Duration // overhead injected since start
+	ev          *eventRef
+	preemptible bool
+}
+
+// eventRef lets a segment's completion event be re-armed (cancel and
+// re-schedule) with the same callback when overhead stretches it.
+type eventRef struct {
+	ev    *sim.Event
+	label string
+	fn    func()
+}
+
+// charge adds kernel overhead d: the active segment stretches by d; an
+// idle CPU accrues the debt against the next segment. bucket, when
+// non-nil, receives the amount for per-subsystem accounting.
+func (k *Kernel) charge(d vtime.Duration, bucket *vtime.Duration) {
+	if d < 0 {
+		panic("kernel: negative charge")
+	}
+	if bucket != nil {
+		*bucket += d
+	}
+	if d == 0 {
+		return
+	}
+	if k.seg != nil {
+		k.seg.injected += d
+		k.rearmSegment()
+		return
+	}
+	k.idleDebt += d
+}
+
+func (k *Kernel) rearmSegment() {
+	s := k.seg
+	k.eng.Cancel(s.ev.ev)
+	end := s.startedAt.Add(s.pure + s.injected)
+	s.ev.ev = k.eng.AtClass(end, sim.ClassCompletion, s.ev.label, s.ev.fn)
+}
+
+// startSegment begins executing `pure` of work for th, absorbing any
+// idle debt, and calls done when it completes.
+func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.Duration, preemptible bool, done func()) {
+	extra := k.idleDebt
+	k.idleDebt = 0
+	s := &segment{
+		th:          th,
+		kind:        kind,
+		op:          op,
+		startedAt:   k.eng.Now(),
+		pure:        pure,
+		injected:    extra,
+		preemptible: preemptible,
+	}
+	label := "seg:" + th.TCB.Name
+	fn := func() {
+		k.seg = nil
+		done()
+	}
+	s.ev = &eventRef{label: label, fn: fn}
+	s.ev.ev = k.eng.AtClass(s.startedAt.Add(pure+extra), sim.ClassCompletion, label, fn)
+	k.seg = s
+}
+
+// preemptSegment stops the active (preemptible) segment, saving the
+// remaining compute time into the thread's TCB. It reports whether the
+// boundary landed exactly on the thread's final op, completing its job.
+func (k *Kernel) preemptSegment() bool {
+	s := k.seg
+	if s == nil {
+		return false
+	}
+	if !s.preemptible {
+		panic("kernel: preempting non-preemptible segment")
+	}
+	now := k.eng.Now()
+	elapsed := now.Sub(s.startedAt)
+	useful := elapsed - s.injected
+	if useful < 0 {
+		// Overhead injected during the segment has not fully elapsed:
+		// the spill must still delay whoever runs next.
+		k.idleDebt += -useful
+		useful = 0
+	}
+	if useful > s.pure {
+		useful = s.pure
+	}
+	k.stats.UsefulCompute += useful
+	finished := false
+	if useful == s.pure {
+		// The preemption landed exactly on the op boundary (common
+		// with a zero-cost profile): the op is complete, not restarted.
+		s.th.TCB.OpRemaining = 0
+		s.th.TCB.PC++
+		finished = s.th.TCB.PC >= len(s.th.TCB.Spec.Prog)
+	} else {
+		s.th.TCB.OpRemaining = s.pure - useful
+	}
+	s.th.TCB.Preemptions++
+	k.stats.Preemptions++
+	k.eng.Cancel(s.ev.ev)
+	k.seg = nil
+	k.tr.Add(now, traceKindPreempt, s.th.TCB.Name, "")
+	return finished
+}
+
+// reschedule asks the policy for the best ready task and switches to it
+// if it differs from the running one. Non-preemptible segments defer
+// the switch to their completion.
+func (k *Kernel) reschedule() {
+	if k.seg != nil && !k.seg.preemptible {
+		k.reschedPending = true
+		return
+	}
+	k.reschedPending = false
+	next, ts := k.sch.Select()
+	k.charge(ts, &k.stats.SchedCharge)
+	var curTCB *task.TCB
+	if k.current != nil {
+		curTCB = k.current.TCB
+	}
+	if next == curTCB {
+		return
+	}
+	if k.seg != nil {
+		th := k.seg.th
+		if k.preemptSegment() {
+			// The boundary completed the job; completeJob records it at
+			// the true retire instant and runs its own reschedule.
+			k.completeJob(th)
+			return
+		}
+	}
+	if next == nil {
+		k.current = nil
+		k.tr.Add(k.eng.Now(), traceKindIdle, "-", "")
+		return
+	}
+	k.stats.ContextSwitches++
+	k.charge(k.prof.ContextSwitch, &k.stats.SwitchCharge)
+	k.current = k.byTCB[next]
+	k.tr.Add(k.eng.Now(), traceKindDispatch, next.Name, "")
+	k.continueThread(k.current)
+}
+
+// continueThread starts the thread's next op segment. The thread must
+// be current and Ready.
+func (k *Kernel) continueThread(th *Thread) {
+	tcb := th.TCB
+	prog := tcb.Spec.Prog
+	if tcb.PC >= len(prog) {
+		k.completeJob(th)
+		return
+	}
+	op := prog[tcb.PC]
+	if op.Kind == task.OpCompute {
+		pure := op.Dur
+		if tcb.OpRemaining > 0 {
+			pure = tcb.OpRemaining
+		}
+		k.startSegment(th, segCompute, op, pure, true, func() {
+			k.stats.UsefulCompute += pure
+			tcb.OpRemaining = 0
+			tcb.PC++
+			k.afterOp(th)
+		})
+		return
+	}
+	charge := k.opCharge(op)
+	k.startSegment(th, segKernelOp, op, charge, false, func() {
+		k.accountOp(op, charge)
+		k.performOp(th, op)
+		k.afterOp(th)
+	})
+}
+
+// afterOp runs after any op segment completes: honor deferred
+// reschedules, then continue the thread if it is still the one to run.
+func (k *Kernel) afterOp(th *Thread) {
+	if k.reschedPending {
+		k.reschedule()
+	}
+	if k.current == th && th.TCB.State == task.Ready && k.seg == nil {
+		k.continueThread(th)
+	}
+}
+
+// opCharge is the CPU cost of a kernel op's happy path; contention
+// costs (blocking, PI, wakeups) are charged where they occur.
+func (k *Kernel) opCharge(op task.Op) vtime.Duration {
+	p := k.prof
+	switch op.Kind {
+	case task.OpAcquire, task.OpRelease:
+		return p.Syscall + p.SemBookkeeping
+	case task.OpWaitEvent, task.OpSignalEvent,
+		task.OpCondWait, task.OpCondSignal, task.OpCondBroadcast:
+		return p.Syscall
+	case task.OpSend, task.OpRecv:
+		return p.Syscall + p.MailboxTransfer(op.Size)
+	case task.OpStateWrite, task.OpStateRead:
+		// State messages bypass the kernel entirely: a protected
+		// shared-memory write, no system call (§7).
+		return p.StateMsgTransfer(op.Size)
+	case task.OpLoad, task.OpStore:
+		return vtime.Duration(op.Size) * p.CopyPerByte
+	case task.OpIO:
+		c := p.Syscall
+		if d := k.device(op.Obj); d != nil {
+			c += d.IOCost()
+		}
+		return c
+	case task.OpBusSend:
+		return p.Syscall + vtime.Duration(op.Size)*p.CopyPerByte
+	case task.OpDelay:
+		return k.delayCharge()
+	default:
+		return 0
+	}
+}
+
+// accountOp books an op's base charge into the right stats bucket.
+func (k *Kernel) accountOp(op task.Op, c vtime.Duration) {
+	switch op.Kind {
+	case task.OpAcquire, task.OpRelease, task.OpWaitEvent, task.OpSignalEvent,
+		task.OpCondWait, task.OpCondSignal, task.OpCondBroadcast:
+		k.stats.SemCharge += c
+	case task.OpSend, task.OpRecv, task.OpStateWrite, task.OpStateRead, task.OpBusSend:
+		k.stats.IPCCharge += c
+	default:
+		k.stats.SyscallCharge += c
+	}
+}
+
+// performOp executes the op's semantic action at the end of its
+// segment. Handlers advance PC themselves on success and leave it in
+// place when the thread blocks at the op.
+func (k *Kernel) performOp(th *Thread, op task.Op) {
+	switch op.Kind {
+	case task.OpAcquire:
+		k.doAcquire(th, op)
+	case task.OpRelease:
+		k.doRelease(th, op)
+	case task.OpWaitEvent:
+		k.doWaitEvent(th, op)
+	case task.OpSignalEvent:
+		k.doSignalEvent(th, op)
+	case task.OpSend:
+		k.doSend(th, op)
+	case task.OpRecv:
+		k.doRecv(th, op)
+	case task.OpStateWrite:
+		k.doStateWrite(th, op)
+	case task.OpStateRead:
+		k.doStateRead(th, op)
+	case task.OpCondWait:
+		k.doCondWait(th, op)
+	case task.OpCondSignal:
+		k.doCondSignal(th, op, false)
+	case task.OpCondBroadcast:
+		k.doCondSignal(th, op, true)
+	case task.OpLoad, task.OpStore:
+		k.doMemOp(th, op)
+	case task.OpIO:
+		k.doIO(th, op)
+	case task.OpBusSend:
+		k.doBusSend(th, op)
+	case task.OpDelay:
+		k.doDelay(th, op)
+	default:
+		panic(fmt.Sprintf("kernel: unknown op %v", op))
+	}
+}
+
+// completeJob finishes the current job: record stats, detect deadline
+// misses, and block until the next release.
+func (k *Kernel) completeJob(th *Thread) {
+	if k.OnJobComplete != nil {
+		k.OnJobComplete(th)
+	}
+	tcb := th.TCB
+	now := k.eng.Now()
+	resp := now.Sub(tcb.ReleasedAt)
+	tcb.Completions++
+	tcb.TotalResp += resp
+	if resp > tcb.MaxResp {
+		tcb.MaxResp = resp
+	}
+	if th.respHist != nil {
+		th.respHist.Add(resp)
+	}
+	k.stats.Completions++
+	if now.After(tcb.AbsDeadline) {
+		tcb.Misses++
+		k.stats.Misses++
+		k.tr.Add(now, traceKindMiss, tcb.Name, "")
+	} else {
+		k.tr.Add(now, traceKindComplete, tcb.Name, "")
+	}
+	k.releaseAllHeld(th)
+	th.jobActive = false
+	tcb.PC = 0
+	tcb.OpRemaining = 0
+	tcb.PendingHint = task.NoHint
+	k.clearPreAcq(th)
+	tcb.State = task.Blocked
+	k.charge(k.sch.Block(tcb), &k.stats.SchedCharge)
+	k.reschedule()
+}
+
+// onRelease is the timer interrupt releasing a periodic job.
+func (k *Kernel) onRelease(th *Thread) {
+	th.nextRel = th.nextRel.Add(th.TCB.Spec.Period)
+	k.scheduleRelease(th)
+	k.charge(k.prof.TimerInterrupt, &k.stats.TimerCharge)
+	if th.suspended {
+		// Suspended tasks lose their releases (taskSuspend semantics);
+		// each lost job is an overrun and a guaranteed miss.
+		th.TCB.Misses++
+		k.stats.Overruns++
+		k.stats.Misses++
+		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "suspended")
+		return
+	}
+	if th.jobActive {
+		// Previous job still running: period overrun. The release is
+		// lost (the job in flight continues); its lateness is counted
+		// at completion.
+		th.TCB.Misses++ // the lost job can never meet its deadline
+		k.stats.Overruns++
+		k.stats.Misses++
+		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "")
+		return
+	}
+	k.startJob(th)
+}
+
+// ReleaseAperiodic releases one job of an aperiodic thread (Period 0).
+// Call it from an ISR or test harness; it is a no-op if a job is in
+// flight.
+func (k *Kernel) ReleaseAperiodic(th *Thread) {
+	if th.jobActive {
+		k.stats.Overruns++
+		return
+	}
+	k.startJob(th)
+}
+
+func (k *Kernel) startJob(th *Thread) {
+	tcb := th.TCB
+	now := k.eng.Now()
+	if th.beforeJob != nil {
+		tcb.Spec.Prog = th.beforeJob()
+	}
+	tcb.Releases++
+	k.stats.Releases++
+	tcb.ReleasedAt = now
+	tcb.AbsDeadline = now.Add(tcb.Spec.RelDeadline())
+	tcb.EffDeadline = tcb.AbsDeadline
+	tcb.PC = 0
+	tcb.OpRemaining = 0
+	tcb.PendingHint = task.NoHint
+	th.jobActive = true
+	tcb.State = task.Ready
+	k.charge(k.sch.Unblock(tcb), &k.stats.SchedCharge)
+	k.tr.Add(now, traceKindRelease, tcb.Name, "")
+	k.reschedule()
+}

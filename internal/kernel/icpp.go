@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"emeralds/internal/task"
+)
+
+// Immediate priority ceiling protocol (ICPP, also "highest locker" or
+// "priority protect" protocol) — the canonical uniprocessor locking
+// protocol the paper's §4 positions EMERALDS against. Each mutex gets
+// a static ceiling: the highest base priority of any task whose
+// program locks it; an acquiring task immediately runs at that ceiling
+// until release. On one processor this yields deadlock freedom and at
+// most one lower-priority critical section of blocking per job —
+// guarantees plain priority inheritance cannot give — in exchange for
+// a boost on every acquire, contended or not.
+//
+// Ceilings are computed at Boot by static scan of the task programs —
+// possible for exactly the reason the §6.2.1 parser works: semaphore
+// identifiers are statically defined in small-memory systems.
+//
+// The ceiling applies to the fixed-priority key (EffPrio). Dynamic-
+// priority (EDF) selection is deadline-driven; tasks in DP queues keep
+// plain priority inheritance for their deadlines.
+
+// computeCeilings derives each mutex's ceiling from the admitted task
+// programs (acquire ops and cond-wait mutex references).
+func (k *Kernel) computeCeilings() {
+	for _, th := range k.threads {
+		for _, op := range th.TCB.Spec.Prog {
+			var id int
+			switch op.Kind {
+			case task.OpAcquire:
+				id = op.Obj
+			case task.OpCondWait:
+				id = op.Hint
+			default:
+				continue
+			}
+			if id < 0 || id >= len(k.sems) {
+				continue
+			}
+			s := k.sems[id]
+			if !s.isMutex() {
+				continue
+			}
+			if th.TCB.BasePrio < s.ceiling {
+				s.ceiling = th.TCB.BasePrio
+			}
+		}
+	}
+}
+
+// applyCeiling boosts a new holder to the mutex's ceiling (no-op when
+// ICPP is off, the ceiling does not beat the holder's current
+// priority, or the semaphore is not a mutex).
+func (k *Kernel) applyCeiling(th *Thread, s *semaphore) {
+	if !k.icpp || s.ceiling >= th.TCB.EffPrio {
+		return
+	}
+	cost := k.sch.Restore(th.TCB, nil, s.ceiling, th.TCB.EffDeadline, false)
+	k.charge(cost, &k.stats.SemCharge)
+	k.tr.Add(k.eng.Now(), traceKindInherit, th.TCB.Name, "ceiling "+s.name)
+}
+
+// SemCeiling reports a semaphore's ICPP ceiling (tests).
+func (k *Kernel) SemCeiling(id int) int { return k.sem(id).ceiling }

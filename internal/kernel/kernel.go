@@ -1,0 +1,396 @@
+// Package kernel implements the EMERALDS microkernel executive on top
+// of the discrete-event simulator: threads executing task programs in
+// virtual time, preemptive scheduling through a pluggable policy
+// (package sched), the §6 semaphore implementation in both standard and
+// optimized forms, condition variables, events, mailbox and
+// state-message IPC, memory-protected processes, timers, interrupt
+// handling, and kernel support for user-level device drivers — the
+// full service set of Figure 1.
+//
+// Every kernel operation charges calibrated virtual time from the cost
+// model, so the overheads the paper measures on its 68040 target are
+// reproduced structurally: the same queue scans happen, and they cost
+// the same published per-element amounts.
+package kernel
+
+import (
+	"fmt"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/ipc"
+	"emeralds/internal/ksync"
+	"emeralds/internal/mem"
+	"emeralds/internal/sched"
+	"emeralds/internal/sim"
+	"emeralds/internal/stats"
+	"emeralds/internal/task"
+	"emeralds/internal/trace"
+	"emeralds/internal/vtime"
+)
+
+// Options configure a kernel instance.
+type Options struct {
+	// Profile is the cost model; nil means costmodel.M68040().
+	Profile *costmodel.Profile
+	// Scheduler is the scheduling policy. It may be left nil and bound
+	// later with SetScheduler — package core does this to choose a CSD
+	// partition from the admitted task set — but Boot fails if it is
+	// still nil.
+	Scheduler sched.Scheduler
+	// OptimizedSem enables the §6 EMERALDS semaphore scheme: the
+	// semaphore-hint context-switch elimination and the O(1)
+	// place-holder priority inheritance. When false the standard
+	// implementation of §6.1 is used.
+	OptimizedSem bool
+	// DisableHints ablates the §6.2 hint mechanism (context-switch
+	// elimination) while keeping the place-holder PI. Only meaningful
+	// with OptimizedSem; used by the ablation benchmarks.
+	DisableHints bool
+	// DisablePlaceholder ablates the O(1) place-holder priority
+	// inheritance (falling back to the O(n) reposition) while keeping
+	// the hint mechanism. Only meaningful with OptimizedSem.
+	DisablePlaceholder bool
+	// Trace, when non-nil, receives execution events.
+	Trace *trace.Log
+	// DeadlineMonotonic assigns fixed priorities by relative deadline
+	// instead of period (§5.3's alternative fixed-priority policy).
+	// With implicit deadlines the two coincide.
+	DeadlineMonotonic bool
+	// PriorityCeiling selects the immediate priority ceiling protocol
+	// for mutexes held by fixed-priority tasks, in place of plain
+	// priority inheritance: at Boot each semaphore's ceiling is derived
+	// from the programs that lock it, and acquiring a mutex immediately
+	// raises the holder to that ceiling. ICPP gives the classic
+	// guarantees PI lacks — deadlock freedom and at most one blocking
+	// critical section — at the cost of boosting on every acquire.
+	PriorityCeiling bool
+	// RecordResponses keeps a per-task latency histogram (log buckets,
+	// constant memory) so reports can show tail quantiles, not just
+	// avg/max. Off by default: even instrumentation respects the
+	// small-memory discipline.
+	RecordResponses bool
+	// RAMBudget, when positive, bounds the kernel's accounted dynamic
+	// memory (TCBs, stacks, queues, buffers) in bytes — §2's 32–128 KB
+	// on-chip constraint. Exceeding it makes object creation and Boot
+	// fail. 0 = unlimited (hosted simulation).
+	RAMBudget int
+	// Name labels the kernel (node name in distributed setups).
+	Name string
+}
+
+// Thread is a kernel thread: a TCB plus the kernel-private state the
+// semaphore and IPC layers need.
+type Thread struct {
+	TCB  *task.TCB
+	Proc int // address space id
+
+	holder     ksync.Holder
+	waitingSem *semaphore       // semaphore this thread is queued on, if any
+	preAcq     *semaphore       // §6.3.1 pre-acquire queue membership
+	reacquire  *semaphore       // mutex to re-take after a condvar wait
+	msgVal     int64            // last received mailbox/state value
+	respHist   *stats.Histogram // non-nil when Options.RecordResponses
+	jobActive  bool
+	suspended  bool
+	delayGen   uint64
+	beforeJob  func() task.Program // rebuilds the job body at release (polling server)
+	releaseLbl string
+	nextRel    vtime.Time
+	aperiodic  bool
+}
+
+// Name returns the thread's task name.
+func (t *Thread) Name() string { return t.TCB.Name }
+
+// LastMsg returns the value delivered by the thread's most recent
+// mailbox receive or state-message read.
+func (t *Thread) LastMsg() int64 { return t.msgVal }
+
+// Deliver hands the thread a value as if read from a device register;
+// device drivers use it to return input data to the calling thread.
+func (t *Thread) Deliver(val int64) { t.msgVal = val }
+
+// Responses returns the thread's latency histogram (nil unless
+// Options.RecordResponses was set).
+func (t *Thread) Responses() *stats.Histogram { return t.respHist }
+
+// Stats bundles kernel-wide accounting.
+type Stats struct {
+	ContextSwitches uint64
+	Preemptions     uint64
+	SavedSwitches   uint64 // context switches eliminated by the §6.2 scheme
+	HintPIs         uint64 // early priority inheritances at event E
+	Releases        uint64
+	Completions     uint64
+	Misses          uint64
+	Overruns        uint64
+	Faults          uint64
+	SemAcquires     uint64
+	SemContended    uint64
+	MsgsSent        uint64
+	MsgsDropped     uint64
+	StateWrites     uint64
+	StateReads      uint64
+	Interrupts      uint64
+
+	SchedCharge   vtime.Duration // t_b + t_u + t_s charges
+	SwitchCharge  vtime.Duration // context-switch charges
+	SemCharge     vtime.Duration // semaphore path charges (incl. PI)
+	IPCCharge     vtime.Duration // mailbox/state-message charges
+	TimerCharge   vtime.Duration // timer and interrupt entry charges
+	SyscallCharge vtime.Duration
+	UsefulCompute vtime.Duration
+}
+
+// TotalOverhead sums every non-compute charge.
+func (s Stats) TotalOverhead() vtime.Duration {
+	return s.SchedCharge + s.SwitchCharge + s.SemCharge + s.IPCCharge + s.TimerCharge + s.SyscallCharge
+}
+
+// Kernel is one EMERALDS node.
+type Kernel struct {
+	name     string
+	eng      *sim.Engine
+	prof     *costmodel.Profile
+	sch      sched.Scheduler
+	record   bool // per-task response histograms
+	optHints bool // §6.2 hint-based context-switch elimination
+	optPI    bool // §6.2 O(1) place-holder priority inheritance
+	dm       bool // deadline-monotonic fixed priorities
+	icpp     bool // immediate priority ceiling protocol
+	tr       *trace.Log
+
+	threads        []*Thread
+	byTCB          map[*task.TCB]*Thread
+	current        *Thread
+	seg            *segment
+	idleDebt       vtime.Duration
+	reschedPending bool
+	booted         bool
+
+	sems   []*semaphore
+	events []*kevent
+	cvs    []*condvar
+	mboxes []*kmailbox
+	states []*ipc.StateMessage
+	memsys *mem.System
+	devs   []Device
+	isrs   map[int]func(*Kernel)
+	ports  []BusPort
+
+	footprint *mem.Footprint
+	ram       *mem.RAM
+	ramErr    error
+	defProc   int
+	stats     Stats
+
+	// OnJobComplete, when set before Boot, is invoked at the instant a
+	// job's last op finishes, before any teardown charges — the
+	// measurement hook the §6.4 experiment harness uses to close its
+	// overhead window exactly at the end of the critical section.
+	OnJobComplete func(*Thread)
+}
+
+// Device is a user-level device driver (§3: "kernel support for
+// user-level device drivers"): the kernel charges IOCost of CPU time
+// for the driver call and then lets the driver act in the calling
+// thread's context.
+type Device interface {
+	Name() string
+	IOCost() vtime.Duration
+	Handle(k *Kernel, th *Thread)
+}
+
+// BusPort is a network interface attached to a fieldbus; OpBusSend ops
+// enqueue frames on it. Implementations live in package fieldbus.
+type BusPort interface {
+	Name() string
+	Send(val int64, size int)
+}
+
+// New creates a kernel on the given engine (a fresh engine when nil —
+// distributed setups share one engine across kernels).
+func New(eng *sim.Engine, opts Options) (*Kernel, error) {
+	if eng == nil {
+		eng = sim.New()
+	}
+	prof := opts.Profile
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	name := opts.Name
+	if name == "" {
+		name = "node0"
+	}
+	k := &Kernel{
+		name:      name,
+		eng:       eng,
+		prof:      prof,
+		sch:       opts.Scheduler,
+		optHints:  opts.OptimizedSem && !opts.DisableHints,
+		optPI:     opts.OptimizedSem && !opts.DisablePlaceholder,
+		dm:        opts.DeadlineMonotonic,
+		icpp:      opts.PriorityCeiling,
+		record:    opts.RecordResponses,
+		tr:        opts.Trace,
+		byTCB:     map[*task.TCB]*Thread{},
+		isrs:      map[int]func(*Kernel){},
+		memsys:    mem.NewSystem(),
+		footprint: mem.NewFootprint(),
+		ram:       mem.NewRAM(opts.RAMBudget),
+	}
+	k.memsys.NewSpace() // space 0: kernel
+	return k, nil
+}
+
+// Engine returns the underlying discrete-event engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() vtime.Time { return k.eng.Now() }
+
+// Name reports the node name.
+func (k *Kernel) Name() string { return k.name }
+
+// Profile returns the cost model in effect.
+func (k *Kernel) Profile() *costmodel.Profile { return k.prof }
+
+// Scheduler returns the scheduling policy in effect.
+func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
+
+// Stats returns a snapshot of kernel-wide accounting.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Trace returns the trace log (nil if tracing is off).
+func (k *Kernel) Trace() *trace.Log { return k.tr }
+
+// Memory returns the node's memory system.
+func (k *Kernel) Memory() *mem.System { return k.memsys }
+
+// Footprint returns the static kernel-size accounting.
+func (k *Kernel) Footprint() *mem.Footprint { return k.footprint }
+
+// RAM returns the dynamic-memory accountant.
+func (k *Kernel) RAM() *mem.RAM { return k.ram }
+
+// chargeRAM records an allocation; the first budget violation is
+// latched and surfaced by Boot.
+func (k *Kernel) chargeRAM(kind string, bytes int) {
+	if err := k.ram.Charge(kind, bytes); err != nil && k.ramErr == nil {
+		k.ramErr = err
+	}
+}
+
+// Threads returns all threads on the node.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// Current returns the running thread (nil when idle).
+func (k *Kernel) Current() *Thread { return k.current }
+
+// NewProcess creates an address space and returns its id.
+func (k *Kernel) NewProcess() int { return k.memsys.NewSpace() }
+
+// AddTask creates a periodic (or, with Period 0, aperiodic) thread in
+// the default application process (created on first use; space 0 is
+// the kernel's).
+func (k *Kernel) AddTask(spec task.Spec) *Thread {
+	if k.defProc == 0 {
+		k.defProc = k.memsys.NewSpace()
+	}
+	return k.AddTaskIn(k.defProc, spec)
+}
+
+// AddTaskIn creates a thread in the given process.
+func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
+	if k.booted {
+		panic("kernel: AddTask after Boot")
+	}
+	if spec.Prog == nil && spec.WCET > 0 {
+		spec.Prog = task.Program{task.Compute(spec.WCET)}
+	}
+	tcb := task.New(len(k.threads), spec)
+	tcb.State = task.Blocked
+	th := &Thread{
+		TCB:        tcb,
+		Proc:       proc,
+		releaseLbl: "release:" + tcb.Name,
+		aperiodic:  spec.Period == 0,
+	}
+	if k.record {
+		th.respHist = &stats.Histogram{}
+		k.chargeRAM("histogram", 8*181) // the fixed bucket array
+	}
+	k.chargeRAM("tcb", mem.RAMPerTCB)
+	k.chargeRAM("stack", mem.RAMPerStack)
+	k.threads = append(k.threads, th)
+	k.byTCB[tcb] = th
+	return th
+}
+
+// SetScheduler binds the scheduling policy before Boot.
+func (k *Kernel) SetScheduler(s sched.Scheduler) {
+	if k.booted {
+		panic("kernel: SetScheduler after Boot")
+	}
+	k.sch = s
+}
+
+// Boot assigns priorities, admits every thread to the scheduler and
+// schedules the first periodic releases. For a CSD scheduler the queue
+// partition in the scheduler is applied to the RM-sorted TCBs —
+// package core chooses it automatically.
+func (k *Kernel) Boot() error {
+	if k.booted {
+		return fmt.Errorf("kernel: already booted")
+	}
+	if k.sch == nil {
+		return fmt.Errorf("kernel: no scheduler bound")
+	}
+	if k.ramErr != nil {
+		k.booted = false
+		return k.ramErr
+	}
+	k.booted = true
+	tcbs := make([]*task.TCB, len(k.threads))
+	for i, th := range k.threads {
+		tcbs[i] = th.TCB
+	}
+	var sorted []*task.TCB
+	if k.dm {
+		sorted = sched.AssignDMPriorities(tcbs)
+	} else {
+		sorted = sched.AssignRMPriorities(tcbs)
+	}
+	if csd, ok := k.sch.(*sched.CSD); ok {
+		if err := csd.Partition().Apply(sorted); err != nil {
+			return err
+		}
+	}
+	for _, th := range k.threads {
+		th.TCB.EffPrio = th.TCB.BasePrio
+	}
+	if k.icpp {
+		k.computeCeilings()
+	}
+	k.sch.Admit(sorted)
+	for _, th := range k.threads {
+		if !th.aperiodic {
+			th.nextRel = vtime.Time(0).Add(th.TCB.Spec.Phase)
+			k.scheduleRelease(th)
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) scheduleRelease(th *Thread) {
+	at := th.nextRel
+	k.eng.At(at, th.releaseLbl, func() { k.onRelease(th) })
+}
+
+// Run advances the simulation by d of virtual time.
+func (k *Kernel) Run(d vtime.Duration) {
+	k.eng.RunUntil(k.eng.Now().Add(d))
+}
+
+// RunUntil advances the simulation to instant t.
+func (k *Kernel) RunUntil(t vtime.Time) { k.eng.RunUntil(t) }

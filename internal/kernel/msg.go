@@ -1,0 +1,337 @@
+package kernel
+
+import (
+	"fmt"
+
+	"emeralds/internal/ipc"
+	"emeralds/internal/ksync"
+	"emeralds/internal/mem"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// This file implements the intra-node IPC services of Figure 1 —
+// mailboxes (blocking, copying) and the state messages of §7 (wait-free
+// shared state) — plus the memory-protected load/store path, device
+// driver calls, interrupts, and the fieldbus attachment points used by
+// the distributed examples.
+
+type kmailbox struct {
+	box   *ipc.Mailbox
+	sendq ksync.WaitQueue
+	recvq ksync.WaitQueue
+}
+
+// NewMailbox creates a mailbox with the given capacity and returns its
+// id.
+func (k *Kernel) NewMailbox(name string, capacity int) int {
+	if name == "" {
+		name = fmt.Sprintf("mbox%d", len(k.mboxes))
+	}
+	mb := &kmailbox{box: ipc.NewMailbox(len(k.mboxes), name, capacity)}
+	k.chargeRAM("mailbox", mem.RAMPerMailbox+mb.box.Cap()*mem.RAMPerMsgSlot)
+	k.mboxes = append(k.mboxes, mb)
+	return mb.box.ID
+}
+
+func (k *Kernel) mbox(id int) *kmailbox {
+	if id < 0 || id >= len(k.mboxes) {
+		panic(fmt.Sprintf("kernel: no mailbox %d", id))
+	}
+	return k.mboxes[id]
+}
+
+// MailboxLen reports the number of queued messages (tests).
+func (k *Kernel) MailboxLen(id int) int { return k.mbox(id).box.Len() }
+
+func (k *Kernel) doSend(th *Thread, op task.Op) {
+	mb := k.mbox(op.Obj)
+	if mb.box.Full() {
+		// Block the sender; its send completes when space frees up.
+		th.TCB.PendingHint = op.Hint
+		mb.sendq.Add(th.TCB)
+		th.TCB.State = task.Blocked
+		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+		k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, mb.box.Name+" full")
+		k.reschedule()
+		return
+	}
+	mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size})
+	k.stats.MsgsSent++
+	th.TCB.PC++
+	k.tr.Add(k.eng.Now(), traceKindMsgSend, th.TCB.Name, mb.box.Name)
+	if k.pumpMailbox(mb) {
+		k.reschedule()
+	}
+}
+
+func (k *Kernel) doRecv(th *Thread, op task.Op) {
+	mb := k.mbox(op.Obj)
+	if mb.box.Empty() {
+		th.TCB.PendingHint = op.Hint
+		mb.recvq.Add(th.TCB)
+		th.TCB.State = task.Blocked
+		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+		k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, mb.box.Name+" empty")
+		k.reschedule()
+		return
+	}
+	msg := mb.box.Pop()
+	th.msgVal = msg.Val
+	th.TCB.PC++
+	k.tr.Add(k.eng.Now(), traceKindMsgRecv, th.TCB.Name, mb.box.Name)
+	if k.completePendingSends(mb) {
+		k.reschedule()
+	}
+}
+
+// pumpMailbox delivers queued messages to blocked receivers, reporting
+// whether any thread became ready.
+func (k *Kernel) pumpMailbox(mb *kmailbox) bool {
+	woke := false
+	for !mb.box.Empty() && mb.recvq.Len() > 0 {
+		wTCB := mb.recvq.PopHighest()
+		w := k.byTCB[wTCB]
+		msg := mb.box.Pop()
+		w.msgVal = msg.Val
+		// Charge the receiver-side copy now that the data moves.
+		k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
+		wTCB.PC++ // past the recv op
+		k.tr.Add(k.eng.Now(), traceKindMsgRecv, wTCB.Name, mb.box.Name)
+		if k.wakeup(w) {
+			woke = true
+		}
+	}
+	if k.completePendingSends(mb) {
+		woke = true
+	}
+	return woke
+}
+
+// completePendingSends finishes blocked sends while space is available,
+// reporting whether any thread became ready.
+func (k *Kernel) completePendingSends(mb *kmailbox) bool {
+	woke := false
+	for !mb.box.Full() && mb.sendq.Len() > 0 {
+		sTCB := mb.sendq.PopHighest()
+		s := k.byTCB[sTCB]
+		prog := sTCB.Spec.Prog
+		if sTCB.PC < len(prog) && prog[sTCB.PC].Kind == task.OpSend {
+			op := prog[sTCB.PC]
+			mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size})
+			k.stats.MsgsSent++
+			k.charge(k.prof.MailboxTransfer(op.Size), &k.stats.IPCCharge)
+			sTCB.PC++
+			k.tr.Add(k.eng.Now(), traceKindMsgSend, sTCB.Name, mb.box.Name)
+		}
+		if k.wakeup(s) {
+			woke = true
+		}
+		// Newly pushed data may satisfy a blocked receiver in turn.
+		for !mb.box.Empty() && mb.recvq.Len() > 0 {
+			wTCB := mb.recvq.PopHighest()
+			w := k.byTCB[wTCB]
+			msg := mb.box.Pop()
+			w.msgVal = msg.Val
+			k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
+			wTCB.PC++
+			if k.wakeup(w) {
+				woke = true
+			}
+		}
+	}
+	return woke
+}
+
+// InjectMessage deposits a message into a mailbox from interrupt
+// context (fieldbus reception, device input). A full mailbox drops the
+// message — fieldbus data is periodic state, so the next sample
+// supersedes it. Reports whether it was delivered.
+func (k *Kernel) InjectMessage(id int, val int64, size int) bool {
+	k.stats.Interrupts++
+	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
+	mb := k.mbox(id)
+	if mb.box.Full() {
+		k.stats.MsgsDropped++
+		k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", mb.box.Name+" drop")
+		return false
+	}
+	mb.box.Push(ipc.Msg{Val: val, Size: size})
+	k.stats.MsgsSent++
+	k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", mb.box.Name)
+	if k.pumpMailbox(mb) {
+		k.reschedule()
+	}
+	return true
+}
+
+// --- state messages (§7) ---------------------------------------------
+
+// NewStateMessage creates a state message with the given version-buffer
+// depth and payload size, returning its id.
+func (k *Kernel) NewStateMessage(name string, depth, size int) int {
+	if name == "" {
+		name = fmt.Sprintf("state%d", len(k.states))
+	}
+	sm := ipc.NewStateMessage(len(k.states), name, depth, size)
+	k.chargeRAM("statemsg", mem.RAMPerStateHdr+sm.Depth()*sm.Size())
+	k.states = append(k.states, sm)
+	return sm.ID
+}
+
+func (k *Kernel) state(id int) *ipc.StateMessage {
+	if id < 0 || id >= len(k.states) {
+		panic(fmt.Sprintf("kernel: no state message %d", id))
+	}
+	return k.states[id]
+}
+
+// StateValue reads a state message outside the simulation (tests,
+// examples' final reports).
+func (k *Kernel) StateValue(id int) (int64, bool) { return k.state(id).Read() }
+
+func (k *Kernel) doStateWrite(th *Thread, op task.Op) {
+	sm := k.state(op.Obj)
+	sm.Write(op.Val)
+	k.stats.StateWrites++
+	th.TCB.PC++
+	k.tr.Add(k.eng.Now(), traceKindStateWrite, th.TCB.Name, sm.Name)
+}
+
+func (k *Kernel) doStateRead(th *Thread, op task.Op) {
+	sm := k.state(op.Obj)
+	if v, ok := sm.Read(); ok {
+		th.msgVal = v
+	}
+	k.stats.StateReads++
+	th.TCB.PC++
+	k.tr.Add(k.eng.Now(), traceKindStateRead, th.TCB.Name, sm.Name)
+}
+
+// StateWriteISR publishes a state-message value from interrupt context
+// (sensor ISRs in the examples).
+func (k *Kernel) StateWriteISR(id int, val int64) {
+	k.charge(k.prof.StateMsgTransfer(k.state(id).Size()), &k.stats.IPCCharge)
+	k.state(id).Write(val)
+	k.stats.StateWrites++
+	k.tr.Add(k.eng.Now(), traceKindStateWrite, "isr", k.state(id).Name)
+}
+
+// --- memory-protected access -----------------------------------------
+
+func (k *Kernel) doMemOp(th *Thread, op task.Op) {
+	var err error
+	if op.Kind == task.OpLoad {
+		var v int64
+		v, err = k.memsys.Load(th.Proc, op.Obj, op.Off, op.Size)
+		if err == nil {
+			th.msgVal = v
+		}
+	} else {
+		err = k.memsys.Store(th.Proc, op.Obj, op.Off, op.Val, op.Size)
+	}
+	if err != nil {
+		// Protection fault: the job is killed, full memory protection
+		// being the point of multi-threaded processes (§3).
+		k.stats.Faults++
+		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, err.Error())
+		k.killJob(th)
+		return
+	}
+	th.TCB.PC++
+}
+
+// killJob aborts the running job; the thread blocks until its next
+// release.
+func (k *Kernel) killJob(th *Thread) {
+	k.releaseAllHeld(th)
+	th.jobActive = false
+	th.TCB.PC = 0
+	th.TCB.OpRemaining = 0
+	th.TCB.PendingHint = task.NoHint
+	k.clearPreAcq(th)
+	th.TCB.State = task.Blocked
+	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.reschedule()
+}
+
+// --- devices, interrupts, fieldbus ------------------------------------
+
+// RegisterDevice attaches a user-level device driver, returning the id
+// used by task.IO ops.
+func (k *Kernel) RegisterDevice(d Device) int {
+	k.devs = append(k.devs, d)
+	return len(k.devs) - 1
+}
+
+func (k *Kernel) device(id int) Device {
+	if id < 0 || id >= len(k.devs) {
+		return nil
+	}
+	return k.devs[id]
+}
+
+func (k *Kernel) doIO(th *Thread, op task.Op) {
+	d := k.device(op.Obj)
+	if d == nil {
+		k.stats.Faults++
+		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no device %d", op.Obj))
+		th.TCB.PC++
+		return
+	}
+	th.TCB.PC++
+	d.Handle(k, th)
+}
+
+// BindISR installs a handler for an interrupt vector.
+func (k *Kernel) BindISR(vector int, handler func(*Kernel)) {
+	k.isrs[vector] = handler
+}
+
+// Raise dispatches an interrupt immediately.
+func (k *Kernel) Raise(vector int) {
+	k.stats.Interrupts++
+	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
+	k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", fmt.Sprintf("vector %d", vector))
+	if h := k.isrs[vector]; h != nil {
+		h(k)
+	}
+}
+
+// RaiseAfter schedules an interrupt d from now.
+func (k *Kernel) RaiseAfter(d vtime.Duration, vector int) {
+	k.eng.After(d, fmt.Sprintf("irq%d", vector), func() { k.Raise(vector) })
+}
+
+// RegisterBusPort attaches a fieldbus interface, returning the id used
+// by task.BusSend ops.
+func (k *Kernel) RegisterBusPort(p BusPort) int {
+	k.ports = append(k.ports, p)
+	return len(k.ports) - 1
+}
+
+func (k *Kernel) doBusSend(th *Thread, op task.Op) {
+	if op.Obj < 0 || op.Obj >= len(k.ports) {
+		k.stats.Faults++
+		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no bus port %d", op.Obj))
+		th.TCB.PC++
+		return
+	}
+	k.ports[op.Obj].Send(op.Val, op.Size)
+	th.TCB.PC++
+	k.tr.Add(k.eng.Now(), traceKindMsgSend, th.TCB.Name, k.ports[op.Obj].Name())
+}
+
+// SetAlarm arms a one-shot software timer (Figure 1's "timers / clock
+// services"): after d of virtual time the kernel signals the given
+// event from interrupt context. Returns immediately; the alarm fires
+// even if nobody waits yet (the event latches).
+func (k *Kernel) SetAlarm(d vtime.Duration, eventID int) {
+	k.event(eventID) // validate now, not at fire time
+	k.eng.After(d, "alarm", func() {
+		k.stats.Interrupts++
+		k.charge(k.prof.TimerInterrupt, &k.stats.TimerCharge)
+		k.signalEvent(eventID, "alarm")
+		k.reschedule()
+	})
+}

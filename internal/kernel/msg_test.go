@@ -1,0 +1,348 @@
+package kernel
+
+import (
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/mem"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func TestMailboxProducerConsumer(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("q", 4)
+	cons := k.AddTask(task.Spec{Name: "cons", Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.Recv(mb), task.Compute(100 * vtime.Microsecond)}})
+	k.AddTask(task.Spec{Name: "prod", Period: 10 * vtime.Millisecond, Phase: 2 * vtime.Millisecond,
+		Prog: task.Program{task.Compute(100 * vtime.Microsecond), task.Send(mb, 77, 8)}})
+	boot(t, k)
+	k.Run(100 * vtime.Millisecond)
+	if cons.TCB.Completions < 9 {
+		t.Errorf("consumer completed %d jobs", cons.TCB.Completions)
+	}
+	if cons.LastMsg() != 77 {
+		t.Errorf("last msg = %d", cons.LastMsg())
+	}
+	if k.Stats().MsgsSent < 9 {
+		t.Errorf("sent = %d", k.Stats().MsgsSent)
+	}
+}
+
+func TestMailboxReceiverGetsQueuedDataWithoutBlocking(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("q", 4)
+	k.AddTask(task.Spec{Name: "prod", Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.Send(mb, 5, 8)}})
+	cons := k.AddTask(task.Spec{Name: "cons", Period: 10 * vtime.Millisecond, Phase: vtime.Millisecond,
+		Prog: task.Program{task.Recv(mb)}})
+	boot(t, k)
+	k.Run(50 * vtime.Millisecond)
+	if cons.TCB.Completions < 4 {
+		t.Errorf("consumer completions = %d", cons.TCB.Completions)
+	}
+	if k.MailboxLen(mb) > 1 {
+		t.Errorf("mailbox backlog = %d", k.MailboxLen(mb))
+	}
+}
+
+func TestMailboxFullBlocksSender(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("q", 1)
+	// Sender tries to push 3 messages per job into a 1-slot mailbox.
+	snd := k.AddTask(task.Spec{Name: "snd", Period: 20 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Send(mb, 1, 8),
+			task.Send(mb, 2, 8),
+			task.Send(mb, 3, 8),
+		}})
+	rcv := k.AddTask(task.Spec{Name: "rcv", Period: 20 * vtime.Millisecond, Phase: vtime.Millisecond,
+		Prog: task.Program{
+			task.Recv(mb),
+			task.Compute(100 * vtime.Microsecond),
+			task.Recv(mb),
+			task.Compute(100 * vtime.Microsecond),
+			task.Recv(mb),
+		}})
+	boot(t, k)
+	k.Run(100 * vtime.Millisecond)
+	if snd.TCB.Completions < 4 || rcv.TCB.Completions < 4 {
+		t.Errorf("completions: snd=%d rcv=%d", snd.TCB.Completions, rcv.TCB.Completions)
+	}
+	if rcv.LastMsg() != 3 {
+		t.Errorf("last received = %d, want in-order delivery", rcv.LastMsg())
+	}
+}
+
+func TestInjectMessageFromISR(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("rx", 2)
+	cons := k.AddTask(task.Spec{Name: "cons", Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.Recv(mb)}})
+	boot(t, k)
+	for i := 0; i < 5; i++ {
+		v := int64(i)
+		k.Engine().At(vtime.Time(vtime.Duration(i*10+2)*vtime.Millisecond), "rx", func() {
+			k.InjectMessage(mb, v, 8)
+		})
+	}
+	k.Run(60 * vtime.Millisecond)
+	if cons.TCB.Completions != 5 {
+		t.Errorf("completions = %d", cons.TCB.Completions)
+	}
+	if cons.LastMsg() != 4 {
+		t.Errorf("last = %d", cons.LastMsg())
+	}
+}
+
+func TestInjectMessageDropsWhenFull(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("rx", 1)
+	boot(t, k)
+	ok1 := k.InjectMessage(mb, 1, 8)
+	ok2 := k.InjectMessage(mb, 2, 8)
+	if !ok1 || ok2 {
+		t.Errorf("inject results: %v %v", ok1, ok2)
+	}
+	if k.Stats().MsgsDropped != 1 {
+		t.Errorf("dropped = %d", k.Stats().MsgsDropped)
+	}
+}
+
+func TestStateMessageFreshnessAcrossTasks(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	sm := k.NewStateMessage("rpm", 3, 8)
+	reader := k.AddTask(task.Spec{Name: "r", Period: 10 * vtime.Millisecond, Phase: vtime.Millisecond,
+		Prog: task.Program{task.StateRead(sm)}})
+	k.AddTask(task.Spec{Name: "w", Period: 5 * vtime.Millisecond,
+		Prog: task.Program{task.StateWrite(sm, 123, 8)}})
+	boot(t, k)
+	k.Run(50 * vtime.Millisecond)
+	if reader.LastMsg() != 123 {
+		t.Errorf("read %d", reader.LastMsg())
+	}
+	st := k.Stats()
+	if st.StateWrites < 10 || st.StateReads < 5 {
+		t.Errorf("writes=%d reads=%d", st.StateWrites, st.StateReads)
+	}
+	if v, ok := k.StateValue(sm); !ok || v != 123 {
+		t.Errorf("StateValue = %d/%v", v, ok)
+	}
+}
+
+func TestStateMessageNeverBlocksOrSwitches(t *testing.T) {
+	// A pure state-message workload on one task must run with zero
+	// semaphore activity and no context switches beyond dispatches.
+	prof := costmodel.M68040()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	sm := k.NewStateMessage("s", 3, 8)
+	k.AddTask(task.Spec{Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.StateWrite(sm, 1, 8), task.StateRead(sm)}})
+	boot(t, k)
+	k.Run(100 * vtime.Millisecond)
+	st := k.Stats()
+	if st.SemContended != 0 || st.SemCharge != 0 {
+		t.Errorf("state messages touched the semaphore path: %v", st.SemCharge)
+	}
+	if st.SyscallCharge != 0 {
+		t.Errorf("state messages made system calls: %v", st.SyscallCharge)
+	}
+}
+
+func TestStateWriteISR(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	sm := k.NewStateMessage("s", 3, 8)
+	boot(t, k)
+	k.StateWriteISR(sm, 999)
+	if v, ok := k.StateValue(sm); !ok || v != 999 {
+		t.Errorf("value = %d/%v", v, ok)
+	}
+}
+
+func TestMemoryProtectionFaultKillsJob(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	region := k.Memory().NewRegion("priv", 16)
+	victim := k.AddTask(task.Spec{Name: "victim", Period: 10 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Load(region.ID, 0, 8), // not mapped into the task's space
+			task.Compute(vtime.Millisecond),
+		}})
+	healthy := k.AddTask(task.Spec{Name: "healthy", Period: 10 * vtime.Millisecond,
+		WCET: vtime.Millisecond})
+	boot(t, k)
+	k.Run(50 * vtime.Millisecond)
+	if k.Stats().Faults == 0 {
+		t.Fatal("no fault recorded")
+	}
+	if victim.TCB.Completions != 0 {
+		t.Errorf("victim completed %d jobs past a fault", victim.TCB.Completions)
+	}
+	if healthy.TCB.Completions < 4 {
+		t.Errorf("healthy task starved: %d", healthy.TCB.Completions)
+	}
+}
+
+func TestMemoryMappedAccessWorks(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	region := k.Memory().NewRegion("shared", 16)
+	th := k.AddTask(task.Spec{Name: "rw", Period: 10 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Store(region.ID, 0, 4242),
+			task.Load(region.ID, 0, 8),
+		}})
+	if err := k.Memory().Map(th.Proc, region.ID, mem.ReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	boot(t, k)
+	k.Run(15 * vtime.Millisecond)
+	if th.LastMsg() != 4242 {
+		t.Errorf("loaded %d", th.LastMsg())
+	}
+	if k.Stats().Faults != 0 {
+		t.Errorf("faults = %d", k.Stats().Faults)
+	}
+}
+
+type fakeDevice struct {
+	name  string
+	calls int
+	val   int64
+}
+
+func (d *fakeDevice) Name() string           { return d.name }
+func (d *fakeDevice) IOCost() vtime.Duration { return vtime.Micros(5) }
+func (d *fakeDevice) Handle(k *Kernel, th *Thread) {
+	d.calls++
+	th.Deliver(d.val)
+}
+
+func TestDeviceIO(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	dev := &fakeDevice{name: "adc", val: 321}
+	id := k.RegisterDevice(dev)
+	th := k.AddTask(task.Spec{Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.IO(id)}})
+	boot(t, k)
+	k.Run(35 * vtime.Millisecond)
+	if dev.calls != 4 {
+		t.Errorf("driver calls = %d", dev.calls)
+	}
+	if th.LastMsg() != 321 {
+		t.Errorf("delivered = %d", th.LastMsg())
+	}
+}
+
+func TestIOOnMissingDeviceIsFault(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	k.AddTask(task.Spec{Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.IO(9), task.Compute(vtime.Millisecond)}})
+	boot(t, k)
+	k.Run(15 * vtime.Millisecond)
+	if k.Stats().Faults == 0 {
+		t.Error("missing device not flagged")
+	}
+}
+
+func TestISRSignalsEvent(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	ev := k.NewEvent("irq-ev")
+	th := k.AddTask(task.Spec{Name: "handler-task", Period: 20 * vtime.Millisecond,
+		Prog: task.Program{task.WaitEvent(ev), task.Compute(vtime.Millisecond)}})
+	k.BindISR(3, func(k *Kernel) { k.SignalEventISR(ev) })
+	boot(t, k)
+	k.RaiseAfter(5*vtime.Millisecond, 3)
+	k.RaiseAfter(25*vtime.Millisecond, 3)
+	k.Run(45 * vtime.Millisecond)
+	if th.TCB.Completions != 2 {
+		t.Errorf("completions = %d", th.TCB.Completions)
+	}
+	if k.Stats().Interrupts != 2 {
+		t.Errorf("interrupts = %d", k.Stats().Interrupts)
+	}
+}
+
+func TestUnboundInterruptIsHarmless(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	boot(t, k)
+	k.Raise(42) // no handler bound: counted, no crash
+	if k.Stats().Interrupts != 1 {
+		t.Errorf("interrupts = %d", k.Stats().Interrupts)
+	}
+}
+
+func TestBusSendWithoutPortIsFault(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	k.AddTask(task.Spec{Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.BusSend(0, 1, 4), task.Compute(vtime.Millisecond)}})
+	boot(t, k)
+	k.Run(15 * vtime.Millisecond)
+	if k.Stats().Faults == 0 {
+		t.Error("missing bus port not flagged")
+	}
+}
+
+type recordPort struct {
+	name string
+	vals []int64
+}
+
+func (p *recordPort) Name() string             { return p.name }
+func (p *recordPort) Send(val int64, size int) { p.vals = append(p.vals, val) }
+
+func TestBusSendReachesPort(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	port := &recordPort{name: "tx"}
+	id := k.RegisterBusPort(port)
+	k.AddTask(task.Spec{Period: 10 * vtime.Millisecond,
+		Prog: task.Program{task.BusSend(id, 55, 4)}})
+	boot(t, k)
+	k.Run(25 * vtime.Millisecond)
+	if len(port.vals) != 3 || port.vals[0] != 55 {
+		t.Errorf("port got %v", port.vals)
+	}
+}
+
+func TestSetAlarm(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	ev := k.NewEvent("alarm-ev")
+	sleeper := k.AddTask(task.Spec{Name: "sleeper", Period: 50 * vtime.Millisecond,
+		Prog: task.Program{task.WaitEvent(ev), task.Compute(vtime.Millisecond)}})
+	boot(t, k)
+	k.SetAlarm(5*vtime.Millisecond, ev)
+	k.Run(10 * vtime.Millisecond)
+	if sleeper.TCB.Completions != 1 {
+		t.Errorf("completions = %d", sleeper.TCB.Completions)
+	}
+	if sleeper.TCB.MaxResp < 5*vtime.Millisecond || sleeper.TCB.MaxResp > 7*vtime.Millisecond {
+		t.Errorf("response = %v, want ≈ alarm delay", sleeper.TCB.MaxResp)
+	}
+}
+
+func TestSetAlarmInvalidEventPanics(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	boot(t, k)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	k.SetAlarm(vtime.Millisecond, 7)
+}

@@ -1,0 +1,139 @@
+package kernel
+
+import (
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// PollingServer provides bounded-latency service for aperiodic requests
+// — the workload §5 uses to motivate priority-driven scheduling over
+// cyclic executives ("high-priority aperiodic tasks receive poor
+// response-time because their arrival times cannot be anticipated
+// off-line"). The server is an ordinary periodic task (so CSD/RM/EDF
+// schedule it like any other), with a per-period execution budget; at
+// each release it serves queued requests FIFO until the budget or the
+// queue runs out. Requests arriving mid-period wait for the next
+// release — classic polling-server semantics, whose worst-case response
+// for a request of length c is (2 − 0)·P plus the service time when
+// c ≤ budget.
+type PollingServer struct {
+	k      *Kernel
+	th     *Thread
+	devID  int
+	budget vtime.Duration
+
+	queue    []apJob
+	finishes []vtime.Time // arrival stamps of jobs completing this period, in program order
+
+	// Stats.
+	Submitted uint64
+	Served    uint64
+	Rejected  uint64
+	TotalResp vtime.Duration
+	MaxResp   vtime.Duration
+}
+
+type apJob struct {
+	remaining vtime.Duration
+	arrived   vtime.Time
+}
+
+// maxServerQueue bounds the request queue; a small-memory kernel
+// rejects rather than grows without bound.
+const maxServerQueue = 32
+
+// NewPollingServer creates a polling server with the given period and
+// per-period budget. Call before Boot.
+func (k *Kernel) NewPollingServer(name string, period, budget vtime.Duration) *PollingServer {
+	if budget > period {
+		budget = period
+	}
+	ps := &PollingServer{k: k, budget: budget}
+	ps.devID = k.RegisterDevice(ps)
+	ps.th = k.AddTask(task.Spec{
+		Name:   name,
+		Period: period,
+		// WCET for admission analysis: the full budget.
+		WCET: budget,
+		Prog: task.Program{}, // rebuilt at each release
+	})
+	ps.th.beforeJob = ps.buildProgram
+	return ps
+}
+
+// Thread returns the server's kernel thread (for stats and admission).
+func (ps *PollingServer) Thread() *Thread { return ps.th }
+
+// Budget reports the per-period budget.
+func (ps *PollingServer) Budget() vtime.Duration { return ps.budget }
+
+// Pending reports queued, unserved requests.
+func (ps *PollingServer) Pending() int { return len(ps.queue) }
+
+// Submit enqueues an aperiodic request of the given service time. Call
+// from ISR handlers or engine events. Returns false when the queue is
+// full (the request is rejected and counted).
+func (ps *PollingServer) Submit(work vtime.Duration) bool {
+	ps.Submitted++
+	if len(ps.queue) >= maxServerQueue || work <= 0 {
+		ps.Rejected++
+		return false
+	}
+	ps.queue = append(ps.queue, apJob{remaining: work, arrived: ps.k.Now()})
+	return true
+}
+
+// buildProgram runs at each server release: consume the queue head-first
+// up to the budget, emitting a completion marker (a driver call to the
+// server itself) after every request that finishes within this period.
+func (ps *PollingServer) buildProgram() task.Program {
+	var prog task.Program
+	ps.finishes = ps.finishes[:0]
+	rem := ps.budget
+	for rem > 0 && len(ps.queue) > 0 {
+		j := &ps.queue[0]
+		c := j.remaining
+		if c > rem {
+			c = rem
+		}
+		prog = append(prog, task.Compute(c))
+		rem -= c
+		j.remaining -= c
+		if j.remaining == 0 {
+			ps.finishes = append(ps.finishes, j.arrived)
+			prog = append(prog, task.IO(ps.devID))
+			ps.queue = ps.queue[1:]
+		}
+	}
+	return prog
+}
+
+// Name implements Device.
+func (ps *PollingServer) Name() string { return ps.th.TCB.Name + "-marker" }
+
+// IOCost implements Device: the marker is bookkeeping, not service.
+func (ps *PollingServer) IOCost() vtime.Duration { return 0 }
+
+// Handle implements Device: a completion marker retired — record the
+// request's response time.
+func (ps *PollingServer) Handle(k *Kernel, th *Thread) {
+	if len(ps.finishes) == 0 {
+		return
+	}
+	arrived := ps.finishes[0]
+	ps.finishes = ps.finishes[1:]
+	resp := k.Now().Sub(arrived)
+	ps.Served++
+	ps.TotalResp += resp
+	if resp > ps.MaxResp {
+		ps.MaxResp = resp
+	}
+}
+
+// AvgResp reports the mean response time over served requests.
+func (ps *PollingServer) AvgResp() vtime.Duration {
+	if ps.Served == 0 {
+		return 0
+	}
+	return ps.TotalResp / vtime.Duration(ps.Served)
+}

@@ -1,0 +1,30 @@
+package kernel
+
+import "emeralds/internal/trace"
+
+// Short aliases for trace kinds used on kernel hot paths.
+const (
+	traceKindRelease    = trace.Release
+	traceKindDispatch   = trace.Dispatch
+	traceKindPreempt    = trace.Preempt
+	traceKindBlock      = trace.BlockEv
+	traceKindUnblock    = trace.UnblockEv
+	traceKindComplete   = trace.Complete
+	traceKindMiss       = trace.Miss
+	traceKindOverrun    = trace.Overrun
+	traceKindSemAcquire = trace.SemAcquire
+	traceKindSemBlock   = trace.SemBlockWait
+	traceKindSemRelease = trace.SemRelease
+	traceKindSemHintPI  = trace.SemHintPI
+	traceKindSemGrant   = trace.SemGrant
+	traceKindInherit    = trace.Inherit
+	traceKindRestore    = trace.Restore
+	traceKindSignal     = trace.Signal
+	traceKindMsgSend    = trace.MsgSend
+	traceKindMsgRecv    = trace.MsgRecv
+	traceKindStateWrite = trace.StateWrite
+	traceKindStateRead  = trace.StateRead
+	traceKindInterrupt  = trace.Interrupt
+	traceKindFault      = trace.Fault
+	traceKindIdle       = trace.Idle
+)

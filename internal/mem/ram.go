@@ -1,0 +1,77 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RAM tracks the kernel's dynamic memory consumption against the
+// on-chip budget. §2: "All ROM and RAM are on-chip which limits memory
+// size to 32–128 kbytes" — so every TCB, stack, semaphore, queue slot
+// and buffer must be accounted, and a configuration that cannot fit
+// must be rejected at build time rather than discovered in the field.
+//
+// The per-object sizes below are the natural sizes of the kernel's
+// data structures on a 32-bit target (TCB fields, wait-queue headers,
+// per-slot message storage), not Go's in-memory sizes.
+type RAM struct {
+	budget int
+	used   int
+	byKind map[string]int
+}
+
+// Default per-object RAM costs in bytes (32-bit target layout).
+const (
+	RAMPerTCB       = 96  // ids, links, deadlines, stats, program pointer
+	RAMPerStack     = 512 // default per-thread stack reservation
+	RAMPerSemaphore = 24  // count, owner, queue head, inheritance record
+	RAMPerEvent     = 12
+	RAMPerCondVar   = 12
+	RAMPerMailbox   = 16 // header; slots are charged separately
+	RAMPerMsgSlot   = 12 // value + size per queued message
+	RAMPerStateHdr  = 16 // version index + writer state
+)
+
+// NewRAM returns an accountant with the given budget in bytes
+// (0 = unlimited, for hosted simulation runs).
+func NewRAM(budget int) *RAM {
+	return &RAM{budget: budget, byKind: map[string]int{}}
+}
+
+// Budget reports the configured budget (0 = unlimited).
+func (r *RAM) Budget() int { return r.budget }
+
+// Used reports total accounted bytes.
+func (r *RAM) Used() int { return r.used }
+
+// Charge accounts bytes of kind, reporting an error if the budget
+// would be exceeded (the allocation is still recorded so the report
+// shows what blew the budget).
+func (r *RAM) Charge(kind string, bytes int) error {
+	r.used += bytes
+	r.byKind[kind] += bytes
+	if r.budget > 0 && r.used > r.budget {
+		return fmt.Errorf("mem: RAM budget exceeded: %d of %d bytes after %s (+%d)",
+			r.used, r.budget, kind, bytes)
+	}
+	return nil
+}
+
+// Report renders per-kind usage.
+func (r *RAM) Report() string {
+	kinds := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	s := ""
+	for _, k := range kinds {
+		s += fmt.Sprintf("  %-12s %6d bytes\n", k, r.byKind[k])
+	}
+	budget := "unlimited"
+	if r.budget > 0 {
+		budget = fmt.Sprintf("%d", r.budget)
+	}
+	s += fmt.Sprintf("  %-12s %6d bytes (budget %s)\n", "total", r.used, budget)
+	return s
+}

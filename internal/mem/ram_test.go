@@ -1,0 +1,50 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRAMUnlimited(t *testing.T) {
+	r := NewRAM(0)
+	for i := 0; i < 1000; i++ {
+		if err := r.Charge("tcb", RAMPerTCB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Used() != 1000*RAMPerTCB {
+		t.Errorf("used = %d", r.Used())
+	}
+	if r.Budget() != 0 {
+		t.Errorf("budget = %d", r.Budget())
+	}
+}
+
+func TestRAMBudgetEnforced(t *testing.T) {
+	r := NewRAM(1000)
+	if err := r.Charge("stack", 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Charge("stack", 512); err == nil {
+		t.Error("budget overflow not detected")
+	}
+	// The overflowing allocation is still recorded for the report.
+	if r.Used() != 1024 {
+		t.Errorf("used = %d", r.Used())
+	}
+}
+
+func TestRAMReport(t *testing.T) {
+	r := NewRAM(32 * 1024)
+	r.Charge("tcb", RAMPerTCB)
+	r.Charge("semaphore", RAMPerSemaphore)
+	rep := r.Report()
+	for _, frag := range []string{"tcb", "semaphore", "total", "32768"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep)
+		}
+	}
+	if !strings.Contains(NewRAM(0).Report(), "unlimited") {
+		t.Error("unlimited budget not reported")
+	}
+}

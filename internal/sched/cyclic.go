@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// This file implements the cyclic time-slice executive that §5 of the
+// paper motivates replacing: "the entire execution schedule is
+// calculated off-line, and at runtime, tasks are switched in and out
+// according to the fixed schedule." It exists as the historical
+// baseline: the table generator demonstrates each drawback the paper
+// lists — offline construction cost, poor aperiodic response, and table
+// size blow-up for relatively prime periods.
+
+// CyclicSlot is one entry of the offline schedule table: run the given
+// task (by index into the spec slice; -1 = idle) from Start for Length.
+type CyclicSlot struct {
+	Start  vtime.Time
+	Length vtime.Duration
+	Task   int
+}
+
+// CyclicSchedule is a complete offline time-slice table over one major
+// frame (the hyperperiod of all task periods).
+type CyclicSchedule struct {
+	MajorFrame vtime.Duration
+	Slots      []CyclicSlot
+}
+
+// TableSize reports the number of slots — the scarce-memory cost the
+// paper warns about for workloads "containing short and long period
+// tasks ... or relatively prime periods".
+func (c *CyclicSchedule) TableSize() int { return len(c.Slots) }
+
+// BuildCyclic constructs an offline schedule for the task set by
+// simulating preemptive EDF over one hyperperiod and recording every
+// dispatch decision as a table slot. It returns an error if the set is
+// unschedulable (utilization > 1) or if the hyperperiod overflows
+// maxFrame — exactly the "very large time-slice schedules, wasting
+// scarce memory" failure mode of §5.
+func BuildCyclic(specs []task.Spec, maxFrame vtime.Duration) (*CyclicSchedule, error) {
+	if len(specs) == 0 {
+		return &CyclicSchedule{}, nil
+	}
+	if u := task.TotalUtilization(specs); u > 1.0 {
+		return nil, fmt.Errorf("sched: cyclic executive infeasible, utilization %.3f > 1", u)
+	}
+	frame := hyperperiod(specs)
+	if frame <= 0 || frame > maxFrame {
+		return nil, fmt.Errorf("sched: major frame %v exceeds table budget %v", frame, maxFrame)
+	}
+
+	type job struct {
+		taskIdx  int
+		deadline vtime.Time
+		rem      vtime.Duration
+	}
+	// Release instants over one frame.
+	type release struct {
+		at      vtime.Time
+		taskIdx int
+	}
+	var releases []release
+	for i, s := range specs {
+		for t := vtime.Time(0).Add(s.Phase); t < vtime.Time(frame); t = t.Add(s.Period) {
+			releases = append(releases, release{t, i})
+		}
+	}
+	sort.Slice(releases, func(i, j int) bool {
+		if releases[i].at != releases[j].at {
+			return releases[i].at < releases[j].at
+		}
+		return releases[i].taskIdx < releases[j].taskIdx
+	})
+
+	sched := &CyclicSchedule{MajorFrame: frame}
+	var active []job
+	now := vtime.Time(0)
+	ri := 0
+	emit := func(until vtime.Time, taskIdx int) {
+		if until <= now {
+			return
+		}
+		n := len(sched.Slots)
+		if n > 0 && sched.Slots[n-1].Task == taskIdx {
+			sched.Slots[n-1].Length += until.Sub(now)
+		} else {
+			sched.Slots = append(sched.Slots, CyclicSlot{Start: now, Length: until.Sub(now), Task: taskIdx})
+		}
+		now = until
+	}
+	for now < vtime.Time(frame) {
+		for ri < len(releases) && releases[ri].at <= now {
+			s := specs[releases[ri].taskIdx]
+			active = append(active, job{
+				taskIdx:  releases[ri].taskIdx,
+				deadline: releases[ri].at.Add(s.RelDeadline()),
+				rem:      s.WCET,
+			})
+			ri++
+		}
+		nextRel := vtime.Time(frame)
+		if ri < len(releases) {
+			nextRel = releases[ri].at
+		}
+		// Earliest-deadline active job.
+		best := -1
+		for i := range active {
+			if active[i].rem <= 0 {
+				continue
+			}
+			if best < 0 || active[i].deadline < active[best].deadline ||
+				(active[i].deadline == active[best].deadline && active[i].taskIdx < active[best].taskIdx) {
+				best = i
+			}
+		}
+		if best < 0 {
+			emit(nextRel, -1)
+			continue
+		}
+		runUntil := vtime.MinTime(nextRel, now.Add(active[best].rem))
+		if active[best].deadline < runUntil {
+			return nil, fmt.Errorf("sched: cyclic executive: task %d misses deadline at %v", active[best].taskIdx, active[best].deadline)
+		}
+		consumed := runUntil.Sub(now)
+		emit(runUntil, active[best].taskIdx)
+		active[best].rem -= consumed
+		if active[best].rem <= 0 {
+			active = append(active[:best], active[best+1:]...)
+		}
+	}
+	return sched, nil
+}
+
+// TaskAt returns the table entry covering instant t (mod major frame).
+func (c *CyclicSchedule) TaskAt(t vtime.Time) int {
+	if c.MajorFrame <= 0 || len(c.Slots) == 0 {
+		return -1
+	}
+	pos := vtime.Time(int64(t) % int64(c.MajorFrame))
+	i := sort.Search(len(c.Slots), func(i int) bool { return c.Slots[i].Start > pos })
+	return c.Slots[i-1].Task
+}
+
+// hyperperiod computes the LCM of all periods (in ns), saturating at
+// vtime.Forever on overflow.
+func hyperperiod(specs []task.Spec) vtime.Duration {
+	l := int64(1)
+	for _, s := range specs {
+		p := int64(s.Period)
+		if p <= 0 {
+			continue
+		}
+		g := gcd(l, p)
+		if l > (1<<62)/(p/g) {
+			return vtime.Duration(vtime.Forever)
+		}
+		l = l / g * p
+	}
+	return vtime.Duration(l)
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Hyperperiod exposes the LCM of all task periods for analyses and
+// simulation-horizon choices.
+func Hyperperiod(specs []task.Spec) vtime.Duration { return hyperperiod(specs) }

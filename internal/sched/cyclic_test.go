@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func specs(pc ...float64) []task.Spec {
+	out := make([]task.Spec, 0, len(pc)/2)
+	for i := 0; i+1 < len(pc); i += 2 {
+		out = append(out, task.Spec{
+			Period: vtime.Millis(pc[i]),
+			WCET:   vtime.Millis(pc[i+1]),
+		})
+	}
+	return out
+}
+
+func TestBuildCyclicSimple(t *testing.T) {
+	s := specs(4, 1, 8, 2)
+	c, err := BuildCyclic(s, vtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MajorFrame != 8*vtime.Millisecond {
+		t.Errorf("major frame = %v", c.MajorFrame)
+	}
+	// The table must allocate exactly each task's demand per frame.
+	got := map[int]vtime.Duration{}
+	for _, slot := range c.Slots {
+		got[slot.Task] += slot.Length
+	}
+	if got[0] != 2*vtime.Millisecond { // two 1 ms jobs of τ0
+		t.Errorf("task 0 time = %v", got[0])
+	}
+	if got[1] != 2*vtime.Millisecond {
+		t.Errorf("task 1 time = %v", got[1])
+	}
+	if got[-1] != 4*vtime.Millisecond { // idle
+		t.Errorf("idle time = %v", got[-1])
+	}
+}
+
+func TestCyclicRejectsOverload(t *testing.T) {
+	if _, err := BuildCyclic(specs(10, 6, 10, 6), vtime.Second); err == nil {
+		t.Error("overloaded set accepted")
+	}
+}
+
+func TestCyclicRejectsHugeFrame(t *testing.T) {
+	// Relatively prime periods blow up the table — the §5 motivation.
+	s := specs(7, 1, 11, 1, 13, 1)
+	if _, err := BuildCyclic(s, 100*vtime.Millisecond); err == nil {
+		t.Error("hyperperiod 1001 ms must exceed the 100 ms budget")
+	}
+	if c, err := BuildCyclic(s, 2*vtime.Second); err != nil || c.MajorFrame != 1001*vtime.Millisecond {
+		t.Errorf("frame = %v err = %v", c.MajorFrame, err)
+	}
+}
+
+func TestCyclicTableGrowsWithPrimePeriods(t *testing.T) {
+	harmonic, err := BuildCyclic(specs(5, 1, 10, 1, 20, 1), vtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prime, err := BuildCyclic(specs(5, 1, 7, 1, 11, 1), vtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prime.TableSize() <= harmonic.TableSize() {
+		t.Errorf("prime-period table (%d) should exceed harmonic (%d)",
+			prime.TableSize(), harmonic.TableSize())
+	}
+}
+
+func TestCyclicTaskAt(t *testing.T) {
+	c, err := BuildCyclic(specs(4, 2, 8, 1), vtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TaskAt(0); got != 0 {
+		t.Errorf("TaskAt(0) = %d", got)
+	}
+	// Wraps modulo the major frame.
+	if c.TaskAt(vtime.Time(c.MajorFrame)) != c.TaskAt(0) {
+		t.Error("TaskAt must wrap at the major frame")
+	}
+}
+
+func TestCyclicDetectsMiss(t *testing.T) {
+	// τ1 (P=8, c=5) cannot complete alongside two 2 ms jobs of τ0 with
+	// EDF... total demand over 8 ms = 2·2 + 5 = 9 > 8.
+	if _, err := BuildCyclic(specs(4, 2, 8, 5), vtime.Second); err == nil {
+		t.Error("infeasible set accepted")
+	}
+}
+
+func TestCyclicEmpty(t *testing.T) {
+	c, err := BuildCyclic(nil, vtime.Second)
+	if err != nil || c.TableSize() != 0 {
+		t.Errorf("empty set: %v, %d slots", err, c.TableSize())
+	}
+	if c.TaskAt(5) != -1 {
+		t.Error("empty table should report idle")
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	if hp := Hyperperiod(specs(4, 1, 6, 1)); hp != 12*vtime.Millisecond {
+		t.Errorf("lcm(4,6) = %v", hp)
+	}
+	if hp := Hyperperiod(specs(5, 1)); hp != 5*vtime.Millisecond {
+		t.Errorf("single = %v", hp)
+	}
+}
+
+func TestCyclicPhases(t *testing.T) {
+	s := specs(4, 1, 4, 1)
+	s[1].Phase = 2 * vtime.Millisecond
+	c, err := BuildCyclic(s, vtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ1's slot must start at or after its phase.
+	for _, slot := range c.Slots {
+		if slot.Task == 1 && slot.Start < vtime.Time(2*vtime.Millisecond) {
+			t.Errorf("task 1 scheduled at %v, before its phase", slot.Start)
+		}
+	}
+}

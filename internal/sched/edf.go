@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/schedq"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// EDF is the earliest-deadline-first scheduler as implemented in
+// EMERALDS (§5.1): one unsorted queue of all tasks; block/unblock flip
+// a TCB flag in O(1); selection parses the whole list, O(n).
+type EDF struct {
+	q       schedq.Unsorted
+	profile *costmodel.Profile
+}
+
+// NewEDF returns an EDF scheduler charging costs from profile.
+func NewEDF(profile *costmodel.Profile) *EDF {
+	return &EDF{profile: profileOrZero(profile)}
+}
+
+// Name implements Scheduler.
+func (s *EDF) Name() string { return "EDF" }
+
+// Admit implements Scheduler.
+func (s *EDF) Admit(ts []*task.TCB) {
+	for _, t := range ts {
+		s.q.Insert(t)
+	}
+}
+
+// Block implements Scheduler: O(1) TCB update.
+func (s *EDF) Block(t *task.TCB) vtime.Duration {
+	return s.profile.EDFBlock()
+}
+
+// Unblock implements Scheduler: O(1) TCB update.
+func (s *EDF) Unblock(t *task.TCB) vtime.Duration {
+	return s.profile.EDFUnblock()
+}
+
+// Select implements Scheduler: parse the queue for the earliest-
+// deadline ready task, O(n).
+func (s *EDF) Select() (*task.TCB, vtime.Duration) {
+	best, scanned := s.q.SelectEarliest()
+	return best, s.profile.EDFSelect(scanned)
+}
+
+// Inherit implements Scheduler. DP-style tasks are unsorted, so both
+// schemes are a single O(1) TCB update (§6.1: "For DP tasks, the PI
+// steps take O(1) time, since the DP tasks are not kept sorted").
+func (s *EDF) Inherit(holder, waiter *task.TCB, optimized bool) (vtime.Duration, *task.TCB) {
+	inheritKeys(holder, waiter)
+	return s.profile.PIStep, nil
+}
+
+// Restore implements Scheduler: O(1) TCB update.
+func (s *EDF) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vtime.Time, optimized bool) vtime.Duration {
+	holder.EffPrio = effPrio
+	holder.EffDeadline = effDeadline
+	return s.profile.PIStep
+}
+
+// Queue exposes the underlying queue for white-box tests.
+func (s *EDF) Queue() *schedq.Unsorted { return &s.q }

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/schedq"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// RM is the rate-monotonic scheduler as implemented in EMERALDS (§5.1):
+// all tasks, blocked and unblocked, in one priority-sorted queue with a
+// highestP pointer to the first ready task. Selection is O(1); blocking
+// scans forward for the next ready task (O(n) worst case); unblocking
+// is one comparison, O(1). This implementation "permits some semaphore
+// optimizations (Section 6)" — the place-holder priority-inheritance
+// trick — which is why EMERALDS keeps blocked tasks in the queue.
+type RM struct {
+	q       schedq.Sorted
+	profile *costmodel.Profile
+}
+
+// NewRM returns an RM scheduler charging costs from profile.
+func NewRM(profile *costmodel.Profile) *RM {
+	return &RM{profile: profileOrZero(profile)}
+}
+
+// Name implements Scheduler.
+func (s *RM) Name() string { return "RM" }
+
+// Admit implements Scheduler. Tasks must carry RM priorities (see
+// AssignRMPriorities).
+func (s *RM) Admit(ts []*task.TCB) {
+	for _, t := range ts {
+		s.q.Insert(t)
+	}
+}
+
+// Block implements Scheduler: advance highestP to the next ready task.
+func (s *RM) Block(t *task.TCB) vtime.Duration {
+	scanned := s.q.Block(t)
+	return s.profile.RMBlock(scanned)
+}
+
+// Unblock implements Scheduler: one comparison against highestP.
+func (s *RM) Unblock(t *task.TCB) vtime.Duration {
+	s.q.Unblock(t)
+	return s.profile.RMUnblock()
+}
+
+// Select implements Scheduler: read highestP, O(1).
+func (s *RM) Select() (*task.TCB, vtime.Duration) {
+	return s.q.HighestP(), s.profile.RMSelect()
+}
+
+// Inherit implements Scheduler.
+//
+// Standard scheme: remove holder and re-insert it at its inherited
+// priority — a sorted-queue reposition, O(n).
+//
+// Optimized scheme (§6.2): swap holder's and waiter's queue positions.
+// Holder lands exactly where its new priority belongs (just ahead of
+// the blocked waiter) and the blocked waiter becomes a place-holder
+// marking holder's original slot. O(1).
+func (s *RM) Inherit(holder, waiter *task.TCB, optimized bool) (vtime.Duration, *task.TCB) {
+	inheritKeys(holder, waiter)
+	if optimized {
+		s.q.Swap(holder, waiter)
+		return s.profile.PIStep, waiter
+	}
+	scanned := s.q.Reposition(holder)
+	return s.profile.PIReposition(scanned), nil
+}
+
+// Restore implements Scheduler.
+//
+// Standard scheme: reposition holder at its restored priority, O(n).
+//
+// Optimized scheme: swap holder back with its place-holder, O(1). The
+// place-holder was left at holder's original position, so the swap
+// restores both tasks' slots exactly (§6.2). The O(1) cost leans on
+// the release protocol: highestP may transiently point at the demoted
+// holder, but the caller immediately unblocks the place-holder waiter
+// at its (higher) priority — inside the same release_sem — which
+// re-establishes the invariant before any selection can observe the
+// window. This is precisely why the paper's scheme keeps blocked tasks
+// in the queue and hands the semaphore straight to a waiter.
+func (s *RM) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vtime.Time, optimized bool) vtime.Duration {
+	holder.EffPrio = effPrio
+	holder.EffDeadline = effDeadline
+	if optimized {
+		if placeholder != nil {
+			s.q.Swap(holder, placeholder)
+		}
+		return s.profile.PIStep
+	}
+	scanned := s.q.Reposition(holder)
+	return s.profile.PIReposition(scanned)
+}
+
+// Queue exposes the underlying queue for white-box tests.
+func (s *RM) Queue() *schedq.Sorted { return &s.q }

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/schedq"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// RMHeap is the "RM - sorted heap" implementation from Table 1: a
+// binary heap of ready tasks only. Blocking removes from the heap and
+// unblocking inserts, both O(log n) with a heavy constant; selection
+// reads the root, O(1). The paper's conclusion — "unless n is very
+// large (58 in this case), the total run-time overhead for a heap is
+// more than for a queue" — is reproduced by BenchmarkTable1.
+type RMHeap struct {
+	h       schedq.Heap
+	profile *costmodel.Profile
+}
+
+// NewRMHeap returns the heap-based RM scheduler.
+func NewRMHeap(profile *costmodel.Profile) *RMHeap {
+	return &RMHeap{profile: profileOrZero(profile)}
+}
+
+// Name implements Scheduler.
+func (s *RMHeap) Name() string { return "RM-heap" }
+
+// Admit implements Scheduler. Only ready tasks enter the heap.
+func (s *RMHeap) Admit(ts []*task.TCB) {
+	for _, t := range ts {
+		if t.State == task.Ready {
+			s.h.Insert(t)
+		}
+	}
+}
+
+// Block implements Scheduler: heap removal, O(log n).
+func (s *RMHeap) Block(t *task.TCB) vtime.Duration {
+	levels := 0
+	if s.h.Contains(t) {
+		levels = s.h.Remove(t)
+	}
+	return s.profile.HeapBlock(levels)
+}
+
+// Unblock implements Scheduler: heap insert, O(log n).
+func (s *RMHeap) Unblock(t *task.TCB) vtime.Duration {
+	levels := s.h.Insert(t)
+	return s.profile.HeapUnblock(levels)
+}
+
+// Select implements Scheduler: read the root, O(1).
+func (s *RMHeap) Select() (*task.TCB, vtime.Duration) {
+	return s.h.Peek(), s.profile.HeapSelect()
+}
+
+// Inherit implements Scheduler. The holder is running, hence not in the
+// heap, so inheritance is a TCB update; if it were queued it must be
+// re-sifted.
+func (s *RMHeap) Inherit(holder, waiter *task.TCB, optimized bool) (vtime.Duration, *task.TCB) {
+	inheritKeys(holder, waiter)
+	levels := 0
+	if s.h.Contains(holder) {
+		levels = s.h.Remove(holder)
+		levels += s.h.Insert(holder)
+	}
+	return s.profile.HeapBlock(levels), nil
+}
+
+// Restore implements Scheduler.
+func (s *RMHeap) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vtime.Time, optimized bool) vtime.Duration {
+	holder.EffPrio = effPrio
+	holder.EffDeadline = effDeadline
+	levels := 0
+	if s.h.Contains(holder) {
+		levels = s.h.Remove(holder)
+		levels += s.h.Insert(holder)
+	}
+	return s.profile.HeapBlock(levels)
+}
+
+// Heap exposes the underlying heap for white-box tests.
+func (s *RMHeap) Heap() *schedq.Heap { return &s.h }

@@ -1,0 +1,127 @@
+package schedq
+
+import (
+	"fmt"
+
+	"emeralds/internal/task"
+)
+
+// Heap is the sorted-heap alternative measured in Table 1: a binary
+// min-heap of ready tasks keyed by effective priority. Insert and
+// remove are O(log n) but with a large constant ("heaps have long run
+// times due to code complexity"), selection is O(1) at the root.
+// Unlike Unsorted and Sorted, the heap holds only ready tasks.
+type Heap struct {
+	a []*task.TCB
+}
+
+// Len reports how many ready tasks are in the heap.
+func (h *Heap) Len() int { return len(h.a) }
+
+// Peek returns the highest-priority ready task without removing it.
+func (h *Heap) Peek() *task.TCB {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+// Insert adds t, returning the number of heap levels traversed while
+// sifting up (the Table 1 per-level cost multiplier).
+func (h *Heap) Insert(t *task.TCB) (levels int) {
+	h.a = append(h.a, t)
+	i := len(h.a) - 1
+	t.HeapIdx = i
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.a[i].HigherPrio(h.a[parent]) {
+			break
+		}
+		levels++
+		h.swap(i, parent)
+		i = parent
+	}
+	return levels
+}
+
+// Remove deletes t from the heap, returning levels traversed.
+func (h *Heap) Remove(t *task.TCB) (levels int) {
+	i := t.HeapIdx
+	if i < 0 || i >= len(h.a) || h.a[i] != t {
+		panic(fmt.Sprintf("schedq: Remove of %v not in heap", t))
+	}
+	last := len(h.a) - 1
+	h.swap(i, last)
+	h.a[last] = nil
+	h.a = h.a[:last]
+	t.HeapIdx = -1
+	if i == last {
+		return 0
+	}
+	// Sift the displaced element whichever direction it needs.
+	levels = h.siftUp(i)
+	if levels == 0 {
+		levels = h.siftDown(i)
+	}
+	return levels
+}
+
+func (h *Heap) siftUp(i int) (levels int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.a[i].HigherPrio(h.a[parent]) {
+			break
+		}
+		levels++
+		h.swap(i, parent)
+		i = parent
+	}
+	return levels
+}
+
+func (h *Heap) siftDown(i int) (levels int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.a[l].HigherPrio(h.a[best]) {
+			best = l
+		}
+		if r < n && h.a[r].HigherPrio(h.a[best]) {
+			best = r
+		}
+		if best == i {
+			return levels
+		}
+		levels++
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *Heap) swap(i, j int) {
+	h.a[i], h.a[j] = h.a[j], h.a[i]
+	h.a[i].HeapIdx = i
+	h.a[j].HeapIdx = j
+}
+
+// Contains reports whether t is currently in the heap.
+func (h *Heap) Contains(t *task.TCB) bool {
+	return t.HeapIdx >= 0 && t.HeapIdx < len(h.a) && h.a[t.HeapIdx] == t
+}
+
+// CheckInvariants verifies the heap property and index bookkeeping.
+func (h *Heap) CheckInvariants() error {
+	for i, t := range h.a {
+		if t.HeapIdx != i {
+			return fmt.Errorf("schedq: heap[%d]=%s has HeapIdx=%d", i, t.Name, t.HeapIdx)
+		}
+		if i > 0 {
+			parent := (i - 1) / 2
+			if t.HigherPrio(h.a[parent]) {
+				return fmt.Errorf("schedq: heap property violated at %d (%s above %s)", i, h.a[parent].Name, t.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package schedq implements the scheduler queue structures of §5.1 of
+// the paper: the single unsorted queue used by the EDF scheduler, the
+// priority-sorted queue with a highestP pointer used by the RM
+// scheduler (and by each CSD queue), and the binary heap used for the
+// Table 1 comparison.
+//
+// All structures are intrusive — they link task.TCBs through their
+// QNext/QPrev/HeapIdx fields — because a small-memory kernel cannot
+// afford per-node allocations, and because the §6.2 priority-
+// inheritance optimization depends on O(1) relocation of a TCB that is
+// already in the queue.
+//
+// Operations report how many elements they examined so the caller can
+// charge the calibrated per-element cost from the cost model.
+package schedq
+
+import (
+	"emeralds/internal/task"
+)
+
+// Unsorted is the EDF queue: a single unsorted list holding all tasks,
+// blocked and unblocked (§5.1: "All blocked and unblocked tasks are
+// placed in a single, unsorted queue"). Blocking and unblocking only
+// flip the TCB state flag (O(1)); selection parses the whole list for
+// the earliest-deadline ready task (O(n)).
+type Unsorted struct {
+	head, tail *task.TCB
+	n          int
+}
+
+// Len reports how many tasks are in the queue.
+func (q *Unsorted) Len() int { return q.n }
+
+// Insert appends t. O(1).
+func (q *Unsorted) Insert(t *task.TCB) {
+	t.QNext, t.QPrev = nil, q.tail
+	if q.tail != nil {
+		q.tail.QNext = t
+	} else {
+		q.head = t
+	}
+	q.tail = t
+	q.n++
+}
+
+// Remove unlinks t. O(1).
+func (q *Unsorted) Remove(t *task.TCB) {
+	if t.QPrev != nil {
+		t.QPrev.QNext = t.QNext
+	} else {
+		q.head = t.QNext
+	}
+	if t.QNext != nil {
+		t.QNext.QPrev = t.QPrev
+	} else {
+		q.tail = t.QPrev
+	}
+	t.QNext, t.QPrev = nil, nil
+	q.n--
+}
+
+// SelectEarliest parses the list and returns the ready task with the
+// earliest deadline, plus the number of entries examined (always the
+// full list, as in the paper's implementation).
+func (q *Unsorted) SelectEarliest() (best *task.TCB, scanned int) {
+	for t := q.head; t != nil; t = t.QNext {
+		scanned++
+		if t.State != task.Ready {
+			continue
+		}
+		if best == nil || t.EarlierDeadline(best) {
+			best = t
+		}
+	}
+	return best, scanned
+}
+
+// ReadyCount counts ready tasks (used by CSD's per-queue counters and
+// by tests; not part of the charged fast path).
+func (q *Unsorted) ReadyCount() int {
+	n := 0
+	for t := q.head; t != nil; t = t.QNext {
+		if t.State == task.Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// Each calls fn for every task in queue order.
+func (q *Unsorted) Each(fn func(*task.TCB)) {
+	for t := q.head; t != nil; t = t.QNext {
+		fn(t)
+	}
+}

@@ -1,0 +1,208 @@
+// Package sim implements the deterministic discrete-event engine that
+// underlies the EMERALDS kernel simulator.
+//
+// The engine maintains a priority queue of timestamped events. Events
+// scheduled for the same instant fire in scheduling order (FIFO by a
+// monotonically increasing sequence number), which makes every run
+// bit-for-bit reproducible regardless of map iteration order or host
+// scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"emeralds/internal/vtime"
+)
+
+// Event is a scheduled callback. It is returned by Engine.At so callers
+// can cancel it before it fires.
+type Event struct {
+	when     vtime.Time
+	class    uint8 // tie-break tier: lower fires first at equal times
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+	label    string
+}
+
+// Event classes. Completions must observe-before coincident releases:
+// a job finishing at exactly the instant of its next release has met
+// that release, not overrun it.
+const (
+	ClassCompletion uint8 = 10 // op/segment completions
+	ClassDefault    uint8 = 50 // everything else
+)
+
+// When reports the instant the event is scheduled for.
+func (e *Event) When() vtime.Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Label returns the debug label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-clock discrete-event simulator. It is not safe for
+// concurrent use; the EMERALDS kernel drives it from one goroutine.
+type Engine struct {
+	now     vtime.Time
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	stopped bool
+}
+
+// New returns an engine with the clock at boot time (0).
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() vtime.Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including canceled ones
+// not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at instant t. Scheduling in the past panics:
+// that is always a kernel bug, never a recoverable condition.
+func (e *Engine) At(t vtime.Time, label string, fn func()) *Event {
+	return e.AtClass(t, ClassDefault, label, fn)
+}
+
+// AtClass schedules fn at instant t in the given tie-break class:
+// among events at the same instant, lower classes fire first (FIFO
+// within a class).
+func (e *Engine) AtClass(t vtime.Time, class uint8, label string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", label, t, e.now))
+	}
+	ev := &Event{when: t, class: class, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant.
+func (e *Engine) After(d vtime.Duration, label string, fn func()) *Event {
+	return e.At(e.now.Add(d), label, fn)
+}
+
+// Cancel removes the event from the queue if it has not fired. It is
+// safe to cancel an event twice or after it fired; those are no-ops.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled {
+		return
+	}
+	ev.canceled = true
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+	}
+}
+
+// Advance moves the clock forward without dispatching anything. It is
+// used by the kernel to charge computation time between events. Moving
+// past a pending event panics: the kernel must never skip events.
+func (e *Engine) Advance(d vtime.Duration) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	t := e.now.Add(d)
+	if next, ok := e.peek(); ok && next.when < t {
+		panic(fmt.Sprintf("sim: advance to %v would skip event %q at %v", t, next.label, next.when))
+	}
+	e.now = t
+}
+
+// NextEventTime reports the instant of the earliest pending event.
+func (e *Engine) NextEventTime() (vtime.Time, bool) {
+	ev, ok := e.peek()
+	if !ok {
+		return 0, false
+	}
+	return ev.when, true
+}
+
+func (e *Engine) peek() (*Event, bool) {
+	if len(e.queue) == 0 {
+		return nil, false
+	}
+	return e.queue[0], true
+}
+
+// Step dispatches the single earliest event, advancing the clock to its
+// timestamp. It reports false if no events remain or the engine was
+// stopped.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil dispatches events in order until the clock would pass t or
+// the queue drains. The clock is left at min(t, time of last event).
+func (e *Engine) RunUntil(t vtime.Time) {
+	for !e.stopped {
+		ev, ok := e.peek()
+		if !ok || ev.when > t {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Run dispatches events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// Stop makes the engine refuse further dispatch. Pending events stay
+// queued so post-mortem inspection can see them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,178 @@
+// Package task defines the task model of the EMERALDS simulator: static
+// task specifications, task control blocks (TCBs), and the small program
+// IR that task bodies are written in.
+//
+// Following §2 of the paper, the expected workload is 10–20 concurrent
+// periodic tasks with a mix of short (<10 ms), medium (10–100 ms) and
+// long (>100 ms) periods; a task's relative deadline equals its period
+// unless specified otherwise.
+package task
+
+import (
+	"fmt"
+
+	"emeralds/internal/vtime"
+)
+
+// Spec is the static description of a periodic task. It is shared
+// between the schedulability analyses (which need only Period/WCET/
+// Deadline) and the kernel (which also executes Prog).
+type Spec struct {
+	Name     string
+	Period   vtime.Duration
+	WCET     vtime.Duration // worst-case execution time c_i
+	Deadline vtime.Duration // relative deadline; 0 means = Period
+	Phase    vtime.Duration // release offset of the first job
+	Prog     Program        // body executed once per period; nil = pure Compute(WCET)
+}
+
+// RelDeadline returns the effective relative deadline (Period when the
+// Deadline field is zero).
+func (s Spec) RelDeadline() vtime.Duration {
+	if s.Deadline == 0 {
+		return s.Period
+	}
+	return s.Deadline
+}
+
+// Utilization returns c_i / P_i.
+func (s Spec) Utilization() float64 {
+	if s.Period == 0 {
+		return 0
+	}
+	return float64(s.WCET) / float64(s.Period)
+}
+
+// TotalUtilization returns Σ c_i / P_i over the set.
+func TotalUtilization(specs []Spec) float64 {
+	var u float64
+	for _, s := range specs {
+		u += s.Utilization()
+	}
+	return u
+}
+
+// Scale returns a copy of the set with every WCET multiplied by f.
+func Scale(specs []Spec, f float64) []Spec {
+	out := make([]Spec, len(specs))
+	for i, s := range specs {
+		s.WCET = vtime.Scale(s.WCET, f)
+		out[i] = s
+	}
+	return out
+}
+
+// State is the scheduling state of a TCB. Per §5.1 the kernel keeps
+// blocked and ready tasks in the same queues, distinguished only by a
+// TCB flag; State mirrors that flag plus bookkeeping states.
+type State uint8
+
+const (
+	// Dormant: created but not yet released (before first phase).
+	Dormant State = iota
+	// Ready: released and runnable (includes the running task).
+	Ready
+	// Blocked: waiting on a semaphore, event, mailbox, or next period.
+	Blocked
+)
+
+func (s State) String() string {
+	switch s {
+	case Dormant:
+		return "dormant"
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// TCB is a task control block. The zero value is not usable; create
+// TCBs with New.
+//
+// Field ownership: the fields under "queue links" are owned by package
+// schedq (intrusive list/heap links, as in any small-memory kernel that
+// cannot afford per-node allocations); the fields under "execution" are
+// owned by the kernel interpreter.
+type TCB struct {
+	ID   int
+	Name string
+	Spec Spec
+
+	// Scheduling state.
+	State       State
+	BasePrio    int        // static priority: lower value = higher priority (RM: by period)
+	EffPrio     int        // effective priority after inheritance
+	AbsDeadline vtime.Time // own deadline of the current job
+	EffDeadline vtime.Time // deadline after inheritance (EDF key; = AbsDeadline normally)
+	CSDQueue    int        // home CSD queue this task is assigned to
+	CSDCur      int        // current CSD queue (differs from home only during cross-queue inheritance)
+
+	// Queue links (owned by schedq).
+	QNext, QPrev *TCB
+	HeapIdx      int
+
+	// Execution state (owned by the kernel).
+	PC          int            // index of the next op in Spec.Prog
+	OpRemaining vtime.Duration // remaining time of a preempted Compute op
+	ReleasedAt  vtime.Time     // release instant of the current job
+	PendingHint int            // semaphore hint carried by the in-progress blocking call
+
+	// Statistics.
+	Releases    uint64
+	Completions uint64
+	Misses      uint64
+	Preemptions uint64
+	TotalResp   vtime.Duration
+	MaxResp     vtime.Duration
+}
+
+// New builds a TCB for the given spec. Priorities and CSD queue
+// assignment are filled in by the scheduler when the task is admitted.
+func New(id int, spec Spec) *TCB {
+	if spec.Name == "" {
+		spec.Name = fmt.Sprintf("task%d", id)
+	}
+	return &TCB{
+		ID:          id,
+		Name:        spec.Name,
+		Spec:        spec,
+		State:       Dormant,
+		HeapIdx:     -1,
+		PendingHint: NoHint,
+	}
+}
+
+// HigherPrio reports whether t has strictly higher effective priority
+// than u (lower EffPrio value, ties broken by ID for determinism).
+func (t *TCB) HigherPrio(u *TCB) bool {
+	if t.EffPrio != u.EffPrio {
+		return t.EffPrio < u.EffPrio
+	}
+	return t.ID < u.ID
+}
+
+// EarlierDeadline reports whether t's current effective deadline is
+// strictly earlier than u's (ties broken by ID for determinism). The
+// effective deadline differs from the job's own deadline only while the
+// task holds a semaphore under deadline inheritance.
+func (t *TCB) EarlierDeadline(u *TCB) bool {
+	if t.EffDeadline != u.EffDeadline {
+		return t.EffDeadline < u.EffDeadline
+	}
+	return t.ID < u.ID
+}
+
+// AvgResp returns the average response time over completed jobs.
+func (t *TCB) AvgResp() vtime.Duration {
+	if t.Completions == 0 {
+		return 0
+	}
+	return t.TotalResp / vtime.Duration(t.Completions)
+}
+
+func (t *TCB) String() string {
+	return fmt.Sprintf("%s(P=%v c=%v prio=%d %s)", t.Name, t.Spec.Period, t.Spec.WCET, t.EffPrio, t.State)
+}

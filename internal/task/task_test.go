@@ -1,0 +1,132 @@
+package task
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/vtime"
+)
+
+func TestSpecRelDeadlineDefaultsToPeriod(t *testing.T) {
+	s := Spec{Period: 10 * vtime.Millisecond}
+	if s.RelDeadline() != s.Period {
+		t.Errorf("default deadline = %v", s.RelDeadline())
+	}
+	s.Deadline = 4 * vtime.Millisecond
+	if s.RelDeadline() != 4*vtime.Millisecond {
+		t.Errorf("explicit deadline = %v", s.RelDeadline())
+	}
+}
+
+func TestSpecUtilization(t *testing.T) {
+	s := Spec{Period: 10 * vtime.Millisecond, WCET: 2 * vtime.Millisecond}
+	if u := s.Utilization(); u != 0.2 {
+		t.Errorf("utilization = %v", u)
+	}
+	if (Spec{}).Utilization() != 0 {
+		t.Error("zero-period spec should have zero utilization")
+	}
+}
+
+func TestTotalUtilizationAndScale(t *testing.T) {
+	specs := []Spec{
+		{Period: 10 * vtime.Millisecond, WCET: 2 * vtime.Millisecond},
+		{Period: 20 * vtime.Millisecond, WCET: 5 * vtime.Millisecond},
+	}
+	if u := TotalUtilization(specs); u != 0.45 {
+		t.Errorf("total utilization = %v", u)
+	}
+	scaled := Scale(specs, 2)
+	if scaled[0].WCET != 4*vtime.Millisecond || scaled[1].WCET != 10*vtime.Millisecond {
+		t.Errorf("scaled = %v, %v", scaled[0].WCET, scaled[1].WCET)
+	}
+	// The original must be untouched.
+	if specs[0].WCET != 2*vtime.Millisecond {
+		t.Error("Scale mutated its input")
+	}
+}
+
+func TestNewTCBDefaults(t *testing.T) {
+	tcb := New(7, Spec{Period: vtime.Millisecond})
+	if tcb.Name != "task7" {
+		t.Errorf("default name = %q", tcb.Name)
+	}
+	if tcb.State != Dormant {
+		t.Errorf("initial state = %v", tcb.State)
+	}
+	if tcb.HeapIdx != -1 {
+		t.Errorf("HeapIdx = %d", tcb.HeapIdx)
+	}
+	if tcb.PendingHint != NoHint {
+		t.Errorf("PendingHint = %d", tcb.PendingHint)
+	}
+	named := New(3, Spec{Name: "pump"})
+	if named.Name != "pump" {
+		t.Errorf("name = %q", named.Name)
+	}
+}
+
+func TestHigherPrio(t *testing.T) {
+	a := New(0, Spec{})
+	b := New(1, Spec{})
+	a.EffPrio, b.EffPrio = 1, 2
+	if !a.HigherPrio(b) || b.HigherPrio(a) {
+		t.Error("lower EffPrio value must rank higher")
+	}
+	b.EffPrio = 1
+	if !a.HigherPrio(b) {
+		t.Error("equal priority must tie-break by lower ID")
+	}
+}
+
+func TestEarlierDeadlineUsesEffective(t *testing.T) {
+	a := New(0, Spec{})
+	b := New(1, Spec{})
+	a.EffDeadline, b.EffDeadline = 100, 50
+	if a.EarlierDeadline(b) {
+		t.Error("b has the earlier deadline")
+	}
+	// Inheritance changes the effective deadline only.
+	a.AbsDeadline = 100
+	a.EffDeadline = 10
+	if !a.EarlierDeadline(b) {
+		t.Error("effective deadline must win over the job's own")
+	}
+	b.EffDeadline = 10
+	if !a.EarlierDeadline(b) {
+		t.Error("equal deadlines must tie-break by ID")
+	}
+}
+
+func TestAvgResp(t *testing.T) {
+	tcb := New(0, Spec{})
+	if tcb.AvgResp() != 0 {
+		t.Error("no completions should average 0")
+	}
+	tcb.Completions = 4
+	tcb.TotalResp = 20 * vtime.Millisecond
+	if tcb.AvgResp() != 5*vtime.Millisecond {
+		t.Errorf("avg = %v", tcb.AvgResp())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Dormant: "dormant", Ready: "ready", Blocked: "blocked"} {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+	if !strings.Contains(State(99).String(), "99") {
+		t.Error("unknown state should print its value")
+	}
+}
+
+func TestTCBString(t *testing.T) {
+	tcb := New(0, Spec{Name: "gyro", Period: 5 * vtime.Millisecond, WCET: vtime.Millisecond})
+	s := tcb.String()
+	for _, frag := range []string{"gyro", "5.000ms", "dormant"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

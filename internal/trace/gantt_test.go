@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/vtime"
+)
+
+func ms(f float64) vtime.Time { return vtime.Time(vtime.Millis(f)) }
+
+func TestGanttBasicTimeline(t *testing.T) {
+	l := New(64)
+	// a runs [0,2), preempted by b [2,3), resumes [3,4), completes.
+	l.Add(ms(0), Release, "a", "")
+	l.Add(ms(0), Dispatch, "a", "")
+	l.Add(ms(2), Release, "b", "")
+	l.Add(ms(2), Preempt, "a", "")
+	l.Add(ms(2), Dispatch, "b", "")
+	l.Add(ms(3), Complete, "b", "")
+	l.Add(ms(3), Dispatch, "a", "")
+	l.Add(ms(4), Complete, "a", "")
+	out := l.Gantt(GanttConfig{From: 0, To: ms(4), Width: 40})
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // a, b, axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	rowA, rowB := lines[0], lines[1]
+	if !strings.HasPrefix(rowA, "a") || !strings.HasPrefix(rowB, "b") {
+		t.Fatalf("row order:\n%s", out)
+	}
+	// a: first half running, then a ready gap, then running again.
+	if !strings.Contains(rowA, "█") || !strings.Contains(rowA, "░") {
+		t.Errorf("row a missing run/ready glyphs: %q", rowA)
+	}
+	// b: blocked (·) before 2 ms, running after.
+	cellsB := []rune(strings.TrimSpace(strings.TrimPrefix(rowB, "b")))
+	if cellsB[0] != '·' {
+		t.Errorf("b should start blocked: %q", rowB)
+	}
+	if !strings.ContainsRune(rowB, '█') {
+		t.Errorf("b never ran: %q", rowB)
+	}
+	// Axis carries both window ends.
+	if !strings.Contains(lines[2], "0s") || !strings.Contains(lines[2], "4.000ms") {
+		t.Errorf("axis = %q", lines[2])
+	}
+}
+
+func TestGanttPreemptedShowsReady(t *testing.T) {
+	l := New(64)
+	l.Add(ms(0), Dispatch, "lo", "")
+	l.Add(ms(1), Preempt, "lo", "")
+	l.Add(ms(1), Dispatch, "hi", "")
+	l.Add(ms(3), Complete, "hi", "")
+	l.Add(ms(3), Dispatch, "lo", "")
+	l.Add(ms(4), Complete, "lo", "")
+	out := l.Gantt(GanttConfig{From: 0, To: ms(4), Width: 40})
+	loRow := strings.Split(out, "\n")[1] // sorted: hi, lo
+	if !strings.HasPrefix(loRow, "lo") {
+		t.Fatalf("unexpected row order:\n%s", out)
+	}
+	// The middle of lo's row must be ░ (ready, not running).
+	mid := []rune(loRow)[4+20] // roughly the 2 ms column
+	if mid != '░' {
+		t.Errorf("lo at 2 ms = %q, want ready:\n%s", mid, out)
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	l := New(4)
+	if got := l.Gantt(GanttConfig{}); !strings.Contains(got, "no events") {
+		t.Errorf("empty = %q", got)
+	}
+	l.Add(ms(1), Dispatch, "x", "")
+	if got := l.Gantt(GanttConfig{From: ms(2), To: ms(2)}); !strings.Contains(got, "empty window") {
+		t.Errorf("degenerate = %q", got)
+	}
+}
+
+func TestGanttDefaults(t *testing.T) {
+	l := New(16)
+	l.Add(ms(0), Dispatch, "x", "")
+	l.Add(ms(10), Complete, "x", "")
+	out := l.Gantt(GanttConfig{}) // To defaults to the last event
+	if !strings.Contains(out, "10.000ms") {
+		t.Errorf("default window wrong:\n%s", out)
+	}
+}

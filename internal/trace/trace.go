@@ -1,0 +1,157 @@
+// Package trace records kernel execution events into a bounded ring
+// buffer for debugging, validation tests, and the example programs'
+// schedule dumps. Tracing is O(1) per event and allocation-free after
+// the ring fills.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"emeralds/internal/vtime"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	Release Kind = iota
+	Dispatch
+	Preempt
+	BlockEv
+	UnblockEv
+	Complete
+	Miss
+	Overrun
+	SemAcquire
+	SemBlockWait
+	SemRelease
+	SemHintPI
+	SemGrant
+	Inherit
+	Restore
+	Signal
+	MsgSend
+	MsgRecv
+	StateWrite
+	StateRead
+	Interrupt
+	Fault
+	Idle
+)
+
+var kindNames = [...]string{
+	"release", "dispatch", "preempt", "block", "unblock",
+	"complete", "MISS", "overrun",
+	"sem-acquire", "sem-block", "sem-release", "sem-hint-pi", "sem-grant",
+	"inherit", "restore", "signal",
+	"msg-send", "msg-recv", "state-write", "state-read",
+	"interrupt", "FAULT", "idle",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded kernel event.
+type Event struct {
+	At     vtime.Time
+	Kind   Kind
+	Task   string
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%12v %-12s %s", e.At, e.Kind, e.Task)
+	}
+	return fmt.Sprintf("%12v %-12s %-10s %s", e.At, e.Kind, e.Task, e.Detail)
+}
+
+// Log is a bounded ring of events. A nil *Log discards everything, so
+// callers never need to guard their Add calls.
+type Log struct {
+	ring    []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// New returns a log holding the most recent cap events.
+func New(cap int) *Log {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &Log{ring: make([]Event, 0, cap)}
+}
+
+// Add records an event.
+func (l *Log) Add(at vtime.Time, kind Kind, taskName, detail string) {
+	if l == nil {
+		return
+	}
+	l.total++
+	e := Event{At: at, Kind: kind, Task: taskName, Detail: detail}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+		return
+	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	l.wrapped = true
+}
+
+// Addf records an event with a formatted detail string. Prefer Add on
+// hot paths; Addf allocates.
+func (l *Log) Addf(at vtime.Time, kind Kind, taskName, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.Add(at, kind, taskName, fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were recorded over the log's lifetime
+// (including ones that have rotated out of the ring).
+func (l *Log) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	if !l.wrapped {
+		out := make([]Event, len(l.ring))
+		copy(out, l.ring)
+		return out
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kind.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/vtime"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New(10)
+	l.Add(1, Release, "a", "")
+	l.Add(2, Dispatch, "a", "")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Kind != Release || evs[1].Kind != Dispatch {
+		t.Errorf("events = %v", evs)
+	}
+	if l.Total() != 2 {
+		t.Errorf("total = %d", l.Total())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Add(vtime.Time(i), Dispatch, "x", "")
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != vtime.Time(6+i) {
+			t.Errorf("event %d at %v, want %v (chronological, newest window)", i, e.At, vtime.Time(6+i))
+		}
+	}
+	if l.Total() != 10 {
+		t.Errorf("total = %d", l.Total())
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, Miss, "x", "") // must not panic
+	l.Addf(0, Miss, "x", "%d", 1)
+	if l.Events() != nil || l.Total() != 0 {
+		t.Error("nil log should be empty")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(16)
+	l.Add(1, Release, "a", "")
+	l.Add(2, Miss, "b", "")
+	l.Add(3, Release, "c", "")
+	rel := l.Filter(Release)
+	if len(rel) != 2 || rel[0].Task != "a" || rel[1].Task != "c" {
+		t.Errorf("filter = %v", rel)
+	}
+	if len(l.Filter(Fault)) != 0 {
+		t.Error("empty filter should be empty")
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := New(4)
+	l.Add(vtime.Time(vtime.Millisecond), SemAcquire, "enc", "cfg")
+	var b strings.Builder
+	l.Dump(&b)
+	out := b.String()
+	for _, frag := range []string{"sem-acquire", "enc", "cfg", "1.000ms"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("dump %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Release; k <= Idle; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "kind(") {
+		t.Error("unknown kind should fall back")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 2000; i++ {
+		l.Add(vtime.Time(i), Dispatch, "x", "")
+	}
+	if len(l.Events()) != 1024 {
+		t.Errorf("default cap retained %d", len(l.Events()))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: vtime.Time(vtime.Millisecond), Kind: Miss, Task: "tau05"}
+	if !strings.Contains(e.String(), "MISS") || !strings.Contains(e.String(), "tau05") {
+		t.Errorf("event string %q", e.String())
+	}
+}

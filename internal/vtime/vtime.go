@@ -1,0 +1,137 @@
+// Package vtime provides the virtual time base used throughout the
+// EMERALDS simulator.
+//
+// The paper reports all overheads in microseconds measured with a 5 MHz
+// on-chip timer (0.2 µs resolution) on a 25 MHz Motorola 68040. Virtual
+// time here is an int64 count of nanoseconds, which is strictly finer
+// than both the timer resolution and every constant in the paper
+// (all Table 1 coefficients are multiples of 0.01 µs = 10 ns), so every
+// published constant is represented exactly.
+package vtime
+
+import "fmt"
+
+// Time is an absolute instant on the simulated clock, in nanoseconds
+// since boot. The zero value is boot time.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel instant later than any reachable simulation time.
+const Forever Time = 1<<63 - 1
+
+// Micros returns a duration of us microseconds.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Millis returns a duration of ms milliseconds.
+func Millis(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Add returns the instant d after t. Adding to or past Forever saturates.
+func (t Time) Add(d Duration) Time {
+	if t == Forever {
+		return Forever
+	}
+	s := Time(int64(t) + int64(d))
+	if d > 0 && s < t {
+		return Forever
+	}
+	return s
+}
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(int64(t) - int64(u)) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Micros reports t as a float count of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a float count of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the instant with µs precision, e.g. "12.345ms".
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return Duration(t).String()
+}
+
+// Micros reports d as a float count of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Millis reports d as a float count of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d as a float count of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats the duration in the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d%Second == 0:
+		return fmt.Sprintf("%ds", int64(d/Second))
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond || d <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Scale returns d scaled by f, rounding to the nearest nanosecond.
+func Scale(d Duration, f float64) Duration {
+	v := float64(d) * f
+	if v >= 0 {
+		return Duration(v + 0.5)
+	}
+	return Duration(v - 0.5)
+}
+
+// Max returns the larger of two durations.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the smaller of two durations.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of two instants.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the earlier of two instants.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnits(t *testing.T) {
+	if Microsecond != 1000*Nanosecond {
+		t.Errorf("Microsecond = %d", int64(Microsecond))
+	}
+	if Millisecond != 1000*Microsecond {
+		t.Errorf("Millisecond = %d", int64(Millisecond))
+	}
+	if Second != 1000*Millisecond {
+		t.Errorf("Second = %d", int64(Second))
+	}
+}
+
+func TestMicrosMillisConstructors(t *testing.T) {
+	cases := []struct {
+		got, want Duration
+	}{
+		{Micros(1), Microsecond},
+		{Micros(0.25), 250 * Nanosecond},
+		{Micros(0.36), 360 * Nanosecond},
+		{Millis(1), Millisecond},
+		{Millis(2.5), 2500 * Microsecond},
+		{Micros(0), 0},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %d want %d", int64(c.got), int64(c.want))
+		}
+	}
+}
+
+func TestTableOneConstantsExact(t *testing.T) {
+	// Every Table 1 coefficient is a multiple of 0.01 µs = 10 ns, so
+	// each must be representable exactly.
+	for _, us := range []float64{1.6, 1.2, 0.25, 1.0, 0.36, 1.4, 0.6, 0.4, 2.8, 1.9, 0.7, 0.55} {
+		d := Micros(us)
+		if float64(d) != us*1000 {
+			t.Errorf("Micros(%v) = %dns, not exact", us, int64(d))
+		}
+	}
+}
+
+func TestTimeAdd(t *testing.T) {
+	tm := Time(100)
+	if tm.Add(50) != Time(150) {
+		t.Errorf("Add: got %v", tm.Add(50))
+	}
+	if tm.Add(-50) != Time(50) {
+		t.Errorf("Add negative: got %v", tm.Add(-50))
+	}
+}
+
+func TestTimeAddSaturates(t *testing.T) {
+	if Forever.Add(Second) != Forever {
+		t.Error("Forever.Add should stay Forever")
+	}
+	nearMax := Time(1<<63 - 10)
+	if got := nearMax.Add(Second); got != Forever {
+		t.Errorf("overflowing Add should saturate to Forever, got %d", int64(got))
+	}
+}
+
+func TestSubBeforeAfter(t *testing.T) {
+	a, b := Time(100), Time(250)
+	if b.Sub(a) != 150 {
+		t.Errorf("Sub: %d", int64(b.Sub(a)))
+	}
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before wrong")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After wrong")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Error("equal instants are neither before nor after")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if d.Micros() != 1500 {
+		t.Errorf("Micros() = %v", d.Micros())
+	}
+	if d.Millis() != 1.5 {
+		t.Errorf("Millis() = %v", d.Millis())
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Errorf("Seconds() = %v", (2 * Second).Seconds())
+	}
+	tm := Time(2500 * int64(Microsecond))
+	if tm.Micros() != 2500 {
+		t.Errorf("Time.Micros() = %v", tm.Micros())
+	}
+	if tm.Millis() != 2.5 {
+		t.Errorf("Time.Millis() = %v", tm.Millis())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{3 * Second, "3s"},
+		{1500 * Microsecond, "1.500ms"},
+		{Millisecond, "1.000ms"},
+		{250 * Nanosecond, "250ns"},
+		{Micros(29.4), "29.400µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if Forever.String() != "forever" {
+		t.Errorf("Forever.String() = %q", Forever.String())
+	}
+	if Time(Millisecond).String() != "1.000ms" {
+		t.Errorf("Time string = %q", Time(Millisecond).String())
+	}
+}
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		f    float64
+		want Duration
+	}{
+		{100, 0.5, 50},
+		{100, 1.5, 150},
+		{3, 0.5, 2}, // 1.5 rounds to 2
+		{-100, 0.5, -50},
+		{0, 100, 0},
+		{Millisecond, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Scale(c.d, c.f); got != c.want {
+			t.Errorf("Scale(%d, %v) = %d, want %d", int64(c.d), c.f, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Error("Max wrong")
+	}
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Error("Min wrong")
+	}
+	if MaxTime(1, 2) != 2 || MinTime(1, 2) != 1 {
+		t.Error("MaxTime/MinTime wrong")
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		tm := Time(base % (1 << 50))
+		if tm < 0 {
+			tm = -tm
+		}
+		d := Duration(delta)
+		return tm.Add(d).Sub(tm) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Duration(a), Duration(b)
+		if x > y {
+			x, y = y, x
+		}
+		return Scale(x, 1.5) <= Scale(y, 1.5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 20, Seed: 42, Utilization: 0.5}
+	eq := func(x, y task.Spec) bool { return x.Period == y.Period && x.WCET == y.WCET }
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a {
+		if !eq(a[i], b[i]) {
+			t.Fatalf("task %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(Config{N: 20, Seed: 43, Utilization: 0.5})
+	same := true
+	for i := range a {
+		if !eq(a[i], c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGeneratePeriodBands(t *testing.T) {
+	specs := Generate(Config{N: 3000, Seed: 1, Utilization: 0.5})
+	var bands [3]int
+	for _, s := range specs {
+		ms := s.Period.Millis()
+		switch {
+		case ms >= 5 && ms <= 9:
+			bands[0]++
+		case ms >= 10 && ms <= 99:
+			bands[1]++
+		case ms >= 100 && ms <= 999:
+			bands[2]++
+		default:
+			t.Fatalf("period %v outside every band", s.Period)
+		}
+	}
+	// Each band should hold roughly a third of the tasks (§5.7:
+	// "equal probability").
+	for i, c := range bands {
+		frac := float64(c) / 3000
+		if frac < 0.28 || frac > 0.39 {
+			t.Errorf("band %d fraction = %.3f", i, frac)
+		}
+	}
+}
+
+func TestGeneratePeriodDivisor(t *testing.T) {
+	base := Generate(Config{N: 50, Seed: 9, Utilization: 0.5, PeriodDiv: 1})
+	div3 := Generate(Config{N: 50, Seed: 9, Utilization: 0.5, PeriodDiv: 3})
+	for i := range base {
+		if div3[i].Period != base[i].Period/3 {
+			t.Fatalf("task %d: %v is not %v/3", i, div3[i].Period, base[i].Period)
+		}
+	}
+}
+
+func TestGenerateHitsUtilizationTarget(t *testing.T) {
+	for _, u := range []float64{0.3, 0.5, 0.8} {
+		specs := Generate(Config{N: 30, Seed: 4, Utilization: u})
+		got := task.TotalUtilization(specs)
+		if math.Abs(got-u) > 0.02 {
+			t.Errorf("target %.2f, got %.4f", u, got)
+		}
+	}
+}
+
+func TestGenerateMinimumWCET(t *testing.T) {
+	specs := Generate(Config{N: 40, Seed: 2, Utilization: 0.01})
+	for _, s := range specs {
+		if s.WCET < vtime.Micros(10) {
+			t.Errorf("WCET %v below the 10 µs floor", s.WCET)
+		}
+		if s.WCET > s.Period {
+			t.Errorf("WCET %v exceeds period %v", s.WCET, s.Period)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	specs := Generate(Config{N: 5})
+	if len(specs) != 5 {
+		t.Fatalf("len = %d", len(specs))
+	}
+	u := task.TotalUtilization(specs)
+	if math.Abs(u-0.5) > 0.05 {
+		t.Errorf("default utilization = %v", u)
+	}
+}
+
+func TestBatchIndependentStreams(t *testing.T) {
+	b := Batch(Config{N: 10, Seed: 1, Utilization: 0.5}, 5)
+	if len(b) != 5 {
+		t.Fatalf("batch size %d", len(b))
+	}
+	for i := 1; i < len(b); i++ {
+		same := true
+		for j := range b[i] {
+			if b[i][j].Period != b[0][j].Period || b[i][j].WCET != b[0][j].WCET {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("batch member %d identical to member 0", i)
+		}
+	}
+}
+
+func TestTable2Exact(t *testing.T) {
+	w := Table2()
+	if len(w) != 10 {
+		t.Fatalf("len = %d", len(w))
+	}
+	if w[0].Period != 4*vtime.Millisecond || w[4].Period != 8*vtime.Millisecond {
+		t.Errorf("periods wrong: %v %v", w[0].Period, w[4].Period)
+	}
+	if w[0].Name != "tau01" || w[9].Name != "tau10" {
+		t.Errorf("names: %q %q", w[0].Name, w[9].Name)
+	}
+	u := task.TotalUtilization(w)
+	if math.Abs(u-0.88) > 0.01 {
+		t.Errorf("U = %.4f, want ≈0.88", u)
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper's evaluation into
+# results/. Figures 3-5 dominate the runtime; set WORKLOADS to taste
+# (the paper used 500 per point; the shapes stabilize well below 100).
+set -eu
+cd "$(dirname "$0")/.."
+WORKLOADS="${WORKLOADS:-50}"
+mkdir -p results
+
+echo "== Tables 1-3 / Figure 2 =="
+go run ./cmd/schedtab | tee results/tables.txt
+
+echo "== Figures 3-5 (breakdown utilization, $WORKLOADS workloads/point) =="
+go run ./cmd/breakdown -div 1 -workloads "$WORKLOADS" | tee results/figure3.txt
+go run ./cmd/breakdown -div 2 -workloads "$WORKLOADS" | tee results/figure4.txt
+go run ./cmd/breakdown -div 3 -workloads "$WORKLOADS" | tee results/figure5.txt
+
+echo "== Figures 11-12 (semaphore overhead) =="
+go run ./cmd/sembench | tee results/figures11-12.txt
+
+echo "== Section 7 (state messages vs mailboxes) =="
+go run ./cmd/ipcbench | tee results/ipc.txt
+
+echo "== Section 5.5.3 (partition search) =="
+go run ./cmd/csdsearch -n 100 -u 0.7 | tee results/csdsearch.txt
+
+echo "== Ablations (beyond the paper) =="
+go run ./cmd/ablate | tee results/ablation.txt
+
+echo "done; see results/"
