@@ -8,6 +8,7 @@ package emeralds_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"emeralds/internal/analysis"
@@ -135,6 +136,7 @@ func benchBreakdown(b *testing.B, div int) {
 			PeriodDiv: div,
 			Workloads: 8,
 			Seed:      1,
+			Par:       experiments.Serial,
 		})
 	}
 	last := len(res.Ns) - 1
@@ -147,12 +149,35 @@ func BenchmarkFigure3(b *testing.B) { benchBreakdown(b, 1) }
 func BenchmarkFigure4(b *testing.B) { benchBreakdown(b, 2) }
 func BenchmarkFigure5(b *testing.B) { benchBreakdown(b, 3) }
 
+// BenchmarkHarnessFanout compares the serial and parallel executions
+// of the same small Figure 3 sweep through the shared harness. The
+// two sub-benchmarks produce bit-identical series (see
+// TestBreakdownParallelDeterminism); the ns/op ratio is the harness's
+// speedup, which approaches NumCPU on multicore hardware. The result
+// is recorded in results/harness_scaling.json.
+func BenchmarkHarnessFanout(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		b.ReportMetric(float64(runtime.NumCPU()), "num-cpu")
+		for i := 0; i < b.N; i++ {
+			experiments.BreakdownFigure(experiments.BreakdownConfig{
+				Ns:        []int{10, 20, 30},
+				PeriodDiv: 1,
+				Workloads: 4,
+				Seed:      1,
+				Par:       experiments.Par{Workers: workers},
+			})
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
 // --- Figures 11–12: semaphore acquire/release overhead ------------------
 
 func benchSemFigure(b *testing.B, kind experiments.SemQueueKind) {
 	var pts []experiments.SemPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiments.SemOverheadCurve(kind, []int{15}, nil)
+		pts = experiments.SemOverheadCurve(kind, []int{15}, nil, experiments.Serial)
 	}
 	b.ReportMetric(pts[0].Standard.Micros(), "standard-µs@15")
 	b.ReportMetric(pts[0].Optimized.Micros(), "optimized-µs@15")
@@ -167,7 +192,7 @@ func BenchmarkFigure12(b *testing.B) { benchSemFigure(b, experiments.FPQueue) }
 func BenchmarkStateMessageVsMailbox(b *testing.B) {
 	var pts []experiments.IPCPoint
 	for i := 0; i < b.N; i++ {
-		pts = experiments.IPCComparison([]int{8}, []int{4}, nil)
+		pts = experiments.IPCComparison([]int{8}, []int{4}, nil, experiments.Serial)
 	}
 	b.ReportMetric(pts[0].StatePerMsg.Micros(), "state-µs/msg")
 	b.ReportMetric(pts[0].MailboxPerMsg.Micros(), "mailbox-µs/msg")
@@ -228,7 +253,7 @@ func BenchmarkAblationSemScheme(b *testing.B) {
 		b.Run(string(kind), func(b *testing.B) {
 			var pts []experiments.SemAblationPoint
 			for i := 0; i < b.N; i++ {
-				pts = experiments.SemAblation(kind, []int{15}, nil)
+				pts = experiments.SemAblation(kind, []int{15}, nil, experiments.Serial)
 			}
 			p := pts[0]
 			b.ReportMetric(p.Standard.Micros(), "standard-µs")
@@ -243,7 +268,7 @@ func BenchmarkAblationSemScheme(b *testing.B) {
 func BenchmarkAblationCSDCounters(b *testing.B) {
 	var with, without vtime.Duration
 	for i := 0; i < b.N; i++ {
-		with, without = experiments.CSDCounterAblation(nil)
+		with, without = experiments.CSDCounterAblation(nil, experiments.Serial)
 	}
 	b.ReportMetric(with.Millis(), "with-counters-ms")
 	b.ReportMetric(without.Millis(), "without-counters-ms")

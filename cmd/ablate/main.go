@@ -1,46 +1,91 @@
 // Command ablate runs the design-choice ablations of DESIGN.md §6:
 // the §6.2 semaphore optimization split into its hint and place-holder
-// halves, and the §5.3 CSD ready counters.
+// halves, the §5.3 CSD ready counters, and the §5.6 CSD-x queue-count
+// sweep.
+//
+//	ablate -len 5,15,30 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
+	"emeralds/internal/vtime"
 )
 
 func main() {
-	lens := flag.String("len", "5,10,15,20,25,30", "queue lengths for the semaphore ablation")
-	flag.Parse()
+	c := cli.Register("ablate")
+	lens := flag.String("len", "5,10,15,20,25,30", "queue lengths for the semaphore ablation (minimum 3)")
+	sweepN := flag.Int("sweep-n", 30, "task count for the queue-count sweep")
+	sweepCount := flag.Int("sweep-workloads", 20, "workloads per queue-count point")
+	c.Parse()
+	ls := c.Ints("len", *lens, 3)
+	par := experiments.Par{Workers: c.Workers, Progress: c.Progress()}
 
-	var ls []int
-	for _, f := range strings.Split(*lens, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v < 3 {
-			fmt.Fprintf(os.Stderr, "ablate: bad -len entry %q\n", f)
-			os.Exit(2)
+	semSeries := map[string][]experiments.SemAblationPoint{}
+	for _, kind := range []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue} {
+		pts := experiments.SemAblation(kind, ls, nil, par)
+		semSeries[string(kind)] = pts
+		if !c.CSV {
+			fmt.Print(experiments.RenderSemAblation(kind, pts))
+			fmt.Println()
 		}
-		ls = append(ls, v)
 	}
 
-	for _, kind := range []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue} {
-		fmt.Print(experiments.RenderSemAblation(kind, experiments.SemAblation(kind, ls, nil)))
+	with, without := experiments.CSDCounterAblation(nil, par)
+	saving := 100 * float64(without-with) / float64(without)
+	if !c.CSV {
+		fmt.Println("CSD ready-counter ablation (total scheduler charge, 2 s run,")
+		fmt.Println("8 short DP tasks + 6 long FP tasks — DP queues mostly empty):")
+		fmt.Printf("  with counters:    %v\n", with)
+		fmt.Printf("  without counters: %v\n", without)
+		fmt.Printf("  counters save:    %.0f%%\n", saving)
 		fmt.Println()
 	}
 
-	with, without := experiments.CSDCounterAblation(nil)
-	saving := 100 * float64(without-with) / float64(without)
-	fmt.Println("CSD ready-counter ablation (total scheduler charge, 2 s run,")
-	fmt.Println("8 short DP tasks + 6 long FP tasks — DP queues mostly empty):")
-	fmt.Printf("  with counters:    %v\n", with)
-	fmt.Printf("  without counters: %v\n", without)
-	fmt.Printf("  counters save:    %.0f%%\n", saving)
-	fmt.Println()
+	xs := []int{1, 2, 3, 4, 6, 8, 12, 20, 29}
+	sweep := experiments.QueueCountSweep(nil, *sweepN, xs, *sweepCount, c.Seed, par)
+	if c.CSV {
+		var rows [][]string
+		for _, kind := range []string{"dp", "fp"} {
+			for _, p := range semSeries[kind] {
+				rows = append(rows, []string{"sem-" + kind, fmt.Sprint(p.QueueLen),
+					fmt.Sprintf("%.2f", p.Standard.Micros()),
+					fmt.Sprintf("%.2f", p.HintOnly.Micros()),
+					fmt.Sprintf("%.2f", p.PlaceholderOnly.Micros()),
+					fmt.Sprintf("%.2f", p.Full.Micros())})
+			}
+		}
+		for _, p := range sweep {
+			rows = append(rows, []string{"queue-sweep", fmt.Sprint(p.X),
+				fmt.Sprintf("%.2f", p.Breakdown), "", "", ""})
+		}
+		cli.WriteCSV(os.Stdout,
+			[]string{"experiment", "x", "v1", "v2", "v3", "v4"}, rows)
+	} else {
+		fmt.Print(experiments.RenderQueueSweep(*sweepN, sweep))
+	}
 
-	pts := experiments.QueueCountSweep(nil, 30, []int{1, 2, 3, 4, 6, 8, 12, 20, 29}, 20, 5)
-	fmt.Print(experiments.RenderQueueSweep(30, pts))
+	type counterResult struct {
+		With    vtime.Duration `json:"with_counters_us"`
+		Without vtime.Duration `json:"without_counters_us"`
+		SavePct float64        `json:"saving_pct"`
+	}
+	type config struct {
+		Lens       []int `json:"lens"`
+		SweepN     int   `json:"sweep_n"`
+		SweepCount int   `json:"sweep_workloads"`
+		Seed       int64 `json:"seed"`
+	}
+	type series struct {
+		SemAblation map[string][]experiments.SemAblationPoint `json:"sem_ablation"`
+		CSDCounters counterResult                             `json:"csd_counters"`
+		QueueSweep  []experiments.QueueSweepPoint             `json:"queue_sweep"`
+	}
+	c.EmitArtifact(
+		config{ls, *sweepN, *sweepCount, c.Seed},
+		series{semSeries, counterResult{with, without, saving}, sweep})
 }

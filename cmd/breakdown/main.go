@@ -1,12 +1,14 @@
 // Command breakdown regenerates Figures 3–5 of the paper: average
 // breakdown utilization versus task count for RM, EDF, CSD-2, CSD-3
-// and CSD-4, at the three period scalings.
+// and CSD-4, at the three period scalings. The sweep fans out over
+// all CPUs; the series are identical for any -workers value.
 //
 //	breakdown -div 1            # Figure 3 (base periods, 5 ms – 1 s)
 //	breakdown -div 2            # Figure 4 (periods halved)
 //	breakdown -div 3            # Figure 5 (periods ÷3)
 //	breakdown -workloads 500    # the paper's sample size
-//	breakdown -csv              # machine-readable output
+//	breakdown -csv              # machine-readable stdout
+//	breakdown -json             # versioned artifact in results/
 package main
 
 import (
@@ -14,66 +16,83 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
+	"emeralds/internal/cli"
+	"emeralds/internal/costmodel"
 	"emeralds/internal/experiments"
 	"emeralds/internal/vtime"
-	"emeralds/internal/workload"
 )
 
 func main() {
+	c := cli.Register("breakdown")
 	div := flag.Int("div", 1, "divide task periods by this factor (1, 2, 3)")
 	workloads := flag.Int("workloads", 100, "random workloads per point (paper: 500)")
-	seed := flag.Int64("seed", 1, "base RNG seed")
 	ns := flag.String("n", "", "comma-separated task counts (default 5..50 step 5)")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
-	simulate := flag.Bool("sim", false, "cross-check EDF/RM points by simulation-driven breakdown (slow; harmonic horizon 400 ms)")
-	flag.Parse()
+	simulate := flag.Bool("sim", false, "cross-check EDF/RM points by simulation-driven breakdown (slow; horizon 2 s)")
+	c.Parse()
 
+	// One profile drives everything: the analytic sweep and, under
+	// -sim, the simulation cross-check (which previously defaulted to
+	// its own profile while the sweep used another).
+	prof := costmodel.M68040()
 	cfg := experiments.BreakdownConfig{
 		PeriodDiv: *div,
 		Workloads: *workloads,
-		Seed:      *seed,
+		Seed:      c.Seed,
+		Profile:   prof,
+		Par:       experiments.Par{Workers: c.Workers, Progress: c.Progress()},
 	}
 	if *ns != "" {
-		for _, f := range strings.Split(*ns, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || v <= 0 {
-				fmt.Fprintf(os.Stderr, "breakdown: bad -n entry %q\n", f)
-				os.Exit(2)
-			}
-			cfg.Ns = append(cfg.Ns, v)
-		}
+		cfg.Ns = c.Ints("n", *ns, 1)
 	}
 	res := experiments.BreakdownFigure(cfg)
-	if *csv {
-		fmt.Printf("n,%s\n", strings.Join(res.Cfg.Schedulers, ","))
+
+	if c.CSV {
+		header := append([]string{"n"}, res.Cfg.Schedulers...)
+		var rows [][]string
 		for i, n := range res.Ns {
 			row := []string{strconv.Itoa(n)}
 			for _, s := range res.Cfg.Schedulers {
 				row = append(row, fmt.Sprintf("%.2f", res.Series[s][i]))
 			}
-			fmt.Println(strings.Join(row, ","))
+			rows = append(rows, row)
 		}
-		return
+		cli.WriteCSV(os.Stdout, header, rows)
+	} else {
+		fig := map[int]string{1: "Figure 3", 2: "Figure 4", 3: "Figure 5"}[*div]
+		if fig == "" {
+			fig = fmt.Sprintf("periods ÷%d", *div)
+		}
+		fmt.Printf("%s — %s", fig, res.Render())
 	}
-	fig := map[int]string{1: "Figure 3", 2: "Figure 4", 3: "Figure 5"}[*div]
-	if fig == "" {
-		fig = fmt.Sprintf("periods ÷%d", *div)
-	}
-	fmt.Printf("%s — %s", fig, res.Render())
 
+	var sim []experiments.CompareSweepPoint
 	if *simulate {
-		fmt.Println("\nsimulation cross-check (one workload per n, horizon 2 s):")
-		fmt.Printf("%6s %12s %12s %12s %12s\n", "n", "EDF-analytic", "EDF-sim", "RM-analytic", "RM-sim")
-		for _, n := range res.Ns {
-			specs := workload.Generate(workload.Config{
-				N: n, PeriodDiv: *div, Utilization: 0.5, Seed: *seed,
-			})
-			cmps := experiments.CompareBreakdowns(nil, specs, 2*vtime.Second)
-			fmt.Printf("%6d %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
-				n, 100*cmps[0].Analytic, 100*cmps[0].Simulated,
-				100*cmps[1].Analytic, 100*cmps[1].Simulated)
+		sim = experiments.CompareSweep(prof, res.Ns, *div, c.Seed, 2*vtime.Second, cfg.Par)
+		if !c.CSV {
+			fmt.Println("\nsimulation cross-check (workload 0 of each n, horizon 2 s):")
+			fmt.Printf("%6s %12s %12s %12s %12s\n", "n", "EDF-analytic", "EDF-sim", "RM-analytic", "RM-sim")
+			for _, pt := range sim {
+				fmt.Printf("%6d %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+					pt.N, 100*pt.Cmps[0].Analytic, 100*pt.Cmps[0].Simulated,
+					100*pt.Cmps[1].Analytic, 100*pt.Cmps[1].Simulated)
+			}
 		}
 	}
+
+	type config struct {
+		PeriodDiv  int      `json:"period_div"`
+		Workloads  int      `json:"workloads"`
+		Seed       int64    `json:"seed"`
+		Schedulers []string `json:"schedulers"`
+		Profile    string   `json:"profile"`
+	}
+	type series struct {
+		Ns           []int                           `json:"ns"`
+		BreakdownPct map[string][]float64            `json:"breakdown_pct"`
+		SimCheck     []experiments.CompareSweepPoint `json:"sim_crosscheck,omitempty"`
+	}
+	c.EmitArtifact(
+		config{*div, res.Cfg.Workloads, c.Seed, res.Cfg.Schedulers, prof.Name},
+		series{res.Ns, res.Series, sim})
 }

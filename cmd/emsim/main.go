@@ -6,6 +6,7 @@
 //	emsim                          # Table 2 workload on CSD-3, 1 s
 //	emsim -policy rm -trace 40     # watch RM drop τ₅ (first 40 events)
 //	emsim -n 12 -u 0.8 -seed 7     # random 12-task workload
+//	emsim -json                    # versioned artifact in results/
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"emeralds/internal/cli"
 	"emeralds/internal/core"
+	"emeralds/internal/kernel"
 	"emeralds/internal/task"
 	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
@@ -21,21 +24,21 @@ import (
 )
 
 func main() {
+	c := cli.Register("emsim")
 	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
 	queues := flag.Int("queues", 3, "CSD queue count")
 	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
 	u := flag.Float64("u", 0.7, "random workload utilization")
 	div := flag.Int("div", 1, "period divisor")
-	seed := flag.Int64("seed", 1, "RNG seed")
 	ms := flag.Float64("ms", 1000, "virtual milliseconds to run")
 	traceN := flag.Int("trace", 0, "print the last N trace events")
 	gantt := flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N virtual milliseconds")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
-	flag.Parse()
+	c.Parse()
 
-	traceCap := maxInt(*traceN, 1)
+	traceCap := max(*traceN, 1)
 	if *gantt > 0 {
-		traceCap = maxInt(traceCap, 1<<16)
+		traceCap = max(traceCap, 1<<16)
 	}
 	sys := core.New(core.Config{
 		Policy:        core.Policy(*policy),
@@ -46,7 +49,7 @@ func main() {
 
 	var specs []task.Spec
 	if *n > 0 {
-		specs = workload.Generate(workload.Config{N: *n, Utilization: *u, PeriodDiv: *div, Seed: *seed})
+		specs = workload.Generate(workload.Config{N: *n, Utilization: *u, PeriodDiv: *div, Seed: c.Seed})
 	} else {
 		specs = workload.Table2()
 	}
@@ -76,12 +79,60 @@ func main() {
 		}))
 		fmt.Println()
 	}
-	fmt.Print(sys.Report())
-}
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+	type taskRow struct {
+		Name        string         `json:"name"`
+		Period      vtime.Duration `json:"period_us"`
+		Releases    uint64         `json:"releases"`
+		Completions uint64         `json:"completions"`
+		Misses      uint64         `json:"misses"`
+		Preemptions uint64         `json:"preemptions"`
+		AvgResp     vtime.Duration `json:"avg_resp_us"`
+		MaxResp     vtime.Duration `json:"max_resp_us"`
 	}
-	return b
+	var tasks []taskRow
+	for _, th := range sys.Kernel().Threads() {
+		t := th.TCB
+		tasks = append(tasks, taskRow{
+			Name: t.Name, Period: t.Spec.Period,
+			Releases: t.Releases, Completions: t.Completions,
+			Misses: t.Misses, Preemptions: t.Preemptions,
+			AvgResp: t.AvgResp(), MaxResp: t.MaxResp,
+		})
+	}
+
+	if c.CSV {
+		var rows [][]string
+		for _, tr := range tasks {
+			rows = append(rows, []string{
+				tr.Name, fmt.Sprintf("%.1f", tr.Period.Micros()),
+				fmt.Sprint(tr.Releases), fmt.Sprint(tr.Completions),
+				fmt.Sprint(tr.Misses), fmt.Sprint(tr.Preemptions),
+				fmt.Sprintf("%.2f", tr.AvgResp.Micros()), fmt.Sprintf("%.2f", tr.MaxResp.Micros()),
+			})
+		}
+		cli.WriteCSV(os.Stdout,
+			[]string{"task", "period_us", "releases", "completions", "misses", "preemptions", "avg_resp_us", "max_resp_us"},
+			rows)
+	} else {
+		fmt.Print(sys.Report())
+	}
+
+	type config struct {
+		Policy string  `json:"policy"`
+		Queues int     `json:"queues"`
+		N      int     `json:"n"`
+		U      float64 `json:"u"`
+		Div    int     `json:"period_div"`
+		Seed   int64   `json:"seed"`
+		Millis float64 `json:"run_ms"`
+		StdSem bool    `json:"standard_sem"`
+	}
+	type series struct {
+		Stats kernel.Stats `json:"stats"`
+		Tasks []taskRow    `json:"tasks"`
+	}
+	c.EmitArtifact(
+		config{*policy, *queues, *n, *u, *div, c.Seed, *ms, *standard},
+		series{sys.Stats(), tasks})
 }

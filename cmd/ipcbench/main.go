@@ -1,36 +1,53 @@
 // Command ipcbench regenerates the §7 comparison (reconstructed; see
 // DESIGN.md): per-message kernel overhead of state-message IPC versus
 // mailbox IPC, across payload sizes and reader counts.
+//
+//	ipcbench -sizes 8,64 -readers 1,8
+//	ipcbench -csv -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
 )
 
-func parseInts(s, flagName string) []int {
-	var out []int
-	for _, f := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "ipcbench: bad -%s entry %q\n", flagName, f)
-			os.Exit(2)
-		}
-		out = append(out, v)
-	}
-	return out
-}
-
 func main() {
+	c := cli.Register("ipcbench")
 	sizes := flag.String("sizes", "8,16,32,64", "payload sizes in bytes")
 	readers := flag.String("readers", "1,2,4,8", "consumer task counts")
-	flag.Parse()
+	c.Parse()
+	szs := c.Ints("sizes", *sizes, 1)
+	rds := c.Ints("readers", *readers, 1)
 
-	pts := experiments.IPCComparison(parseInts(*sizes, "sizes"), parseInts(*readers, "readers"), nil)
-	fmt.Print(experiments.RenderIPC(pts))
+	pts := experiments.IPCComparison(szs, rds, nil,
+		experiments.Par{Workers: c.Workers, Progress: c.Progress()})
+
+	if c.CSV {
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprint(p.Readers), fmt.Sprint(p.Size),
+				fmt.Sprintf("%.3f", p.StatePerMsg.Micros()),
+				fmt.Sprintf("%.3f", p.MailboxPerMsg.Micros()),
+				fmt.Sprintf("%.2f", p.SpeedupX()),
+				fmt.Sprintf("%.3f", p.StateSwitchesPerMsg),
+				fmt.Sprintf("%.3f", p.MailboxSwitchesPerMsg),
+			})
+		}
+		cli.WriteCSV(os.Stdout,
+			[]string{"readers", "size", "state_us_per_msg", "mailbox_us_per_msg", "speedup_x", "state_cs_per_msg", "mbox_cs_per_msg"},
+			rows)
+	} else {
+		fmt.Print(experiments.RenderIPC(pts))
+	}
+
+	type config struct {
+		Sizes   []int `json:"sizes"`
+		Readers []int `json:"readers"`
+	}
+	c.EmitArtifact(config{szs, rds}, pts)
 }

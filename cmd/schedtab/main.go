@@ -5,31 +5,52 @@
 //	schedtab             # all three
 //	schedtab -table 1    # only Table 1
 //	schedtab -table 3 -q 4 -r 12 -n 30
+//	schedtab -json       # versioned artifact in results/
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
 )
 
 func main() {
+	c := cli.Register("schedtab")
 	table := flag.Int("table", 0, "which table (1, 2, 3); 0 = all")
 	q := flag.Int("q", 5, "Table 3: DP1 queue length")
 	r := flag.Int("r", 15, "Table 3: total DP tasks")
 	n := flag.Int("n", 30, "Table 3: total tasks")
-	flag.Parse()
+	c.Parse()
 
+	type series struct {
+		Table1  []experiments.Table1Row    `json:"table1,omitempty"`
+		Figure2 *experiments.Figure2Result `json:"figure2,omitempty"`
+		Table3  []experiments.Table3Entry  `json:"table3,omitempty"`
+	}
+	var s series
 	if *table == 0 || *table == 1 {
-		fmt.Print(experiments.RenderTable1(experiments.Table1(nil)))
+		s.Table1 = experiments.Table1(nil)
+		fmt.Print(experiments.RenderTable1(s.Table1))
 		fmt.Println()
 	}
 	if *table == 0 || *table == 2 {
-		fmt.Print(experiments.Figure2(nil).Render())
+		fig := experiments.Figure2(nil)
+		s.Figure2 = &fig
+		fmt.Print(fig.Render())
 		fmt.Println()
 	}
 	if *table == 0 || *table == 3 {
-		fmt.Print(experiments.RenderTable3(experiments.Table3(nil, *q, *r, *n), *q, *r, *n))
+		s.Table3 = experiments.Table3(nil, *q, *r, *n)
+		fmt.Print(experiments.RenderTable3(s.Table3, *q, *r, *n))
 	}
+
+	type config struct {
+		Table int `json:"table"`
+		Q     int `json:"q"`
+		R     int `json:"r"`
+		N     int `json:"n"`
+	}
+	c.EmitArtifact(config{*table, *q, *r, *n}, s)
 }

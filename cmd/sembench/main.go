@@ -5,52 +5,79 @@
 //	sembench -queue dp    # Figure 11: the EDF/DP queue
 //	sembench -queue fp    # Figure 12: the RM/FP queue
 //	sembench              # both
+//	sembench -json        # versioned artifact in results/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
+	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
 )
 
 func main() {
+	c := cli.Register("sembench")
 	queue := flag.String("queue", "both", "which queue to exercise: dp, fp, both")
-	lens := flag.String("len", "3,6,9,12,15,18,21,24,27,30", "comma-separated queue lengths")
-	flag.Parse()
+	lens := flag.String("len", "3,6,9,12,15,18,21,24,27,30", "comma-separated queue lengths (minimum 3)")
+	c.Parse()
+	ls := c.Ints("len", *lens, 3)
+	par := experiments.Par{Workers: c.Workers, Progress: c.Progress()}
 
-	var ls []int
-	for _, f := range strings.Split(*lens, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v < 3 {
-			fmt.Fprintf(os.Stderr, "sembench: bad -len entry %q (minimum 3)\n", f)
-			os.Exit(2)
-		}
-		ls = append(ls, v)
-	}
-
-	show := func(kind experiments.SemQueueKind, figure string) {
-		pts := experiments.SemOverheadCurve(kind, ls, nil)
-		fmt.Printf("%s — semaphore acquire/release overhead, %s queue\n", figure, strings.ToUpper(string(kind)))
-		fmt.Printf("%10s %14s %14s %10s\n", "queue len", "standard", "optimized", "saving")
-		for _, p := range pts {
-			fmt.Printf("%10d %14v %14v %9.0f%%\n", p.QueueLen, p.Standard, p.Optimized, p.SavingPct())
-		}
-		fmt.Println()
-	}
+	var kinds []experiments.SemQueueKind
 	switch *queue {
 	case "dp":
-		show(experiments.DPQueue, "Figure 11")
+		kinds = []experiments.SemQueueKind{experiments.DPQueue}
 	case "fp":
-		show(experiments.FPQueue, "Figure 12")
+		kinds = []experiments.SemQueueKind{experiments.FPQueue}
 	case "both":
-		show(experiments.DPQueue, "Figure 11")
-		show(experiments.FPQueue, "Figure 12")
+		kinds = []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue}
 	default:
-		fmt.Fprintf(os.Stderr, "sembench: unknown -queue %q\n", *queue)
-		os.Exit(2)
+		c.Fatalf("unknown -queue %q", *queue)
 	}
+
+	figures := map[experiments.SemQueueKind]string{
+		experiments.DPQueue: "Figure 11",
+		experiments.FPQueue: "Figure 12",
+	}
+	series := map[string][]experiments.SemPoint{}
+	var csvRows [][]string
+	for _, kind := range kinds {
+		pts := experiments.SemOverheadCurve(kind, ls, nil, par)
+		series[string(kind)] = pts
+		if c.CSV {
+			for _, p := range pts {
+				csvRows = append(csvRows, []string{
+					string(kind), fmt.Sprint(p.QueueLen),
+					fmt.Sprintf("%.2f", p.Standard.Micros()),
+					fmt.Sprintf("%.2f", p.Optimized.Micros()),
+					fmt.Sprintf("%.1f", p.SavingPct()),
+				})
+			}
+			continue
+		}
+		fmt.Printf("%s — semaphore acquire/release overhead, %s queue\n",
+			figures[kind], strings.ToUpper(string(kind)))
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprint(p.QueueLen),
+				p.Standard.String(), p.Optimized.String(),
+				fmt.Sprintf("%.0f%%", p.SavingPct()),
+			})
+		}
+		cli.Table(os.Stdout, []string{"queue len", "standard", "optimized", "saving"}, rows)
+		fmt.Println()
+	}
+	if c.CSV {
+		cli.WriteCSV(os.Stdout, []string{"queue", "len", "standard_us", "optimized_us", "saving_pct"}, csvRows)
+	}
+
+	type config struct {
+		Queue string `json:"queue"`
+		Lens  []int  `json:"lens"`
+	}
+	c.EmitArtifact(config{*queue, ls}, series)
 }

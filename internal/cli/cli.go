@@ -1,0 +1,179 @@
+// Package cli is the shared plumbing of the cmd/ experiment tools:
+// the common flag set (-workers, -seed, -json, -csv, -quiet),
+// comma-separated integer-list parsing, aligned-table and CSV
+// rendering, and versioned JSON artifact emission under results/.
+// Keeping it here means every tool exposes the same interface and the
+// output formats live in exactly one place.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"emeralds/internal/harness"
+)
+
+// Common holds the flags shared by every experiment command.
+type Common struct {
+	Tool string // command name, used in errors and artifact metadata
+
+	Workers int   // -workers: fan-out width, 0 = all CPUs
+	Seed    int64 // -seed: base RNG seed
+	JSON    bool  // -json: write an artifact to results/<tool>.json
+	JSONOut string
+	CSV     bool // -csv: machine-readable stdout
+	Quiet   bool // -quiet: no progress on stderr
+
+	start time.Time
+}
+
+// Register installs the shared flags on the default FlagSet. Call it
+// before defining tool-specific flags and before flag.Parse.
+func Register(tool string) *Common {
+	c := &Common{Tool: tool, start: time.Now()}
+	flag.IntVar(&c.Workers, "workers", 0, "parallel worker count (0 = all CPUs); results are identical for any value")
+	flag.Int64Var(&c.Seed, "seed", 1, "base RNG seed")
+	flag.BoolVar(&c.JSON, "json", false, fmt.Sprintf("write a versioned JSON artifact to results/%s.json", tool))
+	flag.StringVar(&c.JSONOut, "json-out", "", "artifact path override (implies -json)")
+	flag.BoolVar(&c.CSV, "csv", false, "emit CSV to stdout instead of aligned tables")
+	flag.BoolVar(&c.Quiet, "quiet", false, "suppress progress reporting on stderr")
+	return c
+}
+
+// Parse wraps flag.Parse and resolves flag interactions.
+func (c *Common) Parse() {
+	flag.Parse()
+	if c.JSONOut != "" {
+		c.JSON = true
+	}
+}
+
+// Progress returns the writer experiment sweeps should report
+// throughput to: stderr, or nil under -quiet.
+func (c *Common) Progress() io.Writer {
+	if c.Quiet {
+		return nil
+	}
+	return os.Stderr
+}
+
+// EffectiveWorkers resolves the -workers flag the way the harness
+// does, for recording in artifacts.
+func (c *Common) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// ArtifactPath is where -json writes: -json-out if given, otherwise
+// results/<tool>.json.
+func (c *Common) ArtifactPath() string {
+	if c.JSONOut != "" {
+		return c.JSONOut
+	}
+	return filepath.Join("results", c.Tool+".json")
+}
+
+// EmitArtifact writes the tool's versioned artifact if -json was
+// given. config must be the deterministic experiment parameters and
+// series the deterministic results; volatile metadata (git, wall
+// time, workers) goes under the artifact's "run" key. The wall time
+// is measured from Register.
+func (c *Common) EmitArtifact(config, series any) {
+	if !c.JSON {
+		return
+	}
+	a := harness.NewArtifact(c.Tool, config, series, c.EffectiveWorkers(), time.Since(c.start))
+	path := c.ArtifactPath()
+	if err := a.WriteFile(path); err != nil {
+		c.Fatalf("writing artifact: %v", err)
+	}
+	if !c.Quiet {
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", c.Tool, path)
+	}
+}
+
+// Fatalf reports a usage or I/O error and exits 2, the convention the
+// tools already used for bad flags.
+func (c *Common) Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", c.Tool, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// Ints parses a comma-separated integer list flag, exiting 2 on a bad
+// or below-minimum entry.
+func (c *Common) Ints(flagName, s string, min int) []int {
+	out, err := ParseInts(s, min)
+	if err != nil {
+		c.Fatalf("bad -%s: %v", flagName, err)
+	}
+	return out
+}
+
+// ParseInts parses "5,10, 15" into []int, requiring each ≥ min.
+func ParseInts(s string, min int) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("entry %q is not an integer", f)
+		}
+		if v < min {
+			return nil, fmt.Errorf("entry %d below minimum %d", v, min)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Table renders header+rows as aligned columns: the first column
+// left-aligned, the rest right-aligned (the repo's table style).
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	emit := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			pad := strings.Repeat(" ", widths[i]-len([]rune(cell)))
+			if i == 0 {
+				fmt.Fprint(w, cell, pad)
+			} else {
+				fmt.Fprint(w, pad, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	emit(header)
+	for _, r := range rows {
+		emit(r)
+	}
+}
+
+// WriteCSV emits header+rows as comma-separated lines. Cells are
+// expected to be plain numbers/identifiers (no quoting dialect —
+// none of the tools emit commas or quotes in cells).
+func WriteCSV(w io.Writer, header []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}

@@ -1,0 +1,50 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("5, 10,15", 1)
+	if err != nil || len(got) != 3 || got[0] != 5 || got[2] != 15 {
+		t.Fatalf("ParseInts = %v, %v", got, err)
+	}
+	if _, err := ParseInts("5,x", 1); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if _, err := ParseInts("5,2", 3); err == nil {
+		t.Error("below-minimum entry accepted")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"name", "val"}, [][]string{
+		{"long-name", "1"},
+		{"x", "123.4"},
+	})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// All rows equally wide; first column left-aligned, second right.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("ragged rows:\n%s", b.String())
+	}
+	if !strings.HasPrefix(lines[1], "long-name") {
+		t.Errorf("first column not left-aligned: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], "123.4") {
+		t.Errorf("second column not right-aligned: %q", lines[2])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	WriteCSV(&b, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

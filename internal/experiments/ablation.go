@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
@@ -18,26 +19,27 @@ import (
 // SemAblationPoint decomposes the Figure 11/12 saving at one queue
 // length into the contribution of each mechanism.
 type SemAblationPoint struct {
-	QueueLen        int
-	Standard        vtime.Duration // §6.1 baseline
-	HintOnly        vtime.Duration // context-switch elimination only
-	PlaceholderOnly vtime.Duration // O(1) PI only
-	Full            vtime.Duration // the complete §6.2 scheme
+	QueueLen        int            `json:"queue_len"`
+	Standard        vtime.Duration `json:"standard_us"`         // §6.1 baseline
+	HintOnly        vtime.Duration `json:"hint_only_us"`        // context-switch elimination only
+	PlaceholderOnly vtime.Duration `json:"placeholder_only_us"` // O(1) PI only
+	Full            vtime.Duration `json:"full_us"`             // the complete §6.2 scheme
 }
 
-// SemAblation measures the four builds on the Figure 6 scenario.
-func SemAblation(kind SemQueueKind, lens []int, prof *costmodel.Profile) []SemAblationPoint {
-	out := make([]SemAblationPoint, 0, len(lens))
-	for _, l := range lens {
-		out = append(out, SemAblationPoint{
-			QueueLen:        l,
-			Standard:        SemScenarioAblated(kind, l, false, false, false, prof),
-			HintOnly:        SemScenarioAblated(kind, l, true, false, true, prof),
-			PlaceholderOnly: SemScenarioAblated(kind, l, true, true, false, prof),
-			Full:            SemScenarioAblated(kind, l, true, false, false, prof),
+// SemAblation measures the four builds on the Figure 6 scenario, one
+// harness job per queue length.
+func SemAblation(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) []SemAblationPoint {
+	return parRun(par, "sem-ablation-"+string(kind), 0, len(lens),
+		func(j harness.Job) (SemAblationPoint, error) {
+			l := lens[j.Index]
+			return SemAblationPoint{
+				QueueLen:        l,
+				Standard:        SemScenarioAblated(kind, l, false, false, false, prof),
+				HintOnly:        SemScenarioAblated(kind, l, true, false, true, prof),
+				PlaceholderOnly: SemScenarioAblated(kind, l, true, true, false, prof),
+				Full:            SemScenarioAblated(kind, l, true, false, false, prof),
+			}, nil
 		})
-	}
-	return out
 }
 
 // RenderSemAblation prints the decomposition.
@@ -56,7 +58,8 @@ func RenderSemAblation(kind SemQueueKind, pts []SemAblationPoint) string {
 // selection cost over a run of a CSD-3 system in which the DP queues
 // are frequently empty (long-period DP tasks), with and without the
 // counters. Returns (withCounters, withoutCounters) total overhead.
-func CSDCounterAblation(prof *costmodel.Profile) (vtime.Duration, vtime.Duration) {
+// The two builds run as a two-job harness sweep.
+func CSDCounterAblation(prof *costmodel.Profile, par Par) (vtime.Duration, vtime.Duration) {
 	if prof == nil {
 		prof = costmodel.M68040()
 	}
@@ -92,5 +95,9 @@ func CSDCounterAblation(prof *costmodel.Profile) (vtime.Duration, vtime.Duration
 		k.Run(2 * vtime.Second)
 		return k.Stats().SchedCharge
 	}
-	return run(false), run(true)
+	both := parRun(par, "csd-counters", 0, 2,
+		func(j harness.Job) (vtime.Duration, error) {
+			return run(j.Index == 1), nil
+		})
+	return both[0], both[1]
 }

@@ -11,7 +11,7 @@ import (
 // full scheme must dominate both partial builds.
 func TestSemAblationDecomposition(t *testing.T) {
 	for _, kind := range []SemQueueKind{DPQueue, FPQueue} {
-		pts := SemAblation(kind, []int{15, 30}, nil)
+		pts := SemAblation(kind, []int{15, 30}, nil, Par{})
 		for _, p := range pts {
 			if p.Full >= p.Standard {
 				t.Errorf("%s len %d: full %v not below standard %v", kind, p.QueueLen, p.Full, p.Standard)
@@ -34,16 +34,16 @@ func TestSemAblationDecomposition(t *testing.T) {
 // targets the *sorted* FP queue; on the unsorted DP queue PI is O(1)
 // anyway, so disabling it must not change the DP result.
 func TestSemAblationPlaceholderMattersOnFPOnly(t *testing.T) {
-	dp := SemAblation(DPQueue, []int{20}, nil)[0]
+	dp := SemAblation(DPQueue, []int{20}, nil, Par{})[0]
 	if dp.Full != dp.HintOnly {
 		t.Errorf("DP: full %v != hint-only %v, but DP PI is O(1) regardless", dp.Full, dp.HintOnly)
 	}
-	fp := SemAblation(FPQueue, []int{20}, nil)[0]
+	fp := SemAblation(FPQueue, []int{20}, nil, Par{})[0]
 	if fp.HintOnly <= fp.Full {
 		t.Errorf("FP: hint-only %v should exceed full %v (reposition scans remain)", fp.HintOnly, fp.Full)
 	}
 	// And the placeholder contribution must grow with queue length on FP.
-	fp30 := SemAblation(FPQueue, []int{30}, nil)[0]
+	fp30 := SemAblation(FPQueue, []int{30}, nil, Par{})[0]
 	gain20 := fp.HintOnly - fp.Full
 	gain30 := fp30.HintOnly - fp30.Full
 	if gain30 <= gain20 {
@@ -54,7 +54,7 @@ func TestSemAblationPlaceholderMattersOnFPOnly(t *testing.T) {
 // TestCSDCounterAblation: removing the ready counters must make
 // selection strictly more expensive in the empty-DP regime.
 func TestCSDCounterAblation(t *testing.T) {
-	with, without := CSDCounterAblation(nil)
+	with, without := CSDCounterAblation(nil, Par{})
 	if with <= 0 {
 		t.Fatal("degenerate run")
 	}
@@ -92,7 +92,7 @@ func TestQueueCountSweepRisesThenFalls(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	pts := QueueCountSweep(nil, 30, []int{1, 2, 3, 4, 8, 20, 29}, 8, 5)
+	pts := QueueCountSweep(nil, 30, []int{1, 2, 3, 4, 8, 20, 29}, 8, 5, Par{})
 	byX := map[int]float64{}
 	for _, p := range pts {
 		byX[p.X] = p.Breakdown

@@ -6,6 +6,7 @@ import (
 
 	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/task"
 	"emeralds/internal/workload"
 )
@@ -29,6 +30,9 @@ type BreakdownConfig struct {
 	Profile   *costmodel.Profile
 	// Schedulers to include; nil = the paper's five.
 	Schedulers []string
+	// Par controls the fan-out; the zero value uses every CPU. The
+	// series are identical for any worker count (see workload.SeedFor).
+	Par Par
 }
 
 // DefaultNs is the paper's x-axis.
@@ -45,7 +49,12 @@ type BreakdownResult struct {
 	Series map[string][]float64
 }
 
-// BreakdownFigure runs the experiment.
+// BreakdownFigure runs the experiment. The (point, workload) grid is
+// flattened into one harness job per workload — the sweep is
+// embarrassingly parallel — and each job regenerates its task set from
+// workload.SeedFor(Seed, n, i), so the series are bit-identical for
+// every worker count: the merge sums each point's workloads in index
+// order after all jobs return.
 func BreakdownFigure(cfg BreakdownConfig) *BreakdownResult {
 	if len(cfg.Ns) == 0 {
 		cfg.Ns = DefaultNs
@@ -66,21 +75,35 @@ func BreakdownFigure(cfg BreakdownConfig) *BreakdownResult {
 	for _, name := range cfg.Schedulers {
 		res.Series[name] = make([]float64, len(cfg.Ns))
 	}
-	for xi, n := range cfg.Ns {
-		batch := workload.Batch(workload.Config{
-			N:           n,
-			PeriodDiv:   cfg.PeriodDiv,
-			Utilization: 0.5,
-			Seed:        cfg.Seed + int64(n)*1000003,
-		}, cfg.Workloads)
-		sums := map[string]float64{}
-		for _, specs := range batch {
-			for _, name := range cfg.Schedulers {
-				sums[name] += breakdownFor(cfg.Profile, name, specs)
+
+	// One job per (task count, workload); the job returns the breakdown
+	// of every scheduler on that workload, in cfg.Schedulers order.
+	label := fmt.Sprintf("breakdown div%d", cfg.PeriodDiv)
+	cells := parRun(cfg.Par, label, cfg.Seed, len(cfg.Ns)*cfg.Workloads,
+		func(j harness.Job) ([]float64, error) {
+			n := cfg.Ns[j.Index/cfg.Workloads]
+			specs := workload.Generate(workload.Config{
+				N:           n,
+				PeriodDiv:   cfg.PeriodDiv,
+				Utilization: 0.5,
+				Seed:        workload.SeedFor(cfg.Seed, n, j.Index%cfg.Workloads),
+			})
+			vals := make([]float64, len(cfg.Schedulers))
+			for si, name := range cfg.Schedulers {
+				vals[si] = breakdownFor(cfg.Profile, name, specs)
+			}
+			return vals, nil
+		})
+
+	for xi := range cfg.Ns {
+		sums := make([]float64, len(cfg.Schedulers))
+		for wi := 0; wi < cfg.Workloads; wi++ {
+			for si, v := range cells[xi*cfg.Workloads+wi] {
+				sums[si] += v
 			}
 		}
-		for _, name := range cfg.Schedulers {
-			res.Series[name][xi] = 100 * sums[name] / float64(cfg.Workloads)
+		for si, name := range cfg.Schedulers {
+			res.Series[name][xi] = 100 * sums[si] / float64(cfg.Workloads)
 		}
 	}
 	return res

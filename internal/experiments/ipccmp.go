@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
@@ -30,16 +31,16 @@ import (
 // which isolates the IPC mechanism itself including the scheduling it
 // induces.
 
-// IPCPoint is one comparison measurement.
+// IPCPoint is one comparison measurement. Durations marshal as µs.
 type IPCPoint struct {
-	Size    int
-	Readers int
+	Size    int `json:"size"`
+	Readers int `json:"readers"`
 
-	StatePerMsg   vtime.Duration
-	MailboxPerMsg vtime.Duration
+	StatePerMsg   vtime.Duration `json:"state_us_per_msg"`
+	MailboxPerMsg vtime.Duration `json:"mailbox_us_per_msg"`
 
-	StateSwitchesPerMsg   float64
-	MailboxSwitchesPerMsg float64
+	StateSwitchesPerMsg   float64 `json:"state_cs_per_msg"`
+	MailboxSwitchesPerMsg float64 `json:"mailbox_cs_per_msg"`
 }
 
 // SpeedupX reports how many times cheaper state messages are.
@@ -50,30 +51,30 @@ func (p IPCPoint) SpeedupX() float64 {
 	return float64(p.MailboxPerMsg) / float64(p.StatePerMsg)
 }
 
-// IPCComparison sweeps payload sizes and reader counts.
-func IPCComparison(sizes, readers []int, prof *costmodel.Profile) []IPCPoint {
+// IPCComparison sweeps payload sizes and reader counts, one harness
+// job per (readers, size) grid point; each job runs its three
+// deterministic scenarios (state, mailbox, baseline) back to back.
+func IPCComparison(sizes, readers []int, prof *costmodel.Profile, par Par) []IPCPoint {
 	if prof == nil {
 		prof = costmodel.M68040()
 	}
-	var out []IPCPoint
-	for _, r := range readers {
-		for _, sz := range sizes {
+	return parRun(par, "ipc", 0, len(readers)*len(sizes),
+		func(j harness.Job) (IPCPoint, error) {
+			r := readers[j.Index/len(sizes)]
+			sz := sizes[j.Index%len(sizes)]
 			so, ss := ipcScenario("state", sz, r, prof)
 			mo, ms := ipcScenario("mailbox", sz, r, prof)
 			bo, bs := ipcScenario("none", sz, r, prof)
 			msgs := ipcMessages(r)
-			pt := IPCPoint{
+			return IPCPoint{
 				Size:                  sz,
 				Readers:               r,
 				StatePerMsg:           (so - bo) / vtime.Duration(msgs),
 				MailboxPerMsg:         (mo - bo) / vtime.Duration(msgs),
 				StateSwitchesPerMsg:   (ss - bs) / float64(msgs),
 				MailboxSwitchesPerMsg: (ms - bs) / float64(msgs),
-			}
-			out = append(out, pt)
-		}
-	}
-	return out
+			}, nil
+		})
 }
 
 const (

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestBreakdownParallelDeterminism is the harness's core guarantee at
+// the experiment layer: the Figure 3 sweep run with one worker and
+// with eight produces bit-identical series. Workload seeds come from
+// workload.SeedFor(seed, n, i) and the merge sums workloads in index
+// order, so neither goroutine scheduling nor worker count can perturb
+// a single bit of the output.
+func TestBreakdownParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("breakdown sweep is slow")
+	}
+	mk := func(workers int) *BreakdownResult {
+		return BreakdownFigure(BreakdownConfig{
+			Ns: []int{5, 10}, PeriodDiv: 1, Workloads: 6, Seed: 11,
+			Schedulers: []string{"CSD-2", "EDF", "RM"},
+			Par:        Par{Workers: workers},
+		})
+	}
+	serial := mk(1)
+	parallel := mk(8)
+	for name, s := range serial.Series {
+		p := parallel.Series[name]
+		for i := range s {
+			if s[i] != p[i] {
+				t.Errorf("%s[%d]: serial %v != parallel %v", name, i, s[i], p[i])
+			}
+		}
+	}
+}
+
+// TestQueueSweepParallelDeterminism: same property for the (x,
+// workload) grid sweep, which regenerates workloads per cell.
+func TestQueueSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("queue sweep is slow")
+	}
+	a := QueueCountSweep(nil, 12, []int{1, 3}, 4, 5, Par{Workers: 1})
+	b := QueueCountSweep(nil, 12, []int{1, 3}, 4, 5, Par{Workers: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, a[i], b[i])
+		}
+	}
+}

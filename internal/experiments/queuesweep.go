@@ -6,6 +6,7 @@ import (
 
 	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
 	"emeralds/internal/workload"
@@ -27,8 +28,8 @@ import (
 
 // QueueSweepPoint is the average breakdown utilization of CSD-x.
 type QueueSweepPoint struct {
-	X         int
-	Breakdown float64 // percent
+	X         int     `json:"x"`
+	Breakdown float64 `json:"breakdown_pct"`
 }
 
 // evenSplit distributes r tasks across k queues as evenly as possible,
@@ -47,24 +48,27 @@ func evenSplit(r, k int) []int {
 
 // QueueCountSweep measures breakdown utilization for CSD-x, x in xs,
 // averaging over `count` random workloads of n tasks. RM (x = 1 in the
-// paper's framing) is included as x = 1.
-func QueueCountSweep(prof *costmodel.Profile, n int, xs []int, count int, seed int64) []QueueSweepPoint {
+// paper's framing) is included as x = 1. The (x, workload) grid is one
+// harness job per cell; each job regenerates workload i from
+// workload.SeedFor(seed, n, i), so every x sees the identical task
+// sets the old shared-batch version used, and the per-x averages sum
+// in workload order after the fan-out.
+func QueueCountSweep(prof *costmodel.Profile, n int, xs []int, count int, seed int64, par Par) []QueueSweepPoint {
 	if prof == nil {
 		prof = costmodel.M68040()
 	}
-	batch := workload.Batch(workload.Config{
-		N: n, Utilization: 0.5, Seed: seed, PeriodDiv: 2,
-	}, count)
-	out := make([]QueueSweepPoint, 0, len(xs))
-	for _, x := range xs {
-		var sum float64
-		for _, specs := range batch {
-			rmSorted := analysis.SortRM(specs)
+	cells := parRun(par, "queue-sweep", seed, len(xs)*count,
+		func(j harness.Job) (float64, error) {
+			x := xs[j.Index/count]
+			specs := workload.Generate(workload.Config{
+				N: n, Utilization: 0.5, PeriodDiv: 2,
+				Seed: workload.SeedFor(seed, n, j.Index%count),
+			})
 			if x <= 1 {
-				sum += analysis.BreakdownRM(prof, specs)
-				continue
+				return analysis.BreakdownRM(prof, specs), nil
 			}
-			sum += analysis.Breakdown(rmSorted, func(s []task.Spec) bool {
+			rmSorted := analysis.SortRM(specs)
+			return analysis.Breakdown(rmSorted, func(s []task.Spec) bool {
 				for r := 1; r <= n; r++ {
 					part := sched.Partition{DPSizes: evenSplit(r, x-1)}
 					if analysis.FeasibleCSD(prof, s, part) {
@@ -72,7 +76,13 @@ func QueueCountSweep(prof *costmodel.Profile, n int, xs []int, count int, seed i
 					}
 				}
 				return false
-			})
+			}), nil
+		})
+	out := make([]QueueSweepPoint, 0, len(xs))
+	for xi, x := range xs {
+		var sum float64
+		for wi := 0; wi < count; wi++ {
+			sum += cells[xi*count+wi]
 		}
 		out = append(out, QueueSweepPoint{X: x, Breakdown: 100 * sum / float64(count)})
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
@@ -39,11 +40,12 @@ const (
 	FPQueue SemQueueKind = "fp" // RM sorted queue (Figure 12)
 )
 
-// SemPoint is one measurement of the semaphore experiment.
+// SemPoint is one measurement of the semaphore experiment. Durations
+// marshal as µs (see vtime JSON encoding).
 type SemPoint struct {
-	QueueLen  int
-	Standard  vtime.Duration
-	Optimized vtime.Duration
+	QueueLen  int            `json:"queue_len"`
+	Standard  vtime.Duration `json:"standard_us"`
+	Optimized vtime.Duration `json:"optimized_us"`
 }
 
 // SavingPct reports the optimized scheme's relative improvement.
@@ -55,17 +57,19 @@ func (p SemPoint) SavingPct() float64 {
 }
 
 // SemOverheadCurve measures the acquire/release pair overhead at each
-// queue length under both semaphore implementations.
-func SemOverheadCurve(kind SemQueueKind, lens []int, prof *costmodel.Profile) []SemPoint {
-	out := make([]SemPoint, 0, len(lens))
-	for _, l := range lens {
-		out = append(out, SemPoint{
-			QueueLen:  l,
-			Standard:  SemScenario(kind, l, false, prof),
-			Optimized: SemScenario(kind, l, true, prof),
+// queue length under both semaphore implementations, one harness job
+// per queue length. The scenario is fully deterministic (no RNG), so
+// the fan-out affects wall time only.
+func SemOverheadCurve(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) []SemPoint {
+	return parRun(par, "sem-"+string(kind), 0, len(lens),
+		func(j harness.Job) (SemPoint, error) {
+			l := lens[j.Index]
+			return SemPoint{
+				QueueLen:  l,
+				Standard:  SemScenario(kind, l, false, prof),
+				Optimized: SemScenario(kind, l, true, prof),
+			}, nil
 		})
-	}
-	return out
 }
 
 // SemScenario runs one Figure 6 scenario with the scheduler queue

@@ -5,10 +5,12 @@ import (
 
 	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
+	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
 )
 
 // Simulation-based breakdown utilization: the same §5.7 protocol as the
@@ -64,9 +66,9 @@ func SimBreakdown(prof *costmodel.Profile, specs []task.Spec, policy string, hor
 
 // SimVsAnalytic compares the two breakdown estimates for one workload.
 type SimVsAnalytic struct {
-	Policy    string
-	Analytic  float64
-	Simulated float64
+	Policy    string  `json:"policy"`
+	Analytic  float64 `json:"analytic"`
+	Simulated float64 `json:"simulated"`
 }
 
 // CompareBreakdowns runs both engines for EDF and RM on the workload.
@@ -78,4 +80,32 @@ func CompareBreakdowns(prof *costmodel.Profile, specs []task.Spec, horizon vtime
 		{"EDF", analysis.BreakdownEDF(prof, specs), SimBreakdown(prof, specs, "EDF", horizon)},
 		{"RM", analysis.BreakdownRM(prof, specs), SimBreakdown(prof, specs, "RM", horizon)},
 	}
+}
+
+// CompareSweepPoint is one task count's simulation cross-check.
+type CompareSweepPoint struct {
+	N    int             `json:"n"`
+	Cmps []SimVsAnalytic `json:"checks"`
+}
+
+// CompareSweep cross-checks the analytic breakdown against the
+// simulated one at every task count in ns, one harness job per count.
+// The workload probed at n is workload 0 of the figure sweep at the
+// same (seed, div, n) — see workload.SeedFor — so the cross-check
+// exercises exactly a task set the analytic series averaged over. The
+// profile is threaded through both engines, fixing the old cmd path
+// that analyzed with one profile and simulated with another.
+func CompareSweep(prof *costmodel.Profile, ns []int, div int, seed int64, horizon vtime.Duration, par Par) []CompareSweepPoint {
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	return parRun(par, "sim-crosscheck", seed, len(ns),
+		func(j harness.Job) (CompareSweepPoint, error) {
+			n := ns[j.Index]
+			specs := workload.Generate(workload.Config{
+				N: n, PeriodDiv: div, Utilization: 0.5,
+				Seed: workload.SeedFor(seed, n, 0),
+			})
+			return CompareSweepPoint{N: n, Cmps: CompareBreakdowns(prof, specs, horizon)}, nil
+		})
 }

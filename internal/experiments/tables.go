@@ -22,10 +22,10 @@ import (
 // Table1Row is one (scheduler, operation) overhead formula sampled at
 // several queue lengths.
 type Table1Row struct {
-	Scheduler string
-	Op        string // "t_b", "t_u", "t_s"
-	Formula   string
-	At        map[int]vtime.Duration
+	Scheduler string                 `json:"scheduler"`
+	Op        string                 `json:"op"` // "t_b", "t_u", "t_s"
+	Formula   string                 `json:"formula"`
+	At        map[int]vtime.Duration `json:"at_us"`
 }
 
 // Table1Ns are the sample queue lengths for the table.
@@ -101,12 +101,12 @@ func RenderTable1(rows []Table1Row) string {
 // Table3Entry is one cell of the Table 3 case analysis, evaluated for a
 // concrete (q, r, n).
 type Table3Entry struct {
-	Queue     string // "DP1", "DP2", "FP"
-	Event     string // "block", "unblock"
-	TB        vtime.Duration
-	TU        vtime.Duration
-	TS        vtime.Duration
-	PerPeriod vtime.Duration // t = 1.5(t_b + t_u + 2 t_s) for the queue
+	Queue     string         `json:"queue"` // "DP1", "DP2", "FP"
+	Event     string         `json:"event"` // "block", "unblock"
+	TB        vtime.Duration `json:"t_b_us"`
+	TU        vtime.Duration `json:"t_u_us"`
+	TS        vtime.Duration `json:"t_s_us"`
+	PerPeriod vtime.Duration `json:"per_period_us"` // t = 1.5(t_b + t_u + 2 t_s) for the queue
 }
 
 // Table3 evaluates the CSD-3 overhead case analysis at (q, r, n).
@@ -147,15 +147,15 @@ func RenderTable3(entries []Table3Entry, q, r, n int) string {
 
 // Figure2Result captures the Table 2 / Figure 2 demonstration.
 type Figure2Result struct {
-	Utilization   float64
-	EDFFeasible   bool // analysis
-	RMFeasible    bool // analysis
-	EDFMisses     uint64
-	RMMisses      uint64
-	RMMissTask    string
-	RMFirstMissAt vtime.Time
-	CSD2Partition sched.Partition
-	CSD2Misses    uint64
+	Utilization   float64         `json:"utilization"`
+	EDFFeasible   bool            `json:"edf_feasible"` // analysis
+	RMFeasible    bool            `json:"rm_feasible"`  // analysis
+	EDFMisses     uint64          `json:"edf_misses"`
+	RMMisses      uint64          `json:"rm_misses"`
+	RMMissTask    string          `json:"rm_miss_task"`
+	RMFirstMissAt vtime.Time      `json:"rm_first_miss_at_us"`
+	CSD2Partition sched.Partition `json:"csd2_partition"`
+	CSD2Misses    uint64          `json:"csd2_misses"`
 }
 
 // Figure2 reproduces §5.2: the Table 2 workload analyzed and simulated

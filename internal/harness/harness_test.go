@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunOrderedResults: results come back indexed by job, whatever
+// the worker count.
+func TestRunOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		got, err := Run(context.Background(), 50, Options{Workers: workers},
+			func(_ context.Context, j Job) (int, error) { return j.Index * j.Index, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunSeedDeterminism: each job's seed (and hence its RNG stream)
+// depends only on (BaseSeed, index), so fan-out width cannot change
+// results even for RNG-driven jobs.
+func TestRunSeedDeterminism(t *testing.T) {
+	draw := func(workers int) []float64 {
+		out, err := Run(context.Background(), 40, Options{Workers: workers, BaseSeed: 99},
+			func(_ context.Context, j Job) (float64, error) {
+				rng := rand.New(rand.NewSource(j.Seed))
+				s := 0.0
+				for k := 0; k < 100; k++ {
+					s += rng.Float64()
+				}
+				return s, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := draw(1)
+	for _, w := range []int{2, 8} {
+		par := draw(w)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: job %d = %v, serial %v", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestRunPanicRecovery: a panicking job surfaces as *PanicError with
+// the job index and stack, not a process crash.
+func TestRunPanicRecovery(t *testing.T) {
+	_, err := Run(context.Background(), 20, Options{Workers: 4},
+		func(_ context.Context, j Job) (int, error) {
+			if j.Index == 7 {
+				panic("boom at seven")
+			}
+			return j.Index, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 7 {
+		t.Errorf("panic index = %d, want 7", pe.Index)
+	}
+	if !strings.Contains(pe.Error(), "boom at seven") {
+		t.Errorf("error misses panic value: %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic captured without a stack")
+	}
+}
+
+// TestRunFirstErrorWins: with several failing jobs the reported error
+// is the lowest-indexed one, independent of scheduling.
+func TestRunFirstErrorWins(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		_, err := Run(context.Background(), 30, Options{Workers: 8},
+			func(_ context.Context, j Job) (int, error) {
+				if j.Index%2 == 1 {
+					return 0, errors.New("odd job failed")
+				}
+				return j.Index, nil
+			})
+		if err == nil {
+			t.Fatal("no error from failing jobs")
+		}
+	}
+	// Deterministic lowest index when every job fails immediately.
+	_, err := Run(context.Background(), 16, Options{Workers: 16},
+		func(_ context.Context, j Job) (int, error) {
+			if j.Index >= 3 {
+				return 0, errors.New("late failure")
+			}
+			return j.Index, nil
+		})
+	if err == nil || err.Error() != "late failure" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunCancelledContext: cancellation stops the sweep and reports it.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 10, Options{Workers: 2},
+		func(ctx context.Context, j Job) (int, error) { return j.Index, ctx.Err() })
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}
+
+// TestSplitSeed: known-good avalanche behaviour — consecutive indices
+// give unrelated seeds, same inputs give same seeds.
+func TestSplitSeed(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		s := SplitSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SplitSeed(1,%d) == SplitSeed(1,%d)", i, prev)
+		}
+		seen[s] = i
+	}
+	if SplitSeed(1, 5) != SplitSeed(1, 5) {
+		t.Error("SplitSeed not deterministic")
+	}
+	if SplitSeed(1, 5) == SplitSeed(2, 5) {
+		t.Error("base seed ignored")
+	}
+	// SplitMix64 reference value (state 0 advanced once) from the
+	// published generator: splitmix64(0) = 0xE220A8397B1DCDAF.
+	if got := SplitMix64(0); got != 0xE220A8397B1DCDAF {
+		t.Errorf("SplitMix64(0) = %#x, want 0xE220A8397B1DCDAF", got)
+	}
+}
+
+// TestArtifactRoundTrip: write + read back preserves schema, tool and
+// series; unknown schema is rejected.
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "x.json")
+	a := NewArtifact("unittest", map[string]int{"n": 5}, []float64{1, 2.5}, 4, 0)
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ArtifactSchema || back.Tool != "unittest" {
+		t.Errorf("round trip lost identity: %+v", back)
+	}
+	series, ok := back.Series.([]any)
+	if !ok || len(series) != 2 {
+		t.Fatalf("series = %#v", back.Series)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	b := *a
+	b.Schema = "something/v999"
+	if err := b.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(bad); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

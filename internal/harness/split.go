@@ -1,0 +1,24 @@
+package harness
+
+// SplitMix64 is the finalizer of Steele, Lea & Flood's SplitMix64
+// generator — a full-avalanche 64-bit mixer. It is the repo's standard
+// way to split one base seed into many statistically independent
+// per-job streams without any sequential dependence between jobs.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// SplitSeed derives job index's seed from base. The derivation depends
+// only on (base, index) — never on worker count, scheduling order, or
+// previous jobs — which is what makes harness runs reproducible under
+// any fan-out. Mixing the index through two rounds decorrelates the
+// consecutive indices a sweep naturally produces.
+func SplitSeed(base int64, index int) int64 {
+	return int64(SplitMix64(SplitMix64(uint64(base)) ^ uint64(index)))
+}

@@ -1,0 +1,43 @@
+package vtime
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// JSON encoding: durations and instants serialize as float counts of
+// microseconds — the unit every figure and table of the paper reports
+// in — so results/*.json artifacts are directly plottable. float64
+// represents any nanosecond count below 2^53 ns (~104 days of virtual
+// time) exactly, so the round trip is lossless for every reachable
+// simulation value.
+
+// MarshalJSON encodes d as microseconds.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.Micros())
+}
+
+// UnmarshalJSON decodes a float count of microseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var us float64
+	if err := json.Unmarshal(b, &us); err != nil {
+		return err
+	}
+	*d = Duration(math.Round(us * float64(Microsecond)))
+	return nil
+}
+
+// MarshalJSON encodes t as microseconds since boot.
+func (t Time) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.Micros())
+}
+
+// UnmarshalJSON decodes a float count of microseconds since boot.
+func (t *Time) UnmarshalJSON(b []byte) error {
+	var us float64
+	if err := json.Unmarshal(b, &us); err != nil {
+		return err
+	}
+	*t = Time(math.Round(us * float64(Microsecond)))
+	return nil
+}

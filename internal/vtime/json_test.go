@@ -1,0 +1,37 @@
+package vtime
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONRoundTrip: durations and instants survive the µs-float JSON
+// encoding exactly, including sub-µs values (Table 1 constants are
+// multiples of 10 ns).
+func TestJSONRoundTrip(t *testing.T) {
+	for _, d := range []Duration{0, 1, 10, Micros(0.55), Micros(29.4), Millisecond, 2 * Second, -Micros(3.21)} {
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Duration
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("duration %d ns -> %s -> %d ns", int64(d), data, int64(back))
+		}
+	}
+	tm := Time(Millis(12.345))
+	data, _ := json.Marshal(tm)
+	if string(data) != "12345" {
+		t.Errorf("Time(12.345ms) = %s, want 12345 (µs)", data)
+	}
+	var back Time
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != tm {
+		t.Errorf("time round trip: %v -> %v", tm, back)
+	}
+}

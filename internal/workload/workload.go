@@ -9,6 +9,7 @@ package workload
 import (
 	"math/rand"
 
+	"emeralds/internal/harness"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -69,12 +70,29 @@ func Generate(cfg Config) []task.Spec {
 	return specs
 }
 
-// Batch generates `count` independent workloads from consecutive seeds.
+// SeedFor derives the RNG seed of workload i of an n-task sweep from
+// the base seed. The derivation is a pure function of (base, n, i) —
+// SplitMix64 seed-splitting, one mixing round per component — so the
+// i-th workload at a given n is the same task set whether it is
+// generated serially, by any parallel worker, or as part of a sweep
+// over a different (overlapping) -n list. It replaces the old additive
+// scheme (base + n·1000003 at the sweep layer plus + i·7919 in Batch),
+// whose two halves could collide across (n, i) pairs and lived in
+// different packages.
+func SeedFor(base int64, n, i int) int64 {
+	x := harness.SplitMix64(uint64(base))
+	x = harness.SplitMix64(x ^ uint64(n))
+	x = harness.SplitMix64(x ^ uint64(i))
+	return int64(x)
+}
+
+// Batch generates `count` independent workloads, workload i seeded
+// with SeedFor(cfg.Seed, cfg.N, i).
 func Batch(cfg Config, count int) [][]task.Spec {
 	out := make([][]task.Spec, count)
 	for i := range out {
 		c := cfg
-		c.Seed = cfg.Seed + int64(i)*7919 // distinct streams
+		c.Seed = SeedFor(cfg.Seed, cfg.N, i)
 		out[i] = Generate(c)
 	}
 	return out

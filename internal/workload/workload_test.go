@@ -99,6 +99,45 @@ func TestGenerateDefaults(t *testing.T) {
 	}
 }
 
+// TestSeedFor pins the properties the parallel sweep relies on: the
+// seed is a pure function of (base, n, i); distinct (n, i) pairs give
+// distinct seeds (the old additive scheme could collide); and the
+// stream for a given n does not depend on which other n values the
+// sweep includes — so overlapping -n lists replay identical workloads.
+func TestSeedFor(t *testing.T) {
+	if SeedFor(1, 10, 3) != SeedFor(1, 10, 3) {
+		t.Error("SeedFor not deterministic")
+	}
+	seen := map[int64][2]int{}
+	for n := 1; n <= 60; n++ {
+		for i := 0; i < 600; i++ {
+			s := SeedFor(1, n, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SeedFor(1,%d,%d) collides with (n=%d,i=%d)", n, i, prev[0], prev[1])
+			}
+			seen[s] = [2]int{n, i}
+		}
+	}
+	if SeedFor(1, 10, 3) == SeedFor(2, 10, 3) {
+		t.Error("base seed ignored")
+	}
+
+	// Batch(cfg, k) must equal the per-index Generate calls the
+	// parallel path performs.
+	cfg := Config{N: 10, Seed: 7, Utilization: 0.5}
+	batch := Batch(cfg, 4)
+	for i := range batch {
+		c := cfg
+		c.Seed = SeedFor(cfg.Seed, cfg.N, i)
+		solo := Generate(c)
+		for j := range solo {
+			if solo[j].Period != batch[i][j].Period || solo[j].WCET != batch[i][j].WCET {
+				t.Fatalf("workload %d task %d: Batch %+v vs Generate %+v", i, j, batch[i][j], solo[j])
+			}
+		}
+	}
+}
+
 func TestBatchIndependentStreams(t *testing.T) {
 	b := Batch(Config{N: 10, Seed: 1, Utilization: 0.5}, 5)
 	if len(b) != 5 {

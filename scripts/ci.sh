@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, and the full test suite under the
+# race detector (which exercises the internal/harness worker pool on
+# every parallelized experiment sweep).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all green"

@@ -1,30 +1,39 @@
 #!/bin/sh
 # Regenerates every table and figure of the paper's evaluation into
-# results/. Figures 3-5 dominate the runtime; set WORKLOADS to taste
-# (the paper used 500 per point; the shapes stabilize well below 100).
+# results/, as both human-readable .txt and versioned .json artifacts
+# (schema emeralds.artifact/v1; see EXPERIMENTS.md "Regenerating
+# results").
+#
+# Figures 3-5 dominate the runtime. The sweep fans out over all CPUs
+# through internal/harness — WORKLOADS=500 (the paper's sample size)
+# completes in wall time ~(serial time / NumCPU); the default of 100
+# already gives stable shapes. Series are bit-identical for any
+# WORKERS value.
 set -eu
 cd "$(dirname "$0")/.."
-WORKLOADS="${WORKLOADS:-50}"
+WORKLOADS="${WORKLOADS:-100}"
+WORKERS="${WORKERS:-0}" # 0 = all CPUs
 mkdir -p results
 
 echo "== Tables 1-3 / Figure 2 =="
-go run ./cmd/schedtab | tee results/tables.txt
+go run ./cmd/schedtab -json | tee results/tables.txt
 
-echo "== Figures 3-5 (breakdown utilization, $WORKLOADS workloads/point) =="
-go run ./cmd/breakdown -div 1 -workloads "$WORKLOADS" | tee results/figure3.txt
-go run ./cmd/breakdown -div 2 -workloads "$WORKLOADS" | tee results/figure4.txt
-go run ./cmd/breakdown -div 3 -workloads "$WORKLOADS" | tee results/figure5.txt
+echo "== Figures 3-5 (breakdown utilization, $WORKLOADS workloads/point, workers=$WORKERS) =="
+for div in 1 2 3; do
+    go run ./cmd/breakdown -div "$div" -workloads "$WORKLOADS" -workers "$WORKERS" \
+        -json -json-out "results/figure$((div + 2)).json" | tee "results/figure$((div + 2)).txt"
+done
 
 echo "== Figures 11-12 (semaphore overhead) =="
-go run ./cmd/sembench | tee results/figures11-12.txt
+go run ./cmd/sembench -workers "$WORKERS" -json -json-out results/figures11-12.json | tee results/figures11-12.txt
 
 echo "== Section 7 (state messages vs mailboxes) =="
-go run ./cmd/ipcbench | tee results/ipc.txt
+go run ./cmd/ipcbench -workers "$WORKERS" -json -json-out results/ipc.json | tee results/ipc.txt
 
 echo "== Section 5.5.3 (partition search) =="
-go run ./cmd/csdsearch -n 100 -u 0.7 | tee results/csdsearch.txt
+go run ./cmd/csdsearch -n 100 -u 0.7 -json | tee results/csdsearch.txt
 
 echo "== Ablations (beyond the paper) =="
-go run ./cmd/ablate | tee results/ablation.txt
+go run ./cmd/ablate -workers "$WORKERS" -json -json-out results/ablation.json | tee results/ablation.txt
 
-echo "done; see results/"
+echo "done; see results/ (.txt tables + .json artifacts)"
