@@ -27,8 +27,13 @@ func main() {
 
 	semSeries := map[string][]experiments.SemAblationPoint{}
 	for _, kind := range []experiments.SemQueueKind{experiments.DPQueue, experiments.FPQueue} {
-		pts := experiments.SemAblation(kind, ls, nil, par)
+		pts, diag := experiments.SemAblationDiag(kind, ls, nil, par)
 		semSeries[string(kind)] = pts
+		if c.Diagnostics == nil {
+			c.Diagnostics = diag
+		} else {
+			c.Diagnostics.Merge(diag)
+		}
 		if !c.CSV {
 			fmt.Print(experiments.RenderSemAblation(kind, pts))
 			fmt.Println()

@@ -32,6 +32,7 @@ func main() {
 	div := flag.Int("div", 1, "period divisor")
 	ms := flag.Float64("ms", 1000, "virtual milliseconds to run")
 	traceN := flag.Int("trace", 0, "print the last N trace events")
+	traceOut := flag.String("trace-out", "", "write the full trace as Chrome/Perfetto trace-event JSON")
 	gantt := flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N virtual milliseconds")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
 	c.Parse()
@@ -40,11 +41,16 @@ func main() {
 	if *gantt > 0 {
 		traceCap = max(traceCap, 1<<16)
 	}
+	if *traceOut != "" {
+		// The exporter wants the whole run, not the tail of a small ring.
+		traceCap = max(traceCap, 1<<20)
+	}
 	sys := core.New(core.Config{
-		Policy:        core.Policy(*policy),
-		Queues:        *queues,
-		StandardSem:   *standard,
-		TraceCapacity: traceCap,
+		Policy:          core.Policy(*policy),
+		Queues:          *queues,
+		StandardSem:     *standard,
+		TraceCapacity:   traceCap,
+		RecordResponses: true,
 	})
 
 	var specs []task.Spec
@@ -71,6 +77,24 @@ func main() {
 			fmt.Println(e)
 		}
 		fmt.Println()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emsim:", err)
+			os.Exit(1)
+		}
+		if err := sys.Trace().ExportPerfetto(f); err != nil {
+			fmt.Fprintln(os.Stderr, "emsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "emsim:", err)
+			os.Exit(1)
+		}
+		if !c.Quiet {
+			fmt.Fprintf(os.Stderr, "emsim: wrote %s (%d events)\n", *traceOut, sys.Trace().Total())
+		}
 	}
 	if *gantt > 0 {
 		fmt.Println("Gantt (█ running, ░ ready, · blocked):")
@@ -132,6 +156,7 @@ func main() {
 		Stats kernel.Stats `json:"stats"`
 		Tasks []taskRow    `json:"tasks"`
 	}
+	c.Diagnostics = sys.Kernel().Diagnostics()
 	c.EmitArtifact(
 		config{*policy, *queues, *n, *u, *div, c.Seed, *ms, *standard},
 		series{sys.Stats(), tasks})

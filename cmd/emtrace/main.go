@@ -1,0 +1,198 @@
+// Command emtrace works with Chrome/Perfetto trace exports and the
+// observability blocks of emeralds.artifact/v1 JSON files.
+//
+//	emtrace -o trace.json                  # run the Table 2 workload, export its trace
+//	emtrace -n 12 -u 0.8 -o trace.json     # random workload
+//	emtrace -check-trace trace.json        # validate a trace-event file
+//	emtrace -check-artifact results/x.json # validate an artifact's diagnostics block
+//
+// The exported JSON loads directly in ui.perfetto.dev or
+// chrome://tracing: one track per task, a slice per scheduling
+// quantum, instants for misses/faults/IPC, and flow arrows from each
+// semaphore grant to the waiter's next dispatch. The -check modes are
+// the CI smoke tests: they exit non-zero with a diagnostic when a file
+// does not match the expected shape.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"emeralds/internal/core"
+	"emeralds/internal/harness"
+	"emeralds/internal/metrics"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
+)
+
+func main() {
+	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
+	queues := flag.Int("queues", 3, "CSD queue count")
+	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
+	u := flag.Float64("u", 0.7, "random workload utilization")
+	div := flag.Int("div", 1, "period divisor")
+	ms := flag.Float64("ms", 100, "virtual milliseconds to run")
+	seed := flag.Int64("seed", 1, "random workload seed")
+	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
+	out := flag.String("o", "", "output path (default stdout)")
+	checkArt := flag.String("check-artifact", "", "validate an artifact's diagnostics block and exit")
+	checkTr := flag.String("check-trace", "", "validate a trace-event JSON file and exit")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "emtrace:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *checkArt != "":
+		if err := checkArtifact(*checkArt); err != nil {
+			fail(err)
+		}
+		fmt.Printf("emtrace: %s: diagnostics block ok\n", *checkArt)
+	case *checkTr != "":
+		stats, err := checkTrace(*checkTr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("emtrace: %s: %s\n", *checkTr, stats)
+	default:
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg := exportConfig{
+			Policy: *policy, Queues: *queues, N: *n, U: *u, Div: *div,
+			Seed: *seed, Millis: *ms, StandardSem: *standard,
+		}
+		if err := runExport(cfg, w); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// exportConfig mirrors emsim's simulation flags.
+type exportConfig struct {
+	Policy      string
+	Queues      int
+	N           int
+	U           float64
+	Div         int
+	Seed        int64
+	Millis      float64
+	StandardSem bool
+}
+
+// runExport boots a system on the configured workload, runs it, and
+// writes the Perfetto export. Fully deterministic: the same config
+// always produces the same bytes.
+func runExport(cfg exportConfig, w io.Writer) error {
+	sys := core.New(core.Config{
+		Policy:        core.Policy(cfg.Policy),
+		Queues:        cfg.Queues,
+		StandardSem:   cfg.StandardSem,
+		TraceCapacity: 1 << 20,
+	})
+	var specs []task.Spec
+	if cfg.N > 0 {
+		specs = workload.Generate(workload.Config{
+			N: cfg.N, Utilization: cfg.U, PeriodDiv: cfg.Div, Seed: cfg.Seed,
+		})
+	} else {
+		specs = workload.Table2()
+	}
+	for _, s := range specs {
+		sys.AddTask(s)
+	}
+	if err := sys.Boot(); err != nil {
+		return err
+	}
+	sys.Run(vtime.Millis(cfg.Millis))
+	return sys.Trace().ExportPerfetto(w)
+}
+
+// checkArtifact validates that an artifact carries a well-formed
+// diagnostics block: the full counter set (every metrics.ID name, no
+// strays) and internally consistent task summaries.
+func checkArtifact(path string) error {
+	a, err := harness.ReadArtifact(path)
+	if err != nil {
+		return err
+	}
+	d := a.Diagnostics
+	if d == nil {
+		return fmt.Errorf("%s: no diagnostics block", path)
+	}
+	if len(d.Counters) != int(metrics.NumIDs) {
+		return fmt.Errorf("%s: diagnostics has %d counters, want %d", path, len(d.Counters), metrics.NumIDs)
+	}
+	for id := metrics.ID(0); id < metrics.NumIDs; id++ {
+		if _, ok := d.Counters[id.String()]; !ok {
+			return fmt.Errorf("%s: counter %q missing", path, id)
+		}
+	}
+	for _, ts := range d.Tasks {
+		if ts.Task == "" || (ts.Metric != "response" && ts.Metric != "blocking") {
+			return fmt.Errorf("%s: malformed task summary %+v", path, ts)
+		}
+		if ts.N > 0 && (ts.MinUs > ts.P50Us || ts.P50Us > ts.MaxUs) {
+			return fmt.Errorf("%s: %s/%s quantiles not monotone: %+v", path, ts.Task, ts.Metric, ts)
+		}
+	}
+	return nil
+}
+
+// checkTrace validates the shape Perfetto requires of a trace-event
+// file: parseable JSON, a non-empty traceEvents array, non-negative
+// slice durations, and balanced flow start/finish pairs.
+func checkTrace(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return "", fmt.Errorf("%s: empty traceEvents", path)
+	}
+	var slices, instants int
+	flows := map[any]int{}
+	for i, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "X":
+			slices++
+			if dur, ok := e["dur"].(float64); !ok || dur < 0 {
+				return "", fmt.Errorf("%s: event %d has bad duration %v", path, i, e["dur"])
+			}
+		case "i":
+			instants++
+		case "s":
+			flows[e["id"]]++
+		case "f":
+			flows[e["id"]]--
+		case "M":
+		case "":
+			return "", fmt.Errorf("%s: event %d has no ph", path, i)
+		}
+	}
+	for id, bal := range flows {
+		if bal != 0 {
+			return "", fmt.Errorf("%s: flow id %v unbalanced (%+d)", path, id, bal)
+		}
+	}
+	return fmt.Sprintf("%d events (%d slices, %d instants, %d flows)",
+		len(doc.TraceEvents), slices, instants, len(flows)), nil
+}

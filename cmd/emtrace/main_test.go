@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace export")
+
+// goldenConfig keeps the golden run small: a short slice of the
+// Table 2 workload on the default CSD-3 build.
+var goldenConfig = exportConfig{
+	Policy: "csd", Queues: 3, Millis: 20, Seed: 1, U: 0.7, Div: 1,
+}
+
+// TestGoldenExport locks the Perfetto export byte-for-byte: the
+// simulation is deterministic and the encoder orders keys lexically,
+// so any diff means the trace format (or the kernel's event sequence)
+// changed. Regenerate deliberately with `go test ./cmd/emtrace
+// -update` and review the diff.
+func TestGoldenExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExport(goldenConfig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from %s (%d vs %d bytes); regenerate with -update if the change is intended",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestExportPassesOwnChecker: the exporter's output satisfies
+// -check-trace, so the CI smoke test can't drift from the format.
+func TestExportPassesOwnChecker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runExport(goldenConfig, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := checkTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == "" {
+		t.Error("checker returned no summary")
+	}
+}
+
+// TestCheckTraceRejectsGarbage: the checker actually fails on
+// malformed inputs (it guards CI, so it must not be a yes-man).
+func TestCheckTraceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"notjson.json": "{",
+		"empty.json":   `{"traceEvents": []}`,
+		"negdur.json":  `{"traceEvents": [{"ph":"X","ts":0,"dur":-5}]}`,
+		"noflow.json":  `{"traceEvents": [{"ph":"s","id":1,"ts":0}]}`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := checkTrace(p); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

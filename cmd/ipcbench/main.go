@@ -23,8 +23,9 @@ func main() {
 	szs := c.Ints("sizes", *sizes, 1)
 	rds := c.Ints("readers", *readers, 1)
 
-	pts := experiments.IPCComparison(szs, rds, nil,
+	pts, diag := experiments.IPCComparisonDiag(szs, rds, nil,
 		experiments.Par{Workers: c.Workers, Progress: c.Progress()})
+	c.Diagnostics = diag
 
 	if c.CSV {
 		var rows [][]string

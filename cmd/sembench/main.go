@@ -45,8 +45,13 @@ func main() {
 	series := map[string][]experiments.SemPoint{}
 	var csvRows [][]string
 	for _, kind := range kinds {
-		pts := experiments.SemOverheadCurve(kind, ls, nil, par)
+		pts, diag := experiments.SemOverheadCurveDiag(kind, ls, nil, par)
 		series[string(kind)] = pts
+		if c.Diagnostics == nil {
+			c.Diagnostics = diag
+		} else {
+			c.Diagnostics.Merge(diag)
+		}
 		if c.CSV {
 			for _, p := range pts {
 				csvRows = append(csvRows, []string{

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"emeralds/internal/harness"
+	"emeralds/internal/metrics"
 )
 
 // Common holds the flags shared by every experiment command.
@@ -30,6 +31,11 @@ type Common struct {
 	JSONOut string
 	CSV     bool // -csv: machine-readable stdout
 	Quiet   bool // -quiet: no progress on stderr
+
+	// Diagnostics, when set by the tool before EmitArtifact, is embedded
+	// in the artifact's "diagnostics" block (kernel counters + per-task
+	// latency summaries).
+	Diagnostics *metrics.Diagnostics
 
 	start time.Time
 }
@@ -92,6 +98,7 @@ func (c *Common) EmitArtifact(config, series any) {
 		return
 	}
 	a := harness.NewArtifact(c.Tool, config, series, c.EffectiveWorkers(), time.Since(c.start))
+	a.Diagnostics = c.Diagnostics
 	path := c.ArtifactPath()
 	if err := a.WriteFile(path); err != nil {
 		c.Fatalf("writing artifact: %v", err)

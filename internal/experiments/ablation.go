@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"emeralds/internal/costmodel"
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
+	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -29,17 +32,84 @@ type SemAblationPoint struct {
 // SemAblation measures the four builds on the Figure 6 scenario, one
 // harness job per queue length.
 func SemAblation(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) []SemAblationPoint {
-	return parRun(par, "sem-ablation-"+string(kind), 0, len(lens),
-		func(j harness.Job) (SemAblationPoint, error) {
+	pts, _ := SemAblationDiag(kind, lens, prof, par)
+	return pts
+}
+
+// semAblationJob pairs one point with its observability record, as in
+// SemOverheadCurveDiag.
+type semAblationJob struct {
+	point SemAblationPoint
+	met   *metrics.Set
+	block map[string]*stats.Histogram
+}
+
+// SemAblationDiag is SemAblation plus the merged diagnostics block:
+// counters summed over all four builds and T2's blocking-time
+// histograms keyed by kind and build ("dp/hint-only/T2"), folded in
+// job order so the result is worker-count independent.
+func SemAblationDiag(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) ([]SemAblationPoint, *metrics.Diagnostics) {
+	builds := []struct {
+		name                                        string
+		optimized, disableHints, disablePlaceholder bool
+	}{
+		{"standard", false, false, false},
+		{"hint-only", true, false, true},
+		{"placeholder-only", true, true, false},
+		{"full", true, false, false},
+	}
+	jobs := parRun(par, "sem-ablation-"+string(kind), 0, len(lens),
+		func(j harness.Job) (semAblationJob, error) {
 			l := lens[j.Index]
-			return SemAblationPoint{
+			out := semAblationJob{met: &metrics.Set{}, block: map[string]*stats.Histogram{}}
+			overheads := make([]vtime.Duration, len(builds))
+			for bi, b := range builds {
+				d, k := semScenarioRun(kind, l, b.optimized, b.disableHints, b.disablePlaceholder, prof)
+				overheads[bi] = d
+				out.met.Merge(k.Metrics())
+				for _, th := range k.Threads() {
+					if h := th.Blocking(); h != nil && h.Count() > 0 {
+						key := string(kind) + "/" + b.name + "/" + th.Name()
+						if out.block[key] == nil {
+							out.block[key] = &stats.Histogram{}
+						}
+						out.block[key].Merge(h)
+					}
+				}
+			}
+			out.point = SemAblationPoint{
 				QueueLen:        l,
-				Standard:        SemScenarioAblated(kind, l, false, false, false, prof),
-				HintOnly:        SemScenarioAblated(kind, l, true, false, true, prof),
-				PlaceholderOnly: SemScenarioAblated(kind, l, true, true, false, prof),
-				Full:            SemScenarioAblated(kind, l, true, false, false, prof),
-			}, nil
+				Standard:        overheads[0],
+				HintOnly:        overheads[1],
+				PlaceholderOnly: overheads[2],
+				Full:            overheads[3],
+			}
+			return out, nil
 		})
+
+	pts := make([]SemAblationPoint, len(jobs))
+	met := &metrics.Set{}
+	block := map[string]*stats.Histogram{}
+	for i, j := range jobs { // job order: deterministic merge
+		pts[i] = j.point
+		met.Merge(j.met)
+		for name, h := range j.block {
+			if block[name] == nil {
+				block[name] = &stats.Histogram{}
+			}
+			block[name].Merge(h)
+		}
+	}
+	d := &metrics.Diagnostics{Counters: met.Snapshot()}
+	names := make([]string, 0, len(block))
+	for name := range block {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.Tasks = append(d.Tasks, metrics.Summarize(name, "blocking", block[name]))
+	}
+	return pts, d
 }
 
 // RenderSemAblation prints the decomposition.

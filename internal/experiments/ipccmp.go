@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"emeralds/internal/costmodel"
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
+	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -55,26 +58,90 @@ func (p IPCPoint) SpeedupX() float64 {
 // job per (readers, size) grid point; each job runs its three
 // deterministic scenarios (state, mailbox, baseline) back to back.
 func IPCComparison(sizes, readers []int, prof *costmodel.Profile, par Par) []IPCPoint {
+	pts, _ := IPCComparisonDiag(sizes, readers, prof, par)
+	return pts
+}
+
+// ipcJob is one grid point's result plus its observability record.
+type ipcJob struct {
+	point IPCPoint
+	met   *metrics.Set
+	hists map[string]*stats.Histogram // "state/producer" → response times
+}
+
+// IPCComparisonDiag is IPCComparison plus the merged diagnostics
+// block: kernel counters summed over every scenario kernel of every
+// job (metrics.Set.Merge), and per-task response histograms folded
+// across jobs with stats.Histogram.Merge — the merge happens in job
+// order on the harness's job-indexed results, so the block is
+// identical for any worker count. Task names are qualified by scenario
+// ("state/producer", "mailbox/consumer0") since the same task runs
+// under each IPC mechanism.
+func IPCComparisonDiag(sizes, readers []int, prof *costmodel.Profile, par Par) ([]IPCPoint, *metrics.Diagnostics) {
 	if prof == nil {
 		prof = costmodel.M68040()
 	}
-	return parRun(par, "ipc", 0, len(readers)*len(sizes),
-		func(j harness.Job) (IPCPoint, error) {
+	jobs := parRun(par, "ipc", 0, len(readers)*len(sizes),
+		func(j harness.Job) (ipcJob, error) {
 			r := readers[j.Index/len(sizes)]
 			sz := sizes[j.Index%len(sizes)]
-			so, ss := ipcScenario("state", sz, r, prof)
-			mo, ms := ipcScenario("mailbox", sz, r, prof)
-			bo, bs := ipcScenario("none", sz, r, prof)
+			out := ipcJob{met: &metrics.Set{}, hists: map[string]*stats.Histogram{}}
+			collect := func(mode string, k *kernel.Kernel) {
+				out.met.Merge(k.Metrics())
+				if mode == "none" {
+					return
+				}
+				for _, th := range k.Threads() {
+					if h := th.Responses(); h != nil && h.Count() > 0 {
+						key := mode + "/" + th.Name()
+						if out.hists[key] == nil {
+							out.hists[key] = &stats.Histogram{}
+						}
+						out.hists[key].Merge(h)
+					}
+				}
+			}
+			so, ss, sk := ipcScenario("state", sz, r, prof)
+			collect("state", sk)
+			mo, ms, mk := ipcScenario("mailbox", sz, r, prof)
+			collect("mailbox", mk)
+			bo, bs, bk := ipcScenario("none", sz, r, prof)
+			collect("none", bk)
 			msgs := ipcMessages(r)
-			return IPCPoint{
+			out.point = IPCPoint{
 				Size:                  sz,
 				Readers:               r,
 				StatePerMsg:           (so - bo) / vtime.Duration(msgs),
 				MailboxPerMsg:         (mo - bo) / vtime.Duration(msgs),
 				StateSwitchesPerMsg:   (ss - bs) / float64(msgs),
 				MailboxSwitchesPerMsg: (ms - bs) / float64(msgs),
-			}, nil
+			}
+			return out, nil
 		})
+
+	pts := make([]IPCPoint, len(jobs))
+	met := &metrics.Set{}
+	hists := map[string]*stats.Histogram{}
+	for i, j := range jobs { // job order: deterministic merge
+		pts[i] = j.point
+		met.Merge(j.met)
+		for name, h := range j.hists {
+			if hists[name] == nil {
+				hists[name] = &stats.Histogram{}
+			}
+			hists[name].Merge(h)
+		}
+	}
+	d := &metrics.Diagnostics{Counters: met.Snapshot()}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.Tasks = append(d.Tasks, metrics.Summarize(name, "response", hists[name]))
+	}
+	return pts, d
 }
 
 const (
@@ -88,13 +155,15 @@ func ipcMessages(readers int) int64 {
 	return int64(ipcHorizon/ipcProducerPeriod) * int64(readers)
 }
 
-// ipcScenario runs one configuration and returns total kernel overhead
-// and context-switch count.
-func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime.Duration, float64) {
+// ipcScenario runs one configuration and returns total kernel
+// overhead, context-switch count, and the kernel itself (for counter
+// and histogram harvesting).
+func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime.Duration, float64, *kernel.Kernel) {
 	k, err := kernel.New(nil, kernel.Options{
-		Profile:      prof,
-		Scheduler:    sched.NewRM(prof),
-		OptimizedSem: true,
+		Profile:         prof,
+		Scheduler:       sched.NewRM(prof),
+		OptimizedSem:    true,
+		RecordResponses: true,
 	})
 	if err != nil {
 		panic(err)
@@ -153,7 +222,7 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 	}
 	k.Run(ipcHorizon)
 	st := k.Stats()
-	return st.TotalOverhead(), float64(st.ContextSwitches)
+	return st.TotalOverhead(), float64(st.ContextSwitches), k
 }
 
 // RenderIPC prints the comparison.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -45,5 +46,35 @@ func TestQueueSweepParallelDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("point %d: serial %+v != parallel %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestDiagnosticsWorkerIndependent extends the determinism guarantee
+// to the observability block: counters and task summaries are merged
+// in job-index order, so the diagnostics of a sweep are bit-identical
+// for any worker count.
+func TestDiagnosticsWorkerIndependent(t *testing.T) {
+	semPts1, semD1 := SemOverheadCurveDiag(DPQueue, []int{3, 5}, nil, Par{Workers: 1})
+	semPts4, semD4 := SemOverheadCurveDiag(DPQueue, []int{3, 5}, nil, Par{Workers: 4})
+	if !reflect.DeepEqual(semPts1, semPts4) {
+		t.Errorf("sem points differ across worker counts")
+	}
+	if !reflect.DeepEqual(semD1, semD4) {
+		t.Errorf("sem diagnostics differ across worker counts:\n1: %+v\n4: %+v", semD1, semD4)
+	}
+	if len(semD1.Tasks) == 0 || semD1.Counters["sem_grants"] == 0 {
+		t.Errorf("sem diagnostics empty: %+v", semD1)
+	}
+
+	ipcPts1, ipcD1 := IPCComparisonDiag([]int{8}, []int{1, 2}, nil, Par{Workers: 1})
+	ipcPts4, ipcD4 := IPCComparisonDiag([]int{8}, []int{1, 2}, nil, Par{Workers: 4})
+	if !reflect.DeepEqual(ipcPts1, ipcPts4) {
+		t.Errorf("ipc points differ across worker counts")
+	}
+	if !reflect.DeepEqual(ipcD1, ipcD4) {
+		t.Errorf("ipc diagnostics differ across worker counts:\n1: %+v\n4: %+v", ipcD1, ipcD4)
+	}
+	if ipcD1.Counters["state_writes"] == 0 || ipcD1.Counters["mailbox_sends"] == 0 {
+		t.Errorf("ipc counters missing: %+v", ipcD1.Counters)
 	}
 }

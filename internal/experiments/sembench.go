@@ -7,11 +7,14 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"emeralds/internal/costmodel"
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
+	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -61,15 +64,74 @@ func (p SemPoint) SavingPct() float64 {
 // per queue length. The scenario is fully deterministic (no RNG), so
 // the fan-out affects wall time only.
 func SemOverheadCurve(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) []SemPoint {
-	return parRun(par, "sem-"+string(kind), 0, len(lens),
-		func(j harness.Job) (SemPoint, error) {
+	pts, _ := SemOverheadCurveDiag(kind, lens, prof, par)
+	return pts
+}
+
+// semJob pairs one queue-length measurement with its observability
+// record (counters over both scheme kernels, T2's blocking times per
+// scheme).
+type semJob struct {
+	point SemPoint
+	met   *metrics.Set
+	block map[string]*stats.Histogram
+}
+
+// SemOverheadCurveDiag is SemOverheadCurve plus the merged diagnostics
+// block: counters summed over every scenario kernel (standard and
+// optimized) and the waiter T2's semaphore blocking-time histograms,
+// keyed by queue kind and scheme ("dp/standard/T2") and folded across
+// jobs with stats.Histogram.Merge in job order — identical for any
+// harness worker count.
+func SemOverheadCurveDiag(kind SemQueueKind, lens []int, prof *costmodel.Profile, par Par) ([]SemPoint, *metrics.Diagnostics) {
+	jobs := parRun(par, "sem-"+string(kind), 0, len(lens),
+		func(j harness.Job) (semJob, error) {
 			l := lens[j.Index]
-			return SemPoint{
-				QueueLen:  l,
-				Standard:  SemScenario(kind, l, false, prof),
-				Optimized: SemScenario(kind, l, true, prof),
-			}, nil
+			out := semJob{met: &metrics.Set{}, block: map[string]*stats.Histogram{}}
+			collect := func(scheme string, k *kernel.Kernel) {
+				scheme = string(kind) + "/" + scheme
+				out.met.Merge(k.Metrics())
+				for _, th := range k.Threads() {
+					if h := th.Blocking(); h != nil && h.Count() > 0 {
+						key := scheme + "/" + th.Name()
+						if out.block[key] == nil {
+							out.block[key] = &stats.Histogram{}
+						}
+						out.block[key].Merge(h)
+					}
+				}
+			}
+			std, sk := semScenarioRun(kind, l, false, false, false, prof)
+			collect("standard", sk)
+			opt, ok := semScenarioRun(kind, l, true, false, false, prof)
+			collect("optimized", ok)
+			out.point = SemPoint{QueueLen: l, Standard: std, Optimized: opt}
+			return out, nil
 		})
+
+	pts := make([]SemPoint, len(jobs))
+	met := &metrics.Set{}
+	block := map[string]*stats.Histogram{}
+	for i, j := range jobs { // job order: deterministic merge
+		pts[i] = j.point
+		met.Merge(j.met)
+		for name, h := range j.block {
+			if block[name] == nil {
+				block[name] = &stats.Histogram{}
+			}
+			block[name].Merge(h)
+		}
+	}
+	d := &metrics.Diagnostics{Counters: met.Snapshot()}
+	names := make([]string, 0, len(block))
+	for name := range block {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.Tasks = append(d.Tasks, metrics.Summarize(name, "blocking", block[name]))
+	}
+	return pts, d
 }
 
 // SemScenario runs one Figure 6 scenario with the scheduler queue
@@ -85,6 +147,13 @@ func SemScenario(kind SemQueueKind, queueLen int, optimized bool, prof *costmode
 // priority inheritance. The ablation benchmark uses it to attribute
 // the Figure 11/12 savings to each mechanism.
 func SemScenarioAblated(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile) vtime.Duration {
+	d, _ := semScenarioRun(kind, queueLen, optimized, disableHints, disablePlaceholder, prof)
+	return d
+}
+
+// semScenarioRun is the scenario body; it also hands back the kernel
+// so callers can harvest counters and blocking histograms.
+func semScenarioRun(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile) (vtime.Duration, *kernel.Kernel) {
 	if prof == nil {
 		prof = costmodel.M68040()
 	}
@@ -100,6 +169,7 @@ func SemScenarioAblated(kind SemQueueKind, queueLen int, optimized, disableHints
 		OptimizedSem:       optimized,
 		DisableHints:       disableHints,
 		DisablePlaceholder: disablePlaceholder,
+		RecordResponses:    true,
 	})
 	if err != nil {
 		panic(err)
@@ -193,5 +263,5 @@ func SemScenarioAblated(kind SemQueueKind, queueLen int, optimized, disableHints
 	if !done {
 		panic(fmt.Sprintf("experiments: sem scenario did not complete (kind=%s len=%d opt=%v)", kind, queueLen, optimized))
 	}
-	return endMark - startMark
+	return endMark - startMark, k
 }

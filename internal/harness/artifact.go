@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"emeralds/internal/metrics"
 )
 
 // ArtifactSchema versions the results/*.json layout. Bump it whenever
@@ -27,7 +29,12 @@ type Artifact struct {
 	Tool   string `json:"tool"`
 	Config any    `json:"config,omitempty"`
 	Series any    `json:"series"`
-	Run    RunInfo
+	// Diagnostics is the observability block: the kernel counter
+	// snapshot plus per-task latency summaries, merged across harness
+	// jobs. Deterministic like Config/Series; omitted by tools that
+	// predate it.
+	Diagnostics *metrics.Diagnostics `json:"diagnostics,omitempty"`
+	Run         RunInfo
 }
 
 // RunInfo is the volatile part of an artifact.
@@ -41,11 +48,12 @@ type RunInfo struct {
 
 // artifactJSON fixes the serialized layout (RunInfo under "run").
 type artifactJSON struct {
-	Schema string  `json:"schema"`
-	Tool   string  `json:"tool"`
-	Config any     `json:"config,omitempty"`
-	Series any     `json:"series"`
-	Run    RunInfo `json:"run"`
+	Schema      string               `json:"schema"`
+	Tool        string               `json:"tool"`
+	Config      any                  `json:"config,omitempty"`
+	Series      any                  `json:"series"`
+	Diagnostics *metrics.Diagnostics `json:"diagnostics,omitempty"`
+	Run         RunInfo              `json:"run"`
 }
 
 // NewArtifact assembles an artifact, stamping git metadata and the

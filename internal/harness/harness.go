@@ -73,10 +73,19 @@ type jobError struct {
 // drains, and Run returns the error of the lowest-indexed failed job
 // (so the reported error is also scheduling-independent). A panic in
 // fn is captured as a *PanicError rather than crashing the pool.
+//
+// Contract: the results slice is valid if and only if the returned
+// error is nil. If the caller's context is cancelled — even after
+// every job happened to finish — Run returns (nil, ctx.Err()), never a
+// partially-trustworthy slice next to a non-nil error.
 func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, job Job) (T, error)) ([]T, error) {
+	parent := ctx
 	results := make([]T, n)
 	if n == 0 {
-		return results, ctx.Err()
+		if err := parent.Err(); err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -156,7 +165,13 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	if firstErr != nil {
 		return nil, firstErr.err
 	}
-	return results, ctx.Err()
+	// The pool only cancels the derived context, so a parent error here
+	// means the caller asked to stop: the slice may hold zero values for
+	// jobs the workers never claimed, so don't return it.
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // reportProgress prints jobs/sec and ETA roughly once a second until
@@ -185,13 +200,21 @@ func reportProgress(opts Options, n int, done *atomic.Int64, stop <-chan struct{
 	for {
 		select {
 		case <-stop:
-			d := done.Load()
-			el := time.Since(start)
-			fmt.Fprintf(opts.Progress, "%s: %d/%d jobs in %s (%.1f jobs/s)\n",
-				label, d, n, el.Round(time.Millisecond), float64(d)/el.Seconds())
+			fmt.Fprintln(opts.Progress, summaryLine(label, done.Load(), n, time.Since(start)))
 			return
 		case <-tick.C:
 			line()
 		}
 	}
+}
+
+// summaryLine formats the final progress summary. A run that finishes
+// within the clock's resolution has el == 0; the rate is omitted then
+// instead of dividing by zero and printing "+Inf jobs/s".
+func summaryLine(label string, d int64, n int, el time.Duration) string {
+	if el <= 0 {
+		return fmt.Sprintf("%s: %d/%d jobs in %s", label, d, n, el.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%s: %d/%d jobs in %s (%.1f jobs/s)",
+		label, d, n, el.Round(time.Millisecond), float64(d)/el.Seconds())
 }

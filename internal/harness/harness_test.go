@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestRunOrderedResults: results come back indexed by job, whatever
@@ -117,6 +118,77 @@ func TestRunCancelledContext(t *testing.T) {
 		func(ctx context.Context, j Job) (int, error) { return j.Index, ctx.Err() })
 	if err == nil {
 		t.Fatal("cancelled run returned nil error")
+	}
+}
+
+// TestRunCancelAfterCompletion is the regression test for the old
+// `return results, ctx.Err()` tail: a context cancelled after the last
+// job finished used to yield a fully-populated slice NEXT TO a non-nil
+// error, and callers that checked only the error threw away good data
+// — or worse, callers that checked only the slice used results from a
+// run that reported failure. The contract is now: results are valid
+// iff err == nil.
+func TestRunCancelAfterCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := Run(ctx, 4, Options{Workers: 1},
+		func(_ context.Context, j Job) (int, error) {
+			if j.Index == 3 {
+				cancel() // cancelled only after all jobs completed
+			}
+			return j.Index, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %v, want nil alongside the error", res)
+	}
+}
+
+// TestRunCancelMidRun: a cancellation racing the pool must never
+// produce (non-nil results, non-nil error) or (nil error, unclaimed
+// jobs).
+func TestRunCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := Run(ctx, 64, Options{Workers: 4},
+		func(ctx context.Context, j Job) (int, error) {
+			if j.Index == 8 {
+				cancel()
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return j.Index + 1, nil
+		})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res != nil {
+		t.Fatalf("res non-nil (%d entries) alongside err = %v", len(res), err)
+	}
+}
+
+// TestRunZeroJobsCancelledContext: the n == 0 early return honours the
+// same contract.
+func TestRunZeroJobsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, 0, Options{},
+		func(_ context.Context, j Job) (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestSummaryLine: a run finishing within the clock's resolution must
+// not print "+Inf jobs/s".
+func TestSummaryLine(t *testing.T) {
+	if got := summaryLine("lbl", 5, 5, 0); strings.Contains(got, "Inf") || strings.Contains(got, "NaN") {
+		t.Errorf("zero-elapsed summary = %q", got)
+	}
+	got := summaryLine("lbl", 10, 10, 2*time.Second)
+	if !strings.Contains(got, "5.0 jobs/s") {
+		t.Errorf("summary = %q, want a 5.0 jobs/s rate", got)
 	}
 }
 

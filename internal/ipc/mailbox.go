@@ -9,7 +9,11 @@
 // cost charging and scheduler interaction live in the kernel.
 package ipc
 
-import "fmt"
+import (
+	"fmt"
+
+	"emeralds/internal/metrics"
+)
 
 // Msg is one mailbox message: an opaque word plus the payload size used
 // for copy-cost accounting (fieldbus messages are "short, simple
@@ -26,7 +30,14 @@ type Mailbox struct {
 	buf  []Msg
 	head int
 	n    int
+	met  *metrics.Set // nil-safe; see Observe
 }
+
+// Observe directs the mailbox's send/receive counters into m. The ipc
+// layer owns MailboxSends/MailboxRecvs so every queue operation is
+// counted exactly once, however the kernel reaches it (task op, pending
+// send completion, interrupt-handler injection).
+func (m *Mailbox) Observe(set *metrics.Set) { m.met = set }
 
 // NewMailbox returns a mailbox holding at most capacity messages.
 func NewMailbox(id int, name string, capacity int) *Mailbox {
@@ -57,6 +68,7 @@ func (m *Mailbox) Push(msg Msg) {
 	}
 	m.buf[(m.head+m.n)%len(m.buf)] = msg
 	m.n++
+	m.met.Inc(metrics.MailboxSends)
 }
 
 // Pop dequeues the oldest message; it panics if empty.
@@ -67,5 +79,6 @@ func (m *Mailbox) Pop() Msg {
 	msg := m.buf[m.head]
 	m.head = (m.head + 1) % len(m.buf)
 	m.n--
+	m.met.Inc(metrics.MailboxRecvs)
 	return msg
 }

@@ -3,6 +3,8 @@ package ipc
 import (
 	"encoding/binary"
 	"fmt"
+
+	"emeralds/internal/metrics"
 )
 
 // StateMessage is the single-writer, multi-reader, wait-free
@@ -36,7 +38,12 @@ type StateMessage struct {
 	published uint64
 	writes    uint64
 	reads     uint64
+	met       *metrics.Set // nil-safe; see Observe
 }
+
+// Observe directs the state message's write/read counters into m,
+// alongside the Writes/Reads fields the consistency tests use.
+func (s *StateMessage) Observe(set *metrics.Set) { s.met = set }
 
 // NewStateMessage creates a state message with the given version-buffer
 // depth and payload size in bytes (minimum 8: one machine word).
@@ -136,6 +143,7 @@ func (w *WriteHandle) Commit() {
 	w.s.seqs[w.slot] = w.seq
 	w.s.published = w.seq
 	w.s.writes++
+	w.s.met.Inc(metrics.StateWrites)
 }
 
 // ReadHandle is an in-progress read: the version index is snapshotted;
@@ -182,6 +190,7 @@ func (r *ReadHandle) Finish() ([]byte, bool) {
 	for r.Step() {
 	}
 	r.s.reads++
+	r.s.met.Inc(metrics.StateReads)
 	return r.copy, r.s.seqs[r.slot] == r.seq
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"emeralds/internal/metrics"
 	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -133,6 +134,7 @@ func (k *Kernel) preemptSegment() bool {
 	}
 	s.th.TCB.Preemptions++
 	k.stats.Preemptions++
+	k.met.Inc(metrics.Preemptions)
 	k.eng.Cancel(s.ev.ev)
 	k.seg = nil
 	k.tr.Add(now, traceKindPreempt, s.th.TCB.Name, "")
@@ -172,6 +174,10 @@ func (k *Kernel) reschedule() {
 		return
 	}
 	k.stats.ContextSwitches++
+	k.met.Inc(metrics.Dispatches)
+	if curTCB != nil {
+		k.met.Inc(metrics.ContextSwitches)
+	}
 	k.charge(k.prof.ContextSwitch, &k.stats.SwitchCharge)
 	k.current = k.byTCB[next]
 	k.tr.Add(k.eng.Now(), traceKindDispatch, next.Name, "")
@@ -324,9 +330,11 @@ func (k *Kernel) completeJob(th *Thread) {
 		th.respHist.Add(resp)
 	}
 	k.stats.Completions++
+	k.met.Inc(metrics.Completions)
 	if now.After(tcb.AbsDeadline) {
 		tcb.Misses++
 		k.stats.Misses++
+		k.met.Inc(metrics.DeadlineMisses)
 		k.tr.Add(now, traceKindMiss, tcb.Name, "")
 	} else {
 		k.tr.Add(now, traceKindComplete, tcb.Name, "")
@@ -353,6 +361,8 @@ func (k *Kernel) onRelease(th *Thread) {
 		th.TCB.Misses++
 		k.stats.Overruns++
 		k.stats.Misses++
+		k.met.Inc(metrics.Overruns)
+		k.met.Inc(metrics.DeadlineMisses)
 		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "suspended")
 		return
 	}
@@ -363,6 +373,8 @@ func (k *Kernel) onRelease(th *Thread) {
 		th.TCB.Misses++ // the lost job can never meet its deadline
 		k.stats.Overruns++
 		k.stats.Misses++
+		k.met.Inc(metrics.Overruns)
+		k.met.Inc(metrics.DeadlineMisses)
 		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "")
 		return
 	}
@@ -375,6 +387,7 @@ func (k *Kernel) onRelease(th *Thread) {
 func (k *Kernel) ReleaseAperiodic(th *Thread) {
 	if th.jobActive {
 		k.stats.Overruns++
+		k.met.Inc(metrics.Overruns)
 		return
 	}
 	k.startJob(th)
@@ -388,6 +401,7 @@ func (k *Kernel) startJob(th *Thread) {
 	}
 	tcb.Releases++
 	k.stats.Releases++
+	k.met.Inc(metrics.Releases)
 	tcb.ReleasedAt = now
 	tcb.AbsDeadline = now.Add(tcb.Spec.RelDeadline())
 	tcb.EffDeadline = tcb.AbsDeadline

@@ -20,6 +20,7 @@ import (
 	"emeralds/internal/ipc"
 	"emeralds/internal/ksync"
 	"emeralds/internal/mem"
+	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
 	"emeralds/internal/sim"
 	"emeralds/internal/stats"
@@ -90,6 +91,8 @@ type Thread struct {
 	reacquire  *semaphore       // mutex to re-take after a condvar wait
 	msgVal     int64            // last received mailbox/state value
 	respHist   *stats.Histogram // non-nil when Options.RecordResponses
+	blockHist  *stats.Histogram // semaphore blocking times; non-nil when RecordResponses
+	semBlockAt vtime.Time       // instant the thread last blocked on a semaphore
 	jobActive  bool
 	suspended  bool
 	delayGen   uint64
@@ -113,6 +116,11 @@ func (t *Thread) Deliver(val int64) { t.msgVal = val }
 // Responses returns the thread's latency histogram (nil unless
 // Options.RecordResponses was set).
 func (t *Thread) Responses() *stats.Histogram { return t.respHist }
+
+// Blocking returns the thread's semaphore blocking-time histogram —
+// contended acquire (or hint-PI park, or condvar-to-mutex move) to
+// grant — nil unless Options.RecordResponses was set.
+func (t *Thread) Blocking() *stats.Histogram { return t.blockHist }
 
 // Stats bundles kernel-wide accounting.
 type Stats struct {
@@ -183,6 +191,7 @@ type Kernel struct {
 	ramErr    error
 	defProc   int
 	stats     Stats
+	met       *metrics.Set
 
 	// OnJobComplete, when set before Boot, is invoked at the instant a
 	// job's last op finishes, before any teardown charges — the
@@ -238,6 +247,7 @@ func New(eng *sim.Engine, opts Options) (*Kernel, error) {
 		memsys:    mem.NewSystem(),
 		footprint: mem.NewFootprint(),
 		ram:       mem.NewRAM(opts.RAMBudget),
+		met:       &metrics.Set{},
 	}
 	k.memsys.NewSpace() // space 0: kernel
 	return k, nil
@@ -260,6 +270,28 @@ func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
 
 // Stats returns a snapshot of kernel-wide accounting.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// Metrics returns the kernel's counter set. Always non-nil; subsystems
+// (scheduler, IPC objects) share it via metrics.Instrumented/Observe.
+func (k *Kernel) Metrics() *metrics.Set { return k.met }
+
+// Diagnostics builds the observability block for artifacts: the full
+// counter snapshot plus per-task response/blocking summaries (present
+// only with Options.RecordResponses, and only for tasks that recorded
+// at least one sample). Tasks appear in creation order, so the block is
+// deterministic.
+func (k *Kernel) Diagnostics() *metrics.Diagnostics {
+	d := &metrics.Diagnostics{Counters: k.met.Snapshot()}
+	for _, th := range k.threads {
+		if th.respHist != nil && th.respHist.Count() > 0 {
+			d.Tasks = append(d.Tasks, metrics.Summarize(th.TCB.Name, "response", th.respHist))
+		}
+		if th.blockHist != nil && th.blockHist.Count() > 0 {
+			d.Tasks = append(d.Tasks, metrics.Summarize(th.TCB.Name, "blocking", th.blockHist))
+		}
+	}
+	return d
+}
 
 // Trace returns the trace log (nil if tracing is off).
 func (k *Kernel) Trace() *trace.Log { return k.tr }
@@ -318,7 +350,8 @@ func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
 	}
 	if k.record {
 		th.respHist = &stats.Histogram{}
-		k.chargeRAM("histogram", 8*181) // the fixed bucket array
+		th.blockHist = &stats.Histogram{}
+		k.chargeRAM("histogram", 2*8*181) // two fixed bucket arrays
 	}
 	k.chargeRAM("tcb", mem.RAMPerTCB)
 	k.chargeRAM("stack", mem.RAMPerStack)
@@ -351,6 +384,9 @@ func (k *Kernel) Boot() error {
 		return k.ramErr
 	}
 	k.booted = true
+	if in, ok := k.sch.(metrics.Instrumented); ok {
+		in.SetMetrics(k.met)
+	}
 	tcbs := make([]*task.TCB, len(k.threads))
 	for i, th := range k.threads {
 		tcbs[i] = th.TCB

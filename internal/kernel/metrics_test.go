@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/metrics"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// TestMetricsMirrorStats runs a contended three-task scenario and
+// checks the counter registry agrees with the legacy Stats fields it
+// shadows, and that the scheduler/IPC-owned counters fired.
+func TestMetricsMirrorStats(t *testing.T) {
+	prof := costmodel.M68040()
+	k, _ := New(nil, Options{
+		Profile:         prof,
+		Scheduler:       sched.NewCSD(prof, sched.Partition{DPSizes: []int{2}}),
+		OptimizedSem:    true,
+		RecordResponses: true,
+	})
+	sem := k.NewSemaphore("m")
+	st := k.NewStateMessage("s", 3, 8)
+	mbx := k.NewMailbox("mb", 2)
+	k.AddTask(task.Spec{Name: "hi", Period: 5 * vtime.Millisecond, Prog: task.Program{
+		task.Compute(100 * vtime.Microsecond),
+		task.Acquire(sem),
+		task.Compute(vtime.Millisecond),
+		task.Release(sem),
+		task.StateWrite(st, 1, 8),
+	}})
+	k.AddTask(task.Spec{Name: "mid", Period: 8 * vtime.Millisecond, Prog: task.Program{
+		task.Acquire(sem),
+		task.Compute(vtime.Millisecond),
+		task.Release(sem),
+		task.Send(mbx, 7, 8),
+	}})
+	k.AddTask(task.Spec{Name: "lo", Period: 13 * vtime.Millisecond, Prog: task.Program{
+		task.Recv(mbx),
+		task.StateRead(st),
+		task.Compute(vtime.Millisecond),
+	}})
+	boot(t, k)
+	k.Run(500 * vtime.Millisecond)
+
+	m := k.Metrics()
+	st8 := k.Stats()
+	for _, c := range []struct {
+		id   metrics.ID
+		want uint64
+	}{
+		{metrics.Preemptions, st8.Preemptions},
+		{metrics.Releases, st8.Releases},
+		{metrics.Completions, st8.Completions},
+		{metrics.DeadlineMisses, st8.Misses},
+		{metrics.Overruns, st8.Overruns},
+		{metrics.SemAcquires, st8.SemAcquires},
+		{metrics.SemBlocks, st8.SemContended},
+		{metrics.SavedSwitches, st8.SavedSwitches},
+		{metrics.HintPIs, st8.HintPIs},
+		{metrics.StateWrites, st8.StateWrites},
+		{metrics.StateReads, st8.StateReads},
+		{metrics.Interrupts, st8.Interrupts},
+		{metrics.Faults, st8.Faults},
+	} {
+		if got := m.Get(c.id); got != c.want {
+			t.Errorf("%v = %d, stats say %d", c.id, got, c.want)
+		}
+	}
+	// Dispatches include switches from idle; ContextSwitches only
+	// switches away from a running task.
+	if d, cs := m.Get(metrics.Dispatches), m.Get(metrics.ContextSwitches); d == 0 || d < cs {
+		t.Errorf("dispatches = %d, context_switches = %d", d, cs)
+	}
+	if m.Get(metrics.Dispatches) != st8.ContextSwitches {
+		t.Errorf("dispatches = %d, stats.ContextSwitches = %d",
+			m.Get(metrics.Dispatches), st8.ContextSwitches)
+	}
+	// Scheduler- and IPC-owned counters must have been wired at Boot.
+	if m.Get(metrics.SchedSelects) == 0 {
+		t.Error("sched_selects not incremented — scheduler not instrumented at Boot")
+	}
+	if m.Get(metrics.SemBlocks) == 0 && m.Get(metrics.HintPIs) == 0 {
+		t.Error("scenario produced no contention")
+	}
+	if m.Get(metrics.MailboxSends) == 0 || m.Get(metrics.MailboxRecvs) == 0 {
+		t.Errorf("mailbox counters: sends=%d recvs=%d",
+			m.Get(metrics.MailboxSends), m.Get(metrics.MailboxRecvs))
+	}
+	if m.Get(metrics.StateWrites) == 0 || m.Get(metrics.StateReads) == 0 {
+		t.Errorf("state counters: writes=%d reads=%d",
+			m.Get(metrics.StateWrites), m.Get(metrics.StateReads))
+	}
+	// Grants correspond to blocked waiters being handed the lock.
+	if m.Get(metrics.SemGrants) == 0 {
+		t.Error("no sem grants in a contended run")
+	}
+
+	// Blocking histograms recorded the waits, and Diagnostics carries
+	// both latency metrics with the full counter block.
+	d := k.Diagnostics()
+	if len(d.Counters) != int(metrics.NumIDs) {
+		t.Fatalf("diagnostics has %d counters, want %d", len(d.Counters), metrics.NumIDs)
+	}
+	var sawResp, sawBlock bool
+	for _, ts := range d.Tasks {
+		switch ts.Metric {
+		case "response":
+			sawResp = true
+		case "blocking":
+			sawBlock = true
+			if ts.N == 0 || ts.MaxUs <= 0 {
+				t.Errorf("blocking summary for %s is empty: %+v", ts.Task, ts)
+			}
+		}
+	}
+	if !sawResp || !sawBlock {
+		t.Errorf("diagnostics tasks: response=%v blocking=%v, want both", sawResp, sawBlock)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"emeralds/internal/ipc"
 	"emeralds/internal/ksync"
 	"emeralds/internal/mem"
+	"emeralds/internal/metrics"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -29,6 +30,7 @@ func (k *Kernel) NewMailbox(name string, capacity int) int {
 		name = fmt.Sprintf("mbox%d", len(k.mboxes))
 	}
 	mb := &kmailbox{box: ipc.NewMailbox(len(k.mboxes), name, capacity)}
+	mb.box.Observe(k.met)
 	k.chargeRAM("mailbox", mem.RAMPerMailbox+mb.box.Cap()*mem.RAMPerMsgSlot)
 	k.mboxes = append(k.mboxes, mb)
 	return mb.box.ID
@@ -48,6 +50,7 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
 	if mb.box.Full() {
 		// Block the sender; its send completes when space frees up.
+		k.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.sendq.Add(th.TCB)
 		th.TCB.State = task.Blocked
@@ -68,6 +71,7 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 func (k *Kernel) doRecv(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
 	if mb.box.Empty() {
+		k.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.recvq.Add(th.TCB)
 		th.TCB.State = task.Blocked
@@ -149,10 +153,12 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 // supersedes it. Reports whether it was delivered.
 func (k *Kernel) InjectMessage(id int, val int64, size int) bool {
 	k.stats.Interrupts++
+	k.met.Inc(metrics.Interrupts)
 	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
 	mb := k.mbox(id)
 	if mb.box.Full() {
 		k.stats.MsgsDropped++
+		k.met.Inc(metrics.MailboxDrops)
 		k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", mb.box.Name+" drop")
 		return false
 	}
@@ -174,6 +180,7 @@ func (k *Kernel) NewStateMessage(name string, depth, size int) int {
 		name = fmt.Sprintf("state%d", len(k.states))
 	}
 	sm := ipc.NewStateMessage(len(k.states), name, depth, size)
+	sm.Observe(k.met)
 	k.chargeRAM("statemsg", mem.RAMPerStateHdr+sm.Depth()*sm.Size())
 	k.states = append(k.states, sm)
 	return sm.ID
@@ -234,6 +241,7 @@ func (k *Kernel) doMemOp(th *Thread, op task.Op) {
 		// Protection fault: the job is killed, full memory protection
 		// being the point of multi-threaded processes (§3).
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, err.Error())
 		k.killJob(th)
 		return
@@ -275,6 +283,7 @@ func (k *Kernel) doIO(th *Thread, op task.Op) {
 	d := k.device(op.Obj)
 	if d == nil {
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no device %d", op.Obj))
 		th.TCB.PC++
 		return
@@ -291,6 +300,7 @@ func (k *Kernel) BindISR(vector int, handler func(*Kernel)) {
 // Raise dispatches an interrupt immediately.
 func (k *Kernel) Raise(vector int) {
 	k.stats.Interrupts++
+	k.met.Inc(metrics.Interrupts)
 	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
 	k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", fmt.Sprintf("vector %d", vector))
 	if h := k.isrs[vector]; h != nil {
@@ -313,6 +323,7 @@ func (k *Kernel) RegisterBusPort(p BusPort) int {
 func (k *Kernel) doBusSend(th *Thread, op task.Op) {
 	if op.Obj < 0 || op.Obj >= len(k.ports) {
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no bus port %d", op.Obj))
 		th.TCB.PC++
 		return
@@ -330,6 +341,7 @@ func (k *Kernel) SetAlarm(d vtime.Duration, eventID int) {
 	k.event(eventID) // validate now, not at fire time
 	k.eng.After(d, "alarm", func() {
 		k.stats.Interrupts++
+		k.met.Inc(metrics.Interrupts)
 		k.charge(k.prof.TimerInterrupt, &k.stats.TimerCharge)
 		k.signalEvent(eventID, "alarm")
 		k.reschedule()

@@ -5,6 +5,7 @@ import (
 
 	"emeralds/internal/ksync"
 	"emeralds/internal/mem"
+	"emeralds/internal/metrics"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -95,6 +96,7 @@ func (k *Kernel) SemOwnerName(id int) string {
 func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	s := k.sem(op.Obj)
 	k.stats.SemAcquires++
+	k.met.Inc(metrics.SemAcquires)
 	if th.preAcq == s {
 		k.removePreAcq(th, s)
 	}
@@ -119,6 +121,8 @@ func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	// caller's own position or the forward scan would miss the boosted
 	// holder entirely.
 	k.stats.SemContended++
+	k.met.Inc(metrics.SemBlocks)
+	th.semBlockAt = k.eng.Now()
 	th.TCB.State = task.Blocked
 	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
 	k.inheritFromWaiter(s, th)
@@ -135,6 +139,7 @@ func (k *Kernel) doRelease(th *Thread, op task.Op) {
 		// Releasing a mutex one does not hold is an application bug;
 		// surface it as a fault rather than corrupting lock state.
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "release of unheld "+s.name)
 		th.TCB.PC++
 		return
@@ -163,6 +168,7 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 	prio, dl := th.holder.RestoreTarget(th.TCB.BasePrio, th.TCB.AbsDeadline)
 	if hadInh || prio != th.TCB.EffPrio || dl != th.TCB.EffDeadline {
 		k.charge(k.sch.Restore(th.TCB, ph, prio, dl, k.optPI), &k.stats.SemCharge)
+		k.met.Inc(metrics.PIRestores)
 		k.tr.Add(k.eng.Now(), traceKindRestore, th.TCB.Name, s.name)
 	}
 	// §6.3.1: wake the pre-acquire threads that were re-blocked when
@@ -189,6 +195,10 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 		k.advancePastLockOp(w, s)
 		wTCB.State = task.Ready
 		k.charge(k.sch.Unblock(wTCB), &k.stats.SchedCharge)
+		k.met.Inc(metrics.SemGrants)
+		if w.blockHist != nil {
+			w.blockHist.Add(k.eng.Now().Sub(w.semBlockAt))
+		}
 		k.tr.Add(k.eng.Now(), traceKindSemGrant, wTCB.Name, s.name)
 		// With the semaphore still locked (by w now), hinted threads in
 		// the pre-acquire queue must stay parked.
@@ -211,6 +221,7 @@ func (k *Kernel) releaseAllHeld(th *Thread) {
 		}
 		s := k.sem(id)
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "job ended holding "+s.name)
 		k.releaseInternal(th, s)
 	}
@@ -264,6 +275,7 @@ func (k *Kernel) inheritFromWaiter(s *semaphore, waiter *Thread) {
 		s.inh.Placeholder = ph
 	}
 	k.charge(cost, &k.stats.SemCharge)
+	k.met.Inc(metrics.PIInherits)
 	k.tr.Add(k.eng.Now(), traceKindInherit, hTCB.Name, "from "+wTCB.Name)
 	// Transitive inheritance: a boosted holder that is itself blocked
 	// passes the boost along its own wait chain.
@@ -352,8 +364,11 @@ func (k *Kernel) wakeup(th *Thread) bool {
 			k.inheritFromWaiter(s, th)
 			s.waiters.Add(th.TCB)
 			th.waitingSem = s
+			th.semBlockAt = k.eng.Now()
 			k.stats.SavedSwitches++
 			k.stats.HintPIs++
+			k.met.Inc(metrics.SavedSwitches)
+			k.met.Inc(metrics.HintPIs)
 			k.tr.Add(k.eng.Now(), traceKindSemHintPI, th.TCB.Name, s.name)
 			return false
 		}
@@ -484,6 +499,7 @@ func (k *Kernel) doCondWait(th *Thread, op task.Op) {
 	m := k.sem(op.Hint)
 	if m.isMutex() && m.owner != th {
 		k.stats.Faults++
+		k.met.Inc(metrics.Faults)
 		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "cond-wait without "+m.name)
 		th.TCB.PC++
 		return
@@ -531,8 +547,10 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 			k.inheritFromWaiter(m, w)
 			m.waiters.Add(wTCB)
 			w.waitingSem = m
+			w.semBlockAt = k.eng.Now()
 			if k.optHints {
 				k.stats.SavedSwitches++
+				k.met.Inc(metrics.SavedSwitches)
 			}
 		}
 		if !broadcast {

@@ -1,0 +1,37 @@
+package kernel
+
+import (
+	"testing"
+
+	"emeralds/internal/trace"
+)
+
+// TestTraceKindAliasesInSync locks tracekinds.go to the trace.Kind
+// enum: every Kind must have exactly one kernel alias, so a Kind added
+// in package trace cannot be forgotten here (or aliased twice).
+func TestTraceKindAliasesInSync(t *testing.T) {
+	aliases := []trace.Kind{
+		traceKindRelease, traceKindDispatch, traceKindPreempt,
+		traceKindBlock, traceKindUnblock, traceKindComplete,
+		traceKindMiss, traceKindOverrun,
+		traceKindSemAcquire, traceKindSemBlock, traceKindSemRelease,
+		traceKindSemHintPI, traceKindSemGrant,
+		traceKindInherit, traceKindRestore, traceKindSignal,
+		traceKindMsgSend, traceKindMsgRecv,
+		traceKindStateWrite, traceKindStateRead,
+		traceKindInterrupt, traceKindFault, traceKindIdle,
+	}
+	if len(aliases) != int(trace.NumKinds) {
+		t.Fatalf("tracekinds.go declares %d aliases, trace.Kind has %d kinds", len(aliases), trace.NumKinds)
+	}
+	seen := map[trace.Kind]bool{}
+	for _, k := range aliases {
+		if k >= trace.NumKinds {
+			t.Errorf("alias value %d outside the Kind enum", k)
+		}
+		if seen[k] {
+			t.Errorf("Kind %v aliased twice", k)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/stats"
+	"emeralds/internal/vtime"
+)
+
+// TestNamesExhaustive locks the names table to the ID enum: adding a
+// counter without naming it fails here instead of silently producing
+// "counter(N)" keys in artifacts.
+func TestNamesExhaustive(t *testing.T) {
+	seen := map[string]ID{}
+	for id := ID(0); id < NumIDs; id++ {
+		name := id.String()
+		if name == "" || strings.HasPrefix(name, "counter(") {
+			t.Errorf("ID %d has no name", id)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("IDs %d and %d share the name %q", prev, id, name)
+		}
+		seen[name] = id
+	}
+	if ID(100).String() != "counter(100)" {
+		t.Errorf("out-of-range String() = %q", ID(100).String())
+	}
+}
+
+// TestIncrementsAllocationFree: the whole point of the array registry
+// is that hot paths can count without allocating.
+func TestIncrementsAllocationFree(t *testing.T) {
+	var s Set
+	if n := testing.AllocsPerRun(100, func() {
+		s.Inc(Dispatches)
+		s.Add(SemAcquires, 3)
+		_ = s.Get(Dispatches)
+	}); n != 0 {
+		t.Errorf("counter ops allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestNilSetSafe: a nil *Set absorbs every operation, so uninstrumented
+// subsystems need no guards.
+func TestNilSetSafe(t *testing.T) {
+	var s *Set
+	s.Inc(Dispatches)
+	s.Add(Faults, 7)
+	if got := s.Get(Faults); got != 0 {
+		t.Errorf("nil set Get = %d, want 0", got)
+	}
+	s.Merge(nil)
+}
+
+func TestMergeAndSnapshot(t *testing.T) {
+	var a, b Set
+	a.Inc(Dispatches)
+	a.Add(SemBlocks, 2)
+	b.Add(Dispatches, 10)
+	b.Inc(StateReads)
+	a.Merge(&b)
+	if got := a.Get(Dispatches); got != 11 {
+		t.Errorf("merged dispatches = %d, want 11", got)
+	}
+	snap := a.Snapshot()
+	if len(snap) != int(NumIDs) {
+		t.Fatalf("snapshot has %d keys, want %d (every counter present)", len(snap), NumIDs)
+	}
+	if snap["sem_blocks"] != 2 || snap["state_reads"] != 1 || snap["dispatches"] != 11 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h stats.Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(vtime.Duration(i) * vtime.Microsecond)
+	}
+	s := Summarize("tau1", "response", &h)
+	if s.Task != "tau1" || s.Metric != "response" || s.N != 100 {
+		t.Fatalf("summary identity: %+v", s)
+	}
+	if s.MinUs != 1 || s.MaxUs != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", s.MinUs, s.MaxUs)
+	}
+	if s.P50Us < 40 || s.P50Us > 60 {
+		t.Errorf("p50 = %v, want ~50 (±bucket resolution)", s.P50Us)
+	}
+	if s.P99Us < s.P95Us || s.P95Us < s.P50Us {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}

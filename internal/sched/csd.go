@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emeralds/internal/costmodel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/schedq"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -26,6 +27,7 @@ type CSD struct {
 	fp         schedq.Sorted
 	profile    *costmodel.Profile
 	noCounters bool
+	met        *metrics.Set // nil-safe; set by the kernel at Boot
 }
 
 type dpQueue struct {
@@ -46,6 +48,11 @@ func NewCSD(profile *costmodel.Profile, part Partition) *CSD {
 // Name implements Scheduler.
 func (s *CSD) Name() string { return fmt.Sprintf("CSD-%d", s.part.NumQueues()) }
 
+// SetMetrics implements metrics.Instrumented: selections and
+// cross-queue PI migrations are counted from the scheduler's own hot
+// paths.
+func (s *CSD) SetMetrics(m *metrics.Set) { s.met = m }
+
 // Partition returns the queue partition in effect.
 func (s *CSD) Partition() Partition { return s.part }
 
@@ -54,10 +61,12 @@ func (s *CSD) Partition() Partition { return s.part }
 func (s *CSD) Admit(ts []*task.TCB) {
 	for _, t := range ts {
 		t.CSDCur = t.CSDQueue
+		t.DPCounted = false
 		if t.CSDQueue < len(s.dp) {
 			s.dp[t.CSDQueue].q.Insert(t)
 			if t.State == task.Ready {
 				s.dp[t.CSDQueue].ready++
+				t.DPCounted = true
 			}
 		} else {
 			s.fp.Insert(t)
@@ -67,9 +76,19 @@ func (s *CSD) Admit(ts []*task.TCB) {
 
 // Block implements Scheduler. DP tasks: O(1) flag flip plus counter
 // decrement. FP tasks: highestP re-scan, as in RM.
+//
+// The decrement is guarded by DPCounted — the flag recording whether
+// the task is included in its queue's §5.3 ready counter (t.State
+// cannot serve as the guard: the kernel flips it to Blocked before
+// calling here). An unguarded decrement would let a double-block, or a
+// block of a never-unblocked task, drive the counter negative, and
+// Select would then skip a non-empty queue forever.
 func (s *CSD) Block(t *task.TCB) vtime.Duration {
 	if k := t.CSDCur; k < len(s.dp) {
-		s.dp[k].ready--
+		if t.DPCounted {
+			s.dp[k].ready--
+			t.DPCounted = false
+		}
 		return s.profile.EDFBlock()
 	}
 	scanned := s.fp.Block(t)
@@ -77,10 +96,15 @@ func (s *CSD) Block(t *task.TCB) vtime.Duration {
 }
 
 // Unblock implements Scheduler. DP tasks: O(1). FP tasks: O(1)
-// comparison against highestP.
+// comparison against highestP. Guarded like Block: a double-unblock
+// must not inflate the ready counter, or Select would pay for parsing
+// a queue whose scan then finds nothing.
 func (s *CSD) Unblock(t *task.TCB) vtime.Duration {
 	if k := t.CSDCur; k < len(s.dp) {
-		s.dp[k].ready++
+		if !t.DPCounted {
+			s.dp[k].ready++
+			t.DPCounted = true
+		}
 		return s.profile.EDFUnblock()
 	}
 	s.fp.Unblock(t)
@@ -99,6 +123,7 @@ func (s *CSD) DisableReadyCounters() { s.noCounters = true }
 // counters ablated, empty DP queues are scanned in full before moving
 // on.
 func (s *CSD) Select() (*task.TCB, vtime.Duration) {
+	s.met.Inc(metrics.SchedSelects)
 	var cost vtime.Duration
 	for k := range s.dp {
 		cost += s.profile.CSDParse(1)
@@ -178,8 +203,9 @@ func (s *CSD) migrate(t *task.TCB, k int) vtime.Duration {
 	var cost vtime.Duration
 	if cur := t.CSDCur; cur < len(s.dp) {
 		s.dp[cur].q.Remove(t)
-		if t.State == task.Ready {
+		if t.DPCounted {
 			s.dp[cur].ready--
+			t.DPCounted = false
 		}
 	} else {
 		scanned := s.fp.Remove(t)
@@ -190,11 +216,13 @@ func (s *CSD) migrate(t *task.TCB, k int) vtime.Duration {
 		s.dp[k].q.Insert(t)
 		if t.State == task.Ready {
 			s.dp[k].ready++
+			t.DPCounted = true
 		}
 	} else {
 		scanned := s.fp.Insert(t)
 		cost += s.profile.RMInsert(scanned)
 	}
+	s.met.Inc(metrics.PIMigrations)
 	return cost
 }
 

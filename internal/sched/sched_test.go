@@ -328,6 +328,84 @@ func TestCSDReadyCounters(t *testing.T) {
 	}
 }
 
+// TestCSDDoubleBlockKeepsCounter is the regression test for the ready
+// counter underflow: Block used to decrement unconditionally, so a
+// second Block of an already-blocked DP task (e.g. a task blocked on a
+// semaphore whose job is then killed) drove the counter negative and
+// Select skipped a non-empty queue forever.
+func TestCSDDoubleBlockKeepsCounter(t *testing.T) {
+	s := NewCSD(nil, Partition{DPSizes: []int{2}})
+	ts := mkSet(1, 2, 3, 4)
+	sorted := AssignRMPriorities(ts)
+	s.Partition().Apply(sorted)
+	s.Admit(sorted)
+
+	// The kernel flips State before calling Block (see the Scheduler
+	// interface contract), so the scheduler sees State == Blocked on
+	// both the first and the redundant call.
+	ts[0].State = task.Blocked
+	s.Block(ts[0])
+	s.Block(ts[0]) // double block: must be a no-op
+	if got := s.DPReady(0); got != 1 {
+		t.Errorf("DP1 ready after double block = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Double unblock must not inflate the counter either.
+	ts[0].State = task.Ready
+	s.Unblock(ts[0])
+	s.Unblock(ts[0])
+	if got := s.DPReady(0); got != 2 {
+		t.Errorf("DP1 ready after double unblock = %d, want 2", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With the other DP task also blocked, Select must still find the
+	// FP queue rather than spin on a miscounted DP queue: block both,
+	// double-block one, and check Select falls through to FP.
+	for _, dp := range []*task.TCB{ts[0], ts[1]} {
+		dp.State = task.Blocked
+		s.Block(dp)
+	}
+	s.Block(ts[1])
+	if got := s.DPReady(0); got != 0 {
+		t.Errorf("DP1 ready with all DP tasks blocked = %d, want 0", got)
+	}
+	best, _ := s.Select()
+	if best == nil || best.CSDQueue != 1 {
+		t.Errorf("Select = %v, want an FP task", best)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSDBlockDormantTask blocks a task that was admitted while not
+// ready (never counted): the counter must stay untouched.
+func TestCSDBlockDormantTask(t *testing.T) {
+	s := NewCSD(nil, Partition{DPSizes: []int{2}})
+	ts := mkSet(1, 2, 3, 4)
+	ts[0].State = task.Dormant
+	sorted := AssignRMPriorities(ts)
+	s.Partition().Apply(sorted)
+	s.Admit(sorted)
+	if got := s.DPReady(0); got != 1 {
+		t.Fatalf("DP1 ready with one dormant task = %d, want 1", got)
+	}
+	ts[0].State = task.Blocked
+	s.Block(ts[0])
+	if got := s.DPReady(0); got != 1 {
+		t.Errorf("DP1 ready after blocking never-counted task = %d, want 1", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCSDInheritWithinFP(t *testing.T) {
 	p := costmodel.M68040()
 	s := NewCSD(p, Partition{DPSizes: []int{1}})

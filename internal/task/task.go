@@ -109,6 +109,7 @@ type TCB struct {
 	EffDeadline vtime.Time // deadline after inheritance (EDF key; = AbsDeadline normally)
 	CSDQueue    int        // home CSD queue this task is assigned to
 	CSDCur      int        // current CSD queue (differs from home only during cross-queue inheritance)
+	DPCounted   bool       // included in its DP queue's ready counter (owned by sched.CSD)
 
 	// Queue links (owned by schedq).
 	QNext, QPrev *TCB

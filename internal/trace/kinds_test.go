@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKindNamesExhaustive locks kindNames to the Kind enum: a new Kind
+// added without a name would leave a trailing empty entry (the array is
+// sized [NumKinds]) and fail here, instead of silently printing
+// "kind(N)" in traces and the Perfetto export.
+func TestKindNamesExhaustive(t *testing.T) {
+	if len(kindNames) != int(NumKinds) {
+		t.Fatalf("kindNames has %d entries, Kind enum has %d", len(kindNames), NumKinds)
+	}
+	seen := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Errorf("Kind %d has no name", k)
+		}
+		if strings.HasPrefix(name, "kind(") {
+			t.Errorf("Kind %d falls through to the placeholder %q", k, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if got := NumKinds.String(); !strings.HasPrefix(got, "kind(") {
+		t.Errorf("sentinel NumKinds prints %q, want the kind(N) placeholder", got)
+	}
+}

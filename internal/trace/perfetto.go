@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"emeralds/internal/vtime"
+)
+
+// Perfetto export: converts a recorded event log into the Chrome
+// trace-event JSON format, loadable in ui.perfetto.dev or
+// chrome://tracing. The mapping is
+//
+//   - one thread track per task (plus synthetic tracks for "isr" etc.),
+//     named by "M"/thread_name metadata events in order of first
+//     appearance;
+//   - a "X" complete slice per scheduling quantum, opened at dispatch
+//     and closed when the task is preempted, blocks, completes, or the
+//     CPU goes idle;
+//   - "i" instant events (thread scope) for everything else — deadline
+//     misses, faults, releases, semaphore and IPC operations — so no
+//     recorded kind is silently dropped;
+//   - "s"/"f" flow arrows from each semaphore grant to the granted
+//     waiter's next dispatch, making the handoff visible across tracks.
+//
+// Timestamps are microseconds (the trace-event unit); virtual time is
+// nanoseconds, so sub-microsecond costs keep three decimal places.
+// Each JSON object is a map, and encoding/json orders map keys
+// lexically, so the export is byte-deterministic for a given event
+// sequence.
+
+// perfettoExporter accumulates trace-event objects.
+type perfettoExporter struct {
+	events []map[string]any
+	tids   map[string]int
+	cur    string     // task owning the open run slice, "" when idle
+	start  vtime.Time // open slice's start
+	nextID int        // flow-event id allocator
+	flows  map[string][]int
+}
+
+func us(t vtime.Time) float64 { return float64(t) / 1e3 }
+
+// tid returns the stable per-task track id, emitting the thread_name
+// metadata event on first use.
+func (p *perfettoExporter) tid(task string) int {
+	if id, ok := p.tids[task]; ok {
+		return id
+	}
+	id := len(p.tids) + 1
+	p.tids[task] = id
+	p.events = append(p.events, map[string]any{
+		"ph": "M", "name": "thread_name", "pid": 1, "tid": id,
+		"args": map[string]any{"name": task},
+	})
+	return id
+}
+
+func (p *perfettoExporter) closeSlice(at vtime.Time) {
+	if p.cur == "" {
+		return
+	}
+	p.events = append(p.events, map[string]any{
+		"ph": "X", "name": "run", "cat": "task",
+		"pid": 1, "tid": p.tid(p.cur),
+		"ts": us(p.start), "dur": us(at) - us(p.start),
+	})
+	p.cur = ""
+}
+
+func (p *perfettoExporter) instant(e Event) {
+	ev := map[string]any{
+		"ph": "i", "s": "t", "name": e.Kind.String(), "cat": "kernel",
+		"pid": 1, "tid": p.tid(e.Task), "ts": us(e.At),
+	}
+	if e.Detail != "" {
+		ev["args"] = map[string]any{"detail": e.Detail}
+	}
+	p.events = append(p.events, ev)
+}
+
+func (p *perfettoExporter) add(e Event) {
+	switch e.Kind {
+	case Dispatch:
+		p.closeSlice(e.At)
+		// Close pending grant→dispatch flow arrows landing here.
+		for _, id := range p.flows[e.Task] {
+			p.events = append(p.events, map[string]any{
+				"ph": "f", "bp": "e", "id": id, "name": "sem-grant", "cat": "sem",
+				"pid": 1, "tid": p.tid(e.Task), "ts": us(e.At),
+			})
+		}
+		delete(p.flows, e.Task)
+		p.cur = e.Task
+		p.start = e.At
+	case Idle:
+		p.closeSlice(e.At)
+	case Preempt, Complete, Miss, BlockEv, SemBlockWait:
+		if e.Task == p.cur {
+			p.closeSlice(e.At)
+		}
+		p.instant(e)
+	case SemGrant:
+		// The grant executes on the releasing task's track (the one
+		// running now); the arrow lands on the waiter's next dispatch.
+		p.nextID++
+		from := p.cur
+		if from == "" {
+			from = e.Task
+		}
+		p.events = append(p.events, map[string]any{
+			"ph": "s", "id": p.nextID, "name": "sem-grant", "cat": "sem",
+			"pid": 1, "tid": p.tid(from), "ts": us(e.At),
+		})
+		p.flows[e.Task] = append(p.flows[e.Task], p.nextID)
+		p.instant(e)
+	default:
+		p.instant(e)
+	}
+}
+
+// ExportPerfetto writes events as Chrome/Perfetto trace-event JSON.
+func ExportPerfetto(w io.Writer, events []Event) error {
+	p := &perfettoExporter{tids: map[string]int{}, flows: map[string][]int{}}
+	p.events = append(p.events, map[string]any{
+		"ph": "M", "name": "process_name", "pid": 1,
+		"args": map[string]any{"name": "emeralds"},
+	})
+	var last vtime.Time
+	for _, e := range events {
+		p.add(e)
+		last = e.At
+	}
+	p.closeSlice(last) // a slice still open ends at the last event
+	doc := map[string]any{"displayTimeUnit": "ms", "traceEvents": p.events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ExportPerfettoLog exports a log's retained events.
+func (l *Log) ExportPerfetto(w io.Writer) error {
+	if l == nil {
+		return fmt.Errorf("trace: nil log")
+	}
+	return ExportPerfetto(w, l.Events())
+}

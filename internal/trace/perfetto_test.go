@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"emeralds/internal/vtime"
+)
+
+func perfettoDoc(t *testing.T, events []Event) (raw []byte, evs []map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ExportPerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return buf.Bytes(), doc.TraceEvents
+}
+
+func TestPerfettoExport(t *testing.T) {
+	ms := func(n int) vtime.Time { return vtime.Time(n) * vtime.Time(vtime.Millisecond) }
+	events := []Event{
+		{At: ms(0), Kind: Release, Task: "a"},
+		{At: ms(0), Kind: Dispatch, Task: "a"},
+		{At: ms(1), Kind: SemBlockWait, Task: "a", Detail: "m"},
+		{At: ms(1), Kind: Dispatch, Task: "b"},
+		{At: ms(2), Kind: SemGrant, Task: "a", Detail: "m"},
+		{At: ms(2), Kind: Preempt, Task: "b"},
+		{At: ms(2), Kind: Dispatch, Task: "a"},
+		{At: ms(3), Kind: Miss, Task: "a"},
+		{At: ms(3), Kind: Idle, Task: "-"},
+	}
+	_, evs := perfettoDoc(t, events)
+
+	byPh := map[string][]map[string]any{}
+	for _, e := range evs {
+		byPh[e["ph"].(string)] = append(byPh[e["ph"].(string)], e)
+	}
+
+	// Thread-name metadata for both tasks (plus the process name).
+	names := map[string]bool{}
+	for _, m := range byPh["M"] {
+		names[m["args"].(map[string]any)["name"].(string)] = true
+	}
+	if !names["a"] || !names["b"] || !names["emeralds"] {
+		t.Errorf("metadata names = %v", names)
+	}
+
+	// Three run slices: a [0,1), b [1,2), a [2,3).
+	if len(byPh["X"]) != 3 {
+		t.Fatalf("got %d X slices, want 3", len(byPh["X"]))
+	}
+	for i, want := range []struct{ ts, dur float64 }{{0, 1000}, {1000, 1000}, {2000, 1000}} {
+		x := byPh["X"][i]
+		if x["ts"].(float64) != want.ts || x["dur"].(float64) != want.dur {
+			t.Errorf("slice %d: ts=%v dur=%v, want %v/%v", i, x["ts"], x["dur"], want.ts, want.dur)
+		}
+	}
+
+	// The deadline miss is an instant on a's track.
+	var sawMiss bool
+	for _, in := range byPh["i"] {
+		if in["name"] == "MISS" {
+			sawMiss = true
+		}
+	}
+	if !sawMiss {
+		t.Error("no MISS instant event")
+	}
+
+	// The grant produces a matching s/f flow pair: started on b's track
+	// (the releaser was running) and finished at a's next dispatch.
+	if len(byPh["s"]) != 1 || len(byPh["f"]) != 1 {
+		t.Fatalf("flows: %d starts, %d finishes, want 1/1", len(byPh["s"]), len(byPh["f"]))
+	}
+	s, f := byPh["s"][0], byPh["f"][0]
+	if s["id"] != f["id"] {
+		t.Errorf("flow ids differ: %v vs %v", s["id"], f["id"])
+	}
+	if s["tid"] == f["tid"] {
+		t.Error("flow start and finish on the same track; want releaser → waiter")
+	}
+	if f["bp"] != "e" {
+		t.Errorf(`finish bp = %v, want "e"`, f["bp"])
+	}
+	if f["ts"].(float64) != 2000 {
+		t.Errorf("flow lands at ts %v, want 2000 (a's redispatch)", f["ts"])
+	}
+}
+
+// TestPerfettoDeterministic: same events, byte-identical JSON.
+func TestPerfettoDeterministic(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: Dispatch, Task: "a"},
+		{At: 100, Kind: StateWrite, Task: "a", Detail: "s"},
+		{At: 200, Kind: Complete, Task: "a"},
+	}
+	a, _ := perfettoDoc(t, events)
+	b, _ := perfettoDoc(t, events)
+	if !bytes.Equal(a, b) {
+		t.Error("export is not byte-deterministic")
+	}
+}
+
+// TestPerfettoOpenSliceClosed: a trace ending mid-quantum still closes
+// the running slice (at the last event), so the JSON never contains a
+// dangling "B" or an X with negative duration.
+func TestPerfettoOpenSliceClosed(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: Dispatch, Task: "a"},
+		{At: 500, Kind: Release, Task: "b"},
+	}
+	_, evs := perfettoDoc(t, events)
+	var slices int
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			slices++
+			if e["dur"].(float64) < 0 {
+				t.Errorf("negative duration: %v", e["dur"])
+			}
+		}
+	}
+	if slices != 1 {
+		t.Errorf("got %d slices, want 1", slices)
+	}
+}

@@ -38,9 +38,14 @@ const (
 	Interrupt
 	Fault
 	Idle
+
+	// NumKinds is the number of defined kinds (sentinel, not a Kind).
+	// kindNames and the kernel's tracekinds.go aliases are locked to it
+	// by tests, so a new Kind cannot land without a printable name.
+	NumKinds
 )
 
-var kindNames = [...]string{
+var kindNames = [NumKinds]string{
 	"release", "dispatch", "preempt", "block", "unblock",
 	"complete", "MISS", "overrun",
 	"sem-acquire", "sem-block", "sem-release", "sem-hint-pi", "sem-grant",
@@ -48,6 +53,9 @@ var kindNames = [...]string{
 	"msg-send", "msg-recv", "state-write", "state-read",
 	"interrupt", "FAULT", "idle",
 }
+
+// The literal above must fill the array exactly: a Kind added without a
+// name would leave a trailing "" and fail TestKindNamesExhaustive.
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -22,4 +22,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== artifact + trace smoke =="
+# Round-trip the observability pipeline: emsim writes an artifact and a
+# Perfetto trace, emtrace validates both shapes (full counter set,
+# monotone latency quantiles, balanced flow arrows).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/emsim -ms 50 -quiet -json-out "$tmp/artifact.json" -trace-out "$tmp/trace.json" >/dev/null
+go run ./cmd/emtrace -check-artifact "$tmp/artifact.json"
+go run ./cmd/emtrace -check-trace "$tmp/trace.json"
+
 echo "ci: all green"

@@ -30,6 +30,12 @@ go run ./cmd/sembench -workers "$WORKERS" -json -json-out results/figures11-12.j
 echo "== Section 7 (state messages vs mailboxes) =="
 go run ./cmd/ipcbench -workers "$WORKERS" -json -json-out results/ipc.json | tee results/ipc.txt
 
+echo "== Table 2 run: artifact + Perfetto trace =="
+go run ./cmd/emsim -ms 500 -quiet -json-out results/emsim.json -trace-out results/emsim-trace.json \
+    | tee results/emsim.txt
+go run ./cmd/emtrace -check-artifact results/emsim.json
+go run ./cmd/emtrace -check-trace results/emsim-trace.json
+
 echo "== Section 5.5.3 (partition search) =="
 go run ./cmd/csdsearch -n 100 -u 0.7 -json | tee results/csdsearch.txt
 
