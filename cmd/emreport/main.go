@@ -1,0 +1,205 @@
+// Command emreport turns a kernel trace into a latency-attribution
+// report: every task's response time decomposed into running /
+// preempted / blocked / overhead (the components sum exactly to the
+// measured response), a root-cause entry for every deadline miss
+// naming the intervals that consumed the slack, and flagged
+// priority-inversion windows.
+//
+//	emreport                             # replay the Table 2 workload on CSD-3
+//	emreport -policy rm -ms 200          # watch RM's τ₅ misses get explained
+//	emreport -trace trace.json           # analyze an emsim/emtrace trace export
+//	emreport -json                       # artifact with attribution block in results/
+//
+// -trace accepts either a raw emeralds.trace/v1 JSON log or a Perfetto
+// export produced by emsim -trace-out / emtrace (the raw log rides
+// along inside). Output is deterministic: the same trace or scenario
+// always renders the same bytes, regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"emeralds/internal/attrib"
+	"emeralds/internal/cli"
+	"emeralds/internal/core"
+	"emeralds/internal/task"
+	"emeralds/internal/trace"
+	"emeralds/internal/vtime"
+	"emeralds/internal/workload"
+)
+
+func main() {
+	c := cli.Register("emreport")
+	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
+	queues := flag.Int("queues", 3, "CSD queue count")
+	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
+	u := flag.Float64("u", 0.7, "random workload utilization")
+	div := flag.Int("div", 1, "period divisor")
+	ms := flag.Float64("ms", 100, "virtual milliseconds to run (scenario mode)")
+	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
+	traceIn := flag.String("trace", "", "analyze a trace JSON file instead of replaying a scenario")
+	c.Parse()
+
+	var (
+		rep    *attrib.Report
+		source string
+		err    error
+	)
+	if *traceIn != "" {
+		rep, err = analyzeFile(*traceIn)
+		source = *traceIn
+	} else {
+		cfg := scenario{
+			Policy: *policy, Queues: *queues, N: *n, U: *u, Div: *div,
+			Seed: c.Seed, Millis: *ms, StandardSem: *standard,
+		}
+		rep, err = runScenario(cfg, c)
+		source = cfg.String()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emreport:", err)
+		os.Exit(1)
+	}
+	if rep.TraceDropped > 0 && !c.Quiet {
+		fmt.Fprintf(os.Stderr, "emreport: WARNING: %d trace events were dropped by the ring; the report covers a truncated window\n", rep.TraceDropped)
+	}
+
+	if c.CSV {
+		writeCSV(os.Stdout, rep)
+	} else {
+		var sb strings.Builder
+		rep.RenderText(&sb, source)
+		fmt.Print(sb.String())
+		c.EmitText(sb.String())
+	}
+
+	c.Attribution = rep
+	type config struct {
+		Trace  string  `json:"trace,omitempty"`
+		Policy string  `json:"policy,omitempty"`
+		Queues int     `json:"queues,omitempty"`
+		N      int     `json:"n,omitempty"`
+		U      float64 `json:"u,omitempty"`
+		Div    int     `json:"period_div,omitempty"`
+		Seed   int64   `json:"seed,omitempty"`
+		Millis float64 `json:"run_ms,omitempty"`
+		StdSem bool    `json:"standard_sem,omitempty"`
+	}
+	type series struct {
+		Tasks      int `json:"tasks"`
+		Misses     int `json:"misses"`
+		Inversions int `json:"inversions"`
+	}
+	cfg := config{Trace: *traceIn}
+	if *traceIn == "" {
+		cfg = config{
+			Policy: *policy, Queues: *queues, N: *n, U: *u,
+			Div: *div, Seed: c.Seed, Millis: *ms, StdSem: *standard,
+		}
+	}
+	c.EmitArtifact(cfg, series{len(rep.Tasks), len(rep.Misses), len(rep.Inversions)})
+}
+
+// scenario mirrors emsim's simulation flags.
+type scenario struct {
+	Policy      string
+	Queues      int
+	N           int
+	U           float64
+	Div         int
+	Seed        int64
+	Millis      float64
+	StandardSem bool
+}
+
+func (s scenario) String() string {
+	wl := "table2"
+	if s.N > 0 {
+		wl = fmt.Sprintf("random n=%d u=%.2f seed=%d", s.N, s.U, s.Seed)
+	}
+	return fmt.Sprintf("scenario %s policy=%s %.0fms", wl, s.Policy, s.Millis)
+}
+
+// buildSystem boots the configured workload and runs it to the
+// configured horizon. Deterministic for a given config.
+func buildSystem(cfg scenario) (*core.System, error) {
+	sys := core.New(core.Config{
+		Policy:        core.Policy(cfg.Policy),
+		Queues:        cfg.Queues,
+		StandardSem:   cfg.StandardSem,
+		TraceCapacity: 1 << 20,
+	})
+	var specs []task.Spec
+	if cfg.N > 0 {
+		specs = workload.Generate(workload.Config{
+			N: cfg.N, Utilization: cfg.U, PeriodDiv: cfg.Div, Seed: cfg.Seed,
+		})
+	} else {
+		specs = workload.Table2()
+	}
+	for _, s := range specs {
+		sys.AddTask(s)
+	}
+	if err := sys.Boot(); err != nil {
+		return nil, err
+	}
+	sys.Run(vtime.Millis(cfg.Millis))
+	return sys, nil
+}
+
+// runScenario replays the scenario's trace into a report.
+func runScenario(cfg scenario, c *cli.Common) (*attrib.Report, error) {
+	sys, err := buildSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.Diagnostics = sys.Kernel().Diagnostics()
+	}
+	an, err := attrib.Analyze(sys.Trace().Events(), sys.Trace().Dropped())
+	if err != nil {
+		return nil, err
+	}
+	return an.Report(), nil
+}
+
+// analyzeFile loads a trace JSON file (raw log or Perfetto export) and
+// replays it.
+func analyzeFile(path string) (*attrib.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	events, dropped, err := trace.ParseJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	an, err := attrib.Analyze(events, dropped)
+	if err != nil {
+		return nil, err
+	}
+	return an.Report(), nil
+}
+
+// writeCSV emits the per-task decomposition as machine-readable rows.
+func writeCSV(w io.Writer, rep *attrib.Report) {
+	header := []string{"task", "prio", "activations", "misses", "overruns",
+		"response_us", "running_us", "preempted_us", "blocked_us", "overhead_us"}
+	var rows [][]string
+	for _, t := range rep.Tasks {
+		rows = append(rows, []string{
+			t.Task, fmt.Sprint(t.Prio), fmt.Sprint(t.Activations),
+			fmt.Sprint(t.Misses), fmt.Sprint(t.Overruns),
+			fmt.Sprintf("%.3f", t.TotalUs["response"]),
+			fmt.Sprintf("%.3f", t.TotalUs["running"]),
+			fmt.Sprintf("%.3f", t.TotalUs["preempted"]),
+			fmt.Sprintf("%.3f", t.TotalUs["blocked"]),
+			fmt.Sprintf("%.3f", t.TotalUs["overhead"]),
+		})
+	}
+	cli.WriteCSV(w, header, rows)
+}

@@ -6,6 +6,7 @@
 //	emsim                          # Table 2 workload on CSD-3, 1 s
 //	emsim -policy rm -trace 40     # watch RM drop τ₅ (first 40 events)
 //	emsim -n 12 -u 0.8 -seed 7     # random 12-task workload
+//	emsim -attrib                  # latency-attribution report from the trace
 //	emsim -json                    # versioned artifact in results/
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"emeralds/internal/attrib"
 	"emeralds/internal/cli"
 	"emeralds/internal/core"
 	"emeralds/internal/kernel"
@@ -34,6 +36,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "print the last N trace events")
 	traceOut := flag.String("trace-out", "", "write the full trace as Chrome/Perfetto trace-event JSON")
 	gantt := flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N virtual milliseconds")
+	attribFlag := flag.Bool("attrib", false, "print the latency-attribution report and embed it in the -json artifact")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
 	c.Parse()
 
@@ -41,8 +44,9 @@ func main() {
 	if *gantt > 0 {
 		traceCap = max(traceCap, 1<<16)
 	}
-	if *traceOut != "" {
-		// The exporter wants the whole run, not the tail of a small ring.
+	if *traceOut != "" || *attribFlag {
+		// The exporter and the attribution replay want the whole run,
+		// not the tail of a small ring.
 		traceCap = max(traceCap, 1<<20)
 	}
 	sys := core.New(core.Config{
@@ -79,6 +83,9 @@ func main() {
 		fmt.Println()
 	}
 	if *traceOut != "" {
+		if d := sys.Trace().Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "emsim: WARNING: trace ring dropped %d events; the export is truncated\n", d)
+		}
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "emsim:", err)
@@ -101,6 +108,16 @@ func main() {
 		fmt.Print(sys.Trace().Gantt(trace.GanttConfig{
 			To: vtime.Time(vtime.Millis(*gantt)),
 		}))
+		fmt.Println()
+	}
+	if *attribFlag {
+		an, err := attrib.Analyze(sys.Trace().Events(), sys.Trace().Dropped())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emsim:", err)
+			os.Exit(1)
+		}
+		c.Attribution = an.Report()
+		c.Attribution.RenderText(os.Stdout, "emsim live trace")
 		fmt.Println()
 	}
 

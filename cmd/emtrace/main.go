@@ -116,6 +116,9 @@ func runExport(cfg exportConfig, w io.Writer) error {
 		return err
 	}
 	sys.Run(vtime.Millis(cfg.Millis))
+	if d := sys.Trace().Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "emtrace: WARNING: trace ring dropped %d events; the export is truncated\n", d)
+	}
 	return sys.Trace().ExportPerfetto(w)
 }
 

@@ -5,12 +5,13 @@
 //	schedtab             # all three
 //	schedtab -table 1    # only Table 1
 //	schedtab -table 3 -q 4 -r 12 -n 30
-//	schedtab -json       # versioned artifact in results/
+//	schedtab -json -txt-out results/schedtab.txt   # paired artifacts in results/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
@@ -30,21 +31,24 @@ func main() {
 		Table3  []experiments.Table3Entry  `json:"table3,omitempty"`
 	}
 	var s series
+	var out strings.Builder
 	if *table == 0 || *table == 1 {
 		s.Table1 = experiments.Table1(nil)
-		fmt.Print(experiments.RenderTable1(s.Table1))
-		fmt.Println()
+		out.WriteString(experiments.RenderTable1(s.Table1))
+		out.WriteString("\n")
 	}
 	if *table == 0 || *table == 2 {
 		fig := experiments.Figure2(nil)
 		s.Figure2 = &fig
-		fmt.Print(fig.Render())
-		fmt.Println()
+		out.WriteString(fig.Render())
+		out.WriteString("\n")
 	}
 	if *table == 0 || *table == 3 {
 		s.Table3 = experiments.Table3(nil, *q, *r, *n)
-		fmt.Print(experiments.RenderTable3(s.Table3, *q, *r, *n))
+		out.WriteString(experiments.RenderTable3(s.Table3, *q, *r, *n))
 	}
+	fmt.Print(out.String())
+	c.EmitText(out.String())
 
 	type config struct {
 		Table int `json:"table"`

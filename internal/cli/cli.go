@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"emeralds/internal/attrib"
 	"emeralds/internal/harness"
 	"emeralds/internal/metrics"
 )
@@ -29,13 +30,19 @@ type Common struct {
 	Seed    int64 // -seed: base RNG seed
 	JSON    bool  // -json: write an artifact to results/<tool>.json
 	JSONOut string
-	CSV     bool // -csv: machine-readable stdout
-	Quiet   bool // -quiet: no progress on stderr
+	TxtOut  string // -txt-out: mirror the rendered text to this file
+	CSV     bool   // -csv: machine-readable stdout
+	Quiet   bool   // -quiet: no progress on stderr
 
 	// Diagnostics, when set by the tool before EmitArtifact, is embedded
 	// in the artifact's "diagnostics" block (kernel counters + per-task
 	// latency summaries).
 	Diagnostics *metrics.Diagnostics
+
+	// Attribution, when set by the tool before EmitArtifact, is embedded
+	// in the artifact's "attribution" block (response decomposition,
+	// miss root causes, inversion windows).
+	Attribution *attrib.Report
 
 	start time.Time
 }
@@ -48,6 +55,7 @@ func Register(tool string) *Common {
 	flag.Int64Var(&c.Seed, "seed", 1, "base RNG seed")
 	flag.BoolVar(&c.JSON, "json", false, fmt.Sprintf("write a versioned JSON artifact to results/%s.json", tool))
 	flag.StringVar(&c.JSONOut, "json-out", "", "artifact path override (implies -json)")
+	flag.StringVar(&c.TxtOut, "txt-out", "", "also write the rendered text output to this file")
 	flag.BoolVar(&c.CSV, "csv", false, "emit CSV to stdout instead of aligned tables")
 	flag.BoolVar(&c.Quiet, "quiet", false, "suppress progress reporting on stderr")
 	return c
@@ -99,12 +107,31 @@ func (c *Common) EmitArtifact(config, series any) {
 	}
 	a := harness.NewArtifact(c.Tool, config, series, c.EffectiveWorkers(), time.Since(c.start))
 	a.Diagnostics = c.Diagnostics
+	a.Attribution = c.Attribution
 	path := c.ArtifactPath()
 	if err := a.WriteFile(path); err != nil {
 		c.Fatalf("writing artifact: %v", err)
 	}
 	if !c.Quiet {
 		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", c.Tool, path)
+	}
+}
+
+// EmitText mirrors the tool's rendered text output to the -txt-out
+// file (next to the .json artifact, for the results/ pairing), a no-op
+// when the flag is unset.
+func (c *Common) EmitText(text string) {
+	if c.TxtOut == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(c.TxtOut), 0o755); err != nil {
+		c.Fatalf("writing %s: %v", c.TxtOut, err)
+	}
+	if err := os.WriteFile(c.TxtOut, []byte(text), 0o644); err != nil {
+		c.Fatalf("writing %s: %v", c.TxtOut, err)
+	}
+	if !c.Quiet {
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", c.Tool, c.TxtOut)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"emeralds/internal/attrib"
 	"emeralds/internal/metrics"
 )
 
@@ -34,6 +35,11 @@ type Artifact struct {
 	// jobs. Deterministic like Config/Series; omitted by tools that
 	// predate it.
 	Diagnostics *metrics.Diagnostics `json:"diagnostics,omitempty"`
+	// Attribution is the latency-attribution block: per-task response
+	// decomposition, deadline-miss root causes, and priority-inversion
+	// windows replayed from the run's trace. Deterministic; omitted by
+	// tools that do not capture a trace.
+	Attribution *attrib.Report `json:"attribution,omitempty"`
 	Run         RunInfo
 }
 
@@ -53,6 +59,7 @@ type artifactJSON struct {
 	Config      any                  `json:"config,omitempty"`
 	Series      any                  `json:"series"`
 	Diagnostics *metrics.Diagnostics `json:"diagnostics,omitempty"`
+	Attribution *attrib.Report       `json:"attribution,omitempty"`
 	Run         RunInfo              `json:"run"`
 }
 

@@ -21,7 +21,7 @@ func (k *Kernel) doDelay(th *Thread, op task.Op) {
 	gen := th.delayGen
 	th.TCB.State = task.Blocked
 	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-	k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, "delay")
+	k.traceOccupancyEnd(th, traceKindBlock, "delay")
 	k.eng.After(op.Dur, "delay:"+th.TCB.Name, func() {
 		// The job may have been killed or superseded meanwhile.
 		if th.delayGen != gen || th.TCB.State != task.Blocked {
@@ -52,7 +52,16 @@ func (k *Kernel) Suspend(th *Thread) {
 	if th.TCB.State == task.Ready {
 		th.TCB.State = task.Blocked
 		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-		k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, "suspend")
+		if th == k.current && k.seg != nil {
+			// Mid-segment suspension: let reschedule emit the Preempt
+			// (which carries the accumulated overhead and ends the
+			// occupancy) before the ready→blocked transition, so trace
+			// replay sees the events in causal order.
+			k.reschedule()
+			k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, "suspend")
+			return
+		}
+		k.traceOccupancyEnd(th, traceKindBlock, "suspend")
 		k.reschedule()
 	}
 }

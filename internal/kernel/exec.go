@@ -6,6 +6,7 @@ import (
 	"emeralds/internal/metrics"
 	"emeralds/internal/sim"
 	"emeralds/internal/task"
+	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
 )
 
@@ -90,6 +91,15 @@ func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.D
 	}
 	label := "seg:" + th.TCB.Name
 	fn := func() {
+		// Book the overhead this segment consumed into the occupancy
+		// accumulator: a compute segment delivers pure useful work and
+		// consumes only its injected stretch; a kernel-op segment is
+		// overhead end to end.
+		if s.kind == segCompute {
+			k.ovAcc += s.injected
+		} else {
+			k.ovAcc += s.pure + s.injected
+		}
 		k.seg = nil
 		done()
 	}
@@ -99,9 +109,10 @@ func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.D
 }
 
 // preemptSegment stops the active (preemptible) segment, saving the
-// remaining compute time into the thread's TCB. It reports whether the
-// boundary landed exactly on the thread's final op, completing its job.
-func (k *Kernel) preemptSegment() bool {
+// remaining compute time into the thread's TCB. detail names the
+// preemptor in the trace event. It reports whether the boundary landed
+// exactly on the thread's final op, completing its job.
+func (k *Kernel) preemptSegment(detail string) bool {
 	s := k.seg
 	if s == nil {
 		return false
@@ -121,6 +132,9 @@ func (k *Kernel) preemptSegment() bool {
 	if useful > s.pure {
 		useful = s.pure
 	}
+	// Whatever part of the segment's wall span was not useful compute
+	// was consumed overhead; it belongs to the occupancy ending here.
+	k.ovAcc += elapsed - useful
 	k.stats.UsefulCompute += useful
 	finished := false
 	if useful == s.pure {
@@ -137,8 +151,25 @@ func (k *Kernel) preemptSegment() bool {
 	k.met.Inc(metrics.Preemptions)
 	k.eng.Cancel(s.ev.ev)
 	k.seg = nil
-	k.tr.Add(now, traceKindPreempt, s.th.TCB.Name, "")
+	// A preemption always ends the occupancy: attach its consumed
+	// overhead so replay can partition the span exactly.
+	k.tr.AddDur(now, traceKindPreempt, s.th.TCB.Name, detail, k.ovAcc)
+	k.ovAcc = 0
 	return finished
+}
+
+// traceOccupancyEnd emits a trace event for a thread that just blocked
+// or had its job torn down. When th is the thread occupying the CPU
+// (current, with no segment in flight — op handlers run at segment
+// end), the event ends its occupancy and carries the overhead consumed
+// since dispatch; for any other thread it is a plain event.
+func (k *Kernel) traceOccupancyEnd(th *Thread, kind trace.Kind, detail string) {
+	if th == k.current && k.seg == nil {
+		k.tr.AddDur(k.eng.Now(), kind, th.TCB.Name, detail, k.ovAcc)
+		k.ovAcc = 0
+		return
+	}
+	k.tr.Add(k.eng.Now(), kind, th.TCB.Name, detail)
 }
 
 // reschedule asks the policy for the best ready task and switches to it
@@ -161,12 +192,30 @@ func (k *Kernel) reschedule() {
 	}
 	if k.seg != nil {
 		th := k.seg.th
-		if k.preemptSegment() {
+		by := "for idle"
+		if next != nil {
+			by = "for " + next.Name
+		}
+		if k.preemptSegment(by) {
 			// The boundary completed the job; completeJob records it at
 			// the true retire instant and runs its own reschedule.
 			k.completeJob(th)
 			return
 		}
+	} else if k.current != nil && curTCB.State == task.Ready {
+		// Segment-boundary displacement: an op handler woke a
+		// higher-priority task (sem grant, signal, message) and the
+		// still-ready current thread loses the CPU with no segment in
+		// flight. This ends its occupancy just as a mid-segment
+		// preemption would, so emit the Preempt with the consumed
+		// overhead attached — otherwise replay cannot close the span
+		// and the leftover ovAcc would pollute the next occupancy.
+		by := "for idle"
+		if next != nil {
+			by = "for " + next.Name
+		}
+		k.tr.AddDur(k.eng.Now(), traceKindPreempt, curTCB.Name, by, k.ovAcc)
+		k.ovAcc = 0
 	}
 	if next == nil {
 		k.current = nil
@@ -335,10 +384,11 @@ func (k *Kernel) completeJob(th *Thread) {
 		tcb.Misses++
 		k.stats.Misses++
 		k.met.Inc(metrics.DeadlineMisses)
-		k.tr.Add(now, traceKindMiss, tcb.Name, "")
+		k.tr.AddDur(now, traceKindMiss, tcb.Name, "", k.ovAcc)
 	} else {
-		k.tr.Add(now, traceKindComplete, tcb.Name, "")
+		k.tr.AddDur(now, traceKindComplete, tcb.Name, "", k.ovAcc)
 	}
+	k.ovAcc = 0
 	k.releaseAllHeld(th)
 	th.jobActive = false
 	tcb.PC = 0

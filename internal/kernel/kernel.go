@@ -173,6 +173,7 @@ type Kernel struct {
 	current        *Thread
 	seg            *segment
 	idleDebt       vtime.Duration
+	ovAcc          vtime.Duration // overhead consumed since the current occupancy's dispatch
 	reschedPending bool
 	booted         bool
 
@@ -281,7 +282,7 @@ func (k *Kernel) Metrics() *metrics.Set { return k.met }
 // at least one sample). Tasks appear in creation order, so the block is
 // deterministic.
 func (k *Kernel) Diagnostics() *metrics.Diagnostics {
-	d := &metrics.Diagnostics{Counters: k.met.Snapshot()}
+	d := &metrics.Diagnostics{Counters: k.met.Snapshot(), TraceDropped: k.tr.Dropped()}
 	for _, th := range k.threads {
 		if th.respHist != nil && th.respHist.Count() > 0 {
 			d.Tasks = append(d.Tasks, metrics.Summarize(th.TCB.Name, "response", th.respHist))
@@ -409,6 +410,15 @@ func (k *Kernel) Boot() error {
 		k.computeCeilings()
 	}
 	k.sch.Admit(sorted)
+	// Announce every task's static parameters up front so a trace is
+	// self-describing: the attribution engine (package attrib) needs
+	// priorities for inversion detection and deadlines for miss
+	// analysis without access to the Spec structs.
+	for _, th := range k.threads {
+		k.tr.Addf(k.eng.Now(), traceKindTaskInfo, th.TCB.Name,
+			"prio=%d period=%d deadline=%d",
+			th.TCB.BasePrio, int64(th.TCB.Spec.Period), int64(th.TCB.Spec.RelDeadline()))
+	}
 	for _, th := range k.threads {
 		if !th.aperiodic {
 			th.nextRel = vtime.Time(0).Add(th.TCB.Spec.Phase)

@@ -55,7 +55,7 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 		mb.sendq.Add(th.TCB)
 		th.TCB.State = task.Blocked
 		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-		k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, mb.box.Name+" full")
+		k.traceOccupancyEnd(th, traceKindBlock, mb.box.Name+" full")
 		k.reschedule()
 		return
 	}
@@ -76,7 +76,7 @@ func (k *Kernel) doRecv(th *Thread, op task.Op) {
 		mb.recvq.Add(th.TCB)
 		th.TCB.State = task.Blocked
 		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-		k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, mb.box.Name+" empty")
+		k.traceOccupancyEnd(th, traceKindBlock, mb.box.Name+" empty")
 		k.reschedule()
 		return
 	}
@@ -260,6 +260,10 @@ func (k *Kernel) killJob(th *Thread) {
 	k.clearPreAcq(th)
 	th.TCB.State = task.Blocked
 	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	// Close the occupancy explicitly: without an ending event the
+	// consumed-overhead accumulator would leak into the next task's
+	// occupancy and trace replay would see the victim still running.
+	k.traceOccupancyEnd(th, traceKindBlock, "job-killed")
 	k.reschedule()
 }
 

@@ -128,8 +128,17 @@ func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	k.inheritFromWaiter(s, th)
 	s.waiters.Add(th.TCB)
 	th.waitingSem = s
-	k.tr.Add(k.eng.Now(), traceKindSemBlock, th.TCB.Name, s.name)
+	k.traceOccupancyEnd(th, traceKindSemBlock, semBlockDetail(s))
 	k.reschedule()
+}
+
+// semBlockDetail names the semaphore and, for a held mutex, its holder
+// — the identity the attribution engine charges the blocked time to.
+func semBlockDetail(s *semaphore) string {
+	if s.owner != nil {
+		return s.name + " holder=" + s.owner.TCB.Name
+	}
+	return s.name
 }
 
 // doRelease handles OpRelease.
@@ -369,7 +378,7 @@ func (k *Kernel) wakeup(th *Thread) bool {
 			k.stats.HintPIs++
 			k.met.Inc(metrics.SavedSwitches)
 			k.met.Inc(metrics.HintPIs)
-			k.tr.Add(k.eng.Now(), traceKindSemHintPI, th.TCB.Name, s.name)
+			k.tr.Add(k.eng.Now(), traceKindSemHintPI, th.TCB.Name, semBlockDetail(s))
 			return false
 		}
 		if s.isMutex() && s.owner == nil {
@@ -430,7 +439,7 @@ func (k *Kernel) doWaitEvent(th *Thread, op task.Op) {
 	e.waiters.Add(th.TCB)
 	th.TCB.State = task.Blocked
 	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-	k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, e.name)
+	k.traceOccupancyEnd(th, traceKindBlock, e.name)
 	k.reschedule()
 }
 
@@ -509,7 +518,7 @@ func (k *Kernel) doCondWait(th *Thread, op task.Op) {
 	c.waiters.Add(th.TCB)
 	th.TCB.State = task.Blocked
 	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-	k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, c.name)
+	k.traceOccupancyEnd(th, traceKindBlock, c.name)
 	k.reschedule()
 }
 
@@ -533,6 +542,10 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 					k.applyCeiling(w, m)
 				}
 				w.reacquire = nil
+				// The waiter takes the mutex right here, without passing
+				// through doAcquire — record it, or trace replay loses
+				// track of who holds m.
+				k.tr.Add(k.eng.Now(), traceKindSemAcquire, wTCB.Name, m.name)
 			}
 			wTCB.PC++
 			wTCB.State = task.Ready
@@ -548,6 +561,10 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 			m.waiters.Add(wTCB)
 			w.waitingSem = m
 			w.semBlockAt = k.eng.Now()
+			// The waiter silently moves from the condvar queue to the
+			// mutex queue; surface the transition so replay knows it is
+			// now semaphore-blocked (and on whom).
+			k.tr.Add(k.eng.Now(), traceKindSemBlock, wTCB.Name, semBlockDetail(m))
 			if k.optHints {
 				k.stats.SavedSwitches++
 				k.met.Inc(metrics.SavedSwitches)

@@ -27,4 +27,5 @@ const (
 	traceKindInterrupt  = trace.Interrupt
 	traceKindFault      = trace.Fault
 	traceKindIdle       = trace.Idle
+	traceKindTaskInfo   = trace.TaskInfo
 )

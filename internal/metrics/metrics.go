@@ -183,6 +183,10 @@ func Summarize(task, metric string, h *stats.Histogram) TaskSummary {
 type Diagnostics struct {
 	Counters map[string]uint64 `json:"counters"`
 	Tasks    []TaskSummary     `json:"tasks,omitempty"`
+	// TraceDropped counts trace events overwritten by the bounded ring
+	// during the run. Non-zero means any trace-derived view (Perfetto,
+	// gantt, attribution) is truncated; consumers must say so loudly.
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 }
 
 // Merge folds other into d: counters are summed, task summaries
@@ -200,4 +204,5 @@ func (d *Diagnostics) Merge(other *Diagnostics) {
 		d.Counters[name] += v
 	}
 	d.Tasks = append(d.Tasks, other.Tasks...)
+	d.TraceDropped += other.TraceDropped
 }

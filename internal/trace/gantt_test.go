@@ -1,11 +1,16 @@
 package trace
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"emeralds/internal/vtime"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func ms(f float64) vtime.Time { return vtime.Time(vtime.Millis(f)) }
 
@@ -76,6 +81,46 @@ func TestGanttEmptyAndDegenerate(t *testing.T) {
 	l.Add(ms(1), Dispatch, "x", "")
 	if got := l.Gantt(GanttConfig{From: ms(2), To: ms(2)}); !strings.Contains(got, "empty window") {
 		t.Errorf("degenerate = %q", got)
+	}
+}
+
+// TestGanttGolden locks the ASCII rendering byte-for-byte on the same
+// synthetic contended trace the Perfetto export test uses: a blocks on
+// a semaphore held across b's quantum, is granted, preempts b, and
+// misses its deadline.
+func TestGanttGolden(t *testing.T) {
+	mms := func(n int) vtime.Time { return vtime.Time(n) * vtime.Time(vtime.Millisecond) }
+	l := New(64)
+	for _, e := range []Event{
+		{At: mms(0), Kind: Release, Task: "a"},
+		{At: mms(0), Kind: Dispatch, Task: "a"},
+		{At: mms(1), Kind: SemBlockWait, Task: "a", Detail: "m"},
+		{At: mms(1), Kind: Dispatch, Task: "b"},
+		{At: mms(2), Kind: SemGrant, Task: "a", Detail: "m"},
+		{At: mms(2), Kind: Preempt, Task: "b"},
+		{At: mms(2), Kind: Dispatch, Task: "a"},
+		{At: mms(3), Kind: Miss, Task: "a"},
+		{At: mms(3), Kind: Idle, Task: "-"},
+	} {
+		l.Add(e.At, e.Kind, e.Task, e.Detail)
+	}
+	got := l.Gantt(GanttConfig{From: 0, To: mms(3), Width: 48})
+	golden := filepath.Join("testdata", "gantt_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("gantt rendering differs from golden (rerun with -update after intentional changes)\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

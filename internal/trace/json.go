@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"emeralds/internal/vtime"
+)
+
+// Raw trace serialization: a lossless, versioned JSON encoding of the
+// event log, precise to the nanosecond (unlike the Perfetto export,
+// whose timestamps are float microseconds). The attribution engine
+// (package attrib, cmd/emreport) replays this format; the Perfetto
+// export embeds it alongside the traceEvents array so one -trace-out
+// file serves both ui.perfetto.dev and emreport.
+
+// RawSchema versions the raw trace JSON layout.
+const RawSchema = "emeralds.trace/v1"
+
+// RawEvent is the JSON form of one Event. Times and durations are
+// integer nanoseconds — exact, unlike the artifact µs floats.
+type RawEvent struct {
+	At     int64  `json:"at"`
+	Kind   string `json:"kind"`
+	Task   string `json:"task"`
+	Detail string `json:"detail,omitempty"`
+	Dur    int64  `json:"dur,omitempty"`
+}
+
+// RawLog is the serialized log: the retained events plus the lifetime
+// and dropped counts, so a consumer can tell a complete trace from a
+// truncated one.
+type RawLog struct {
+	Schema  string     `json:"schema"`
+	Total   uint64     `json:"total"`
+	Dropped uint64     `json:"dropped"`
+	Events  []RawEvent `json:"events"`
+}
+
+// Raw converts the retained events to their serializable form.
+func (l *Log) Raw() RawLog {
+	evs := l.Events()
+	out := RawLog{Schema: RawSchema, Total: l.Total(), Dropped: l.Dropped(), Events: make([]RawEvent, len(evs))}
+	for i, e := range evs {
+		out.Events[i] = RawEvent{
+			At: int64(e.At), Kind: e.Kind.String(), Task: e.Task,
+			Detail: e.Detail, Dur: int64(e.Dur),
+		}
+	}
+	return out
+}
+
+// ExportJSON writes the retained events as versioned raw-trace JSON.
+func (l *Log) ExportJSON(w io.Writer) error {
+	if l == nil {
+		return fmt.Errorf("trace: nil log")
+	}
+	return json.NewEncoder(w).Encode(l.Raw())
+}
+
+// kindByName inverts kindNames; built once, read-only afterwards.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, NumKinds)
+	for k := Kind(0); k < NumKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// Decode converts a RawLog back to events, rejecting unknown schemas
+// and kinds. The dropped count travels with the result so consumers
+// can refuse (or warn about) truncated traces.
+func (r RawLog) Decode() (events []Event, dropped uint64, err error) {
+	if r.Schema != RawSchema {
+		return nil, 0, fmt.Errorf("trace: schema %q, want %q", r.Schema, RawSchema)
+	}
+	events = make([]Event, len(r.Events))
+	for i, re := range r.Events {
+		k, ok := kindByName[re.Kind]
+		if !ok {
+			return nil, 0, fmt.Errorf("trace: event %d has unknown kind %q", i, re.Kind)
+		}
+		events[i] = Event{
+			At: vtime.Time(re.At), Kind: k, Task: re.Task,
+			Detail: re.Detail, Dur: vtime.Duration(re.Dur),
+		}
+	}
+	return events, r.Dropped, nil
+}
+
+// ParseJSON reads a raw-trace JSON document — either a bare RawLog or
+// a Perfetto export with the RawLog embedded under "emeraldsTrace"
+// (the form emsim -trace-out writes).
+func ParseJSON(data []byte) (events []Event, dropped uint64, err error) {
+	var probe struct {
+		Schema   string          `json:"schema"`
+		Embedded json.RawMessage `json:"emeraldsTrace"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, 0, fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if probe.Schema == "" && len(probe.Embedded) > 0 {
+		data = probe.Embedded
+	}
+	var raw RawLog
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, 0, fmt.Errorf("trace: parse raw log: %w", err)
+	}
+	if raw.Schema == "" {
+		return nil, 0, fmt.Errorf("trace: no raw event log found (need %q, or a Perfetto export with an embedded emeraldsTrace block)", RawSchema)
+	}
+	return raw.Decode()
+}

@@ -74,8 +74,17 @@ func (p *perfettoExporter) instant(e Event) {
 		"ph": "i", "s": "t", "name": e.Kind.String(), "cat": "kernel",
 		"pid": 1, "tid": p.tid(e.Task), "ts": us(e.At),
 	}
+	args := map[string]any{}
 	if e.Detail != "" {
-		ev["args"] = map[string]any{"detail": e.Detail}
+		args["detail"] = e.Detail
+	}
+	if e.Dur != 0 {
+		// Occupancy-end events carry the kernel overhead consumed during
+		// the quantum they close (see Event.Dur).
+		args["overhead_us"] = float64(e.Dur) / 1e3
+	}
+	if len(args) > 0 {
+		ev["args"] = args
 	}
 	p.events = append(p.events, ev)
 }
@@ -120,8 +129,10 @@ func (p *perfettoExporter) add(e Event) {
 	}
 }
 
-// ExportPerfetto writes events as Chrome/Perfetto trace-event JSON.
-func ExportPerfetto(w io.Writer, events []Event) error {
+// perfettoDoc builds the trace-event document for an event sequence.
+// extra keys (e.g. the embedded raw log) are merged in at the top
+// level; Chrome and Perfetto ignore keys they do not know.
+func buildPerfettoDoc(events []Event, extra map[string]any) map[string]any {
 	p := &perfettoExporter{tids: map[string]int{}, flows: map[string][]int{}}
 	p.events = append(p.events, map[string]any{
 		"ph": "M", "name": "process_name", "pid": 1,
@@ -134,14 +145,24 @@ func ExportPerfetto(w io.Writer, events []Event) error {
 	}
 	p.closeSlice(last) // a slice still open ends at the last event
 	doc := map[string]any{"displayTimeUnit": "ms", "traceEvents": p.events}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	for k, v := range extra {
+		doc[k] = v
+	}
+	return doc
 }
 
-// ExportPerfettoLog exports a log's retained events.
+// ExportPerfetto writes events as Chrome/Perfetto trace-event JSON.
+func ExportPerfetto(w io.Writer, events []Event) error {
+	return json.NewEncoder(w).Encode(buildPerfettoDoc(events, nil))
+}
+
+// ExportPerfetto exports a log's retained events, embedding the raw
+// event log under "emeraldsTrace" (ignored by Perfetto, replayable by
+// cmd/emreport and package attrib — one file serves both).
 func (l *Log) ExportPerfetto(w io.Writer) error {
 	if l == nil {
 		return fmt.Errorf("trace: nil log")
 	}
-	return ExportPerfetto(w, l.Events())
+	doc := buildPerfettoDoc(l.Events(), map[string]any{"emeraldsTrace": l.Raw()})
+	return json.NewEncoder(w).Encode(doc)
 }

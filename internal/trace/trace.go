@@ -38,6 +38,7 @@ const (
 	Interrupt
 	Fault
 	Idle
+	TaskInfo
 
 	// NumKinds is the number of defined kinds (sentinel, not a Kind).
 	// kindNames and the kernel's tracekinds.go aliases are locked to it
@@ -51,7 +52,7 @@ var kindNames = [NumKinds]string{
 	"sem-acquire", "sem-block", "sem-release", "sem-hint-pi", "sem-grant",
 	"inherit", "restore", "signal",
 	"msg-send", "msg-recv", "state-write", "state-read",
-	"interrupt", "FAULT", "idle",
+	"interrupt", "FAULT", "idle", "task-info",
 }
 
 // The literal above must fill the array exactly: a Kind added without a
@@ -70,6 +71,13 @@ type Event struct {
 	Kind   Kind
 	Task   string
 	Detail string
+	// Dur carries the event's duration payload. On the events that end
+	// a CPU occupancy (Preempt, BlockEv, SemBlockWait, Complete, Miss)
+	// it is the kernel overhead consumed during that occupancy — the
+	// exact amount by which the occupancy's wall span exceeds the useful
+	// compute it delivered. Zero elsewhere. Package attrib relies on it
+	// for the exact response-time partition.
+	Dur vtime.Duration
 }
 
 func (e Event) String() string {
@@ -98,11 +106,16 @@ func New(cap int) *Log {
 
 // Add records an event.
 func (l *Log) Add(at vtime.Time, kind Kind, taskName, detail string) {
+	l.AddDur(at, kind, taskName, detail, 0)
+}
+
+// AddDur records an event with a duration payload (see Event.Dur).
+func (l *Log) AddDur(at vtime.Time, kind Kind, taskName, detail string, dur vtime.Duration) {
 	if l == nil {
 		return
 	}
 	l.total++
-	e := Event{At: at, Kind: kind, Task: taskName, Detail: detail}
+	e := Event{At: at, Kind: kind, Task: taskName, Detail: detail, Dur: dur}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 		return
@@ -128,6 +141,19 @@ func (l *Log) Total() uint64 {
 		return 0
 	}
 	return l.total
+}
+
+// Dropped reports how many events have been overwritten by newer ones
+// — the ring holds the most recent cap events, so a non-zero count
+// means Events() is a truncated view of the run. Consumers that need a
+// complete trace (the attribution engine, the Perfetto export) must
+// check it: a truncated trace silently masquerading as a complete one
+// is how a profiling layer lies.
+func (l *Log) Dropped() uint64 {
+	if l == nil || !l.wrapped {
+		return 0
+	}
+	return l.total - uint64(len(l.ring))
 }
 
 // Events returns the retained events in chronological order.

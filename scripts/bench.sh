@@ -1,0 +1,22 @@
+#!/bin/sh
+# Runs the repo's benchmark suite (bench_test.go at the root: Tables
+# 1-3, Figures 11-12, IPC) and emits a versioned JSON record of the
+# results at the repo root, so numbers can be committed and diffed
+# across PRs.
+#
+#   scripts/bench.sh                  # full run, writes BENCH_pr3.json
+#   BENCHTIME=1x scripts/bench.sh     # smoke run (one iteration each)
+#   scripts/bench.sh out.json         # alternate output path
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${1:-BENCH_pr3.json}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench (benchtime $BENCHTIME) =="
+go test -run '^$' -bench . -benchtime "$BENCHTIME" . | tee "$tmp"
+
+go run ./scripts/benchjson < "$tmp" > "$OUT"
+echo "bench: wrote $OUT"

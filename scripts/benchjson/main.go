@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// versioned JSON document on stdout, so benchmark numbers can be
+// committed and diffed across PRs (scripts/bench.sh drives it).
+//
+// Each benchmark line
+//
+//	BenchmarkTable1/EDF-select/n=5-8  8532154  140.9 ns/op  4.400 model-µs
+//
+// becomes an entry under "benchmarks" keyed by the benchmark name,
+// recording iterations, ns/op, and every custom metric.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Schema versions the BENCH_*.json layout.
+const Schema = "emeralds.bench/v1"
+
+type result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func main() {
+	d := doc{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if ok {
+			d.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(d.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "Benchmark... N value unit [value unit]..."
+// line; ok is false for anything else (headers, PASS, ok lines).
+func parseLine(line string) (name string, res result, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res.Iterations = iters
+	var sawNs bool
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			sawNs = true
+		} else {
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if !sawNs {
+		return "", result{}, false
+	}
+	return f[0], res, true
+}

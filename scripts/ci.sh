@@ -25,11 +25,18 @@ go test -race ./...
 echo "== artifact + trace smoke =="
 # Round-trip the observability pipeline: emsim writes an artifact and a
 # Perfetto trace, emtrace validates both shapes (full counter set,
-# monotone latency quantiles, balanced flow arrows).
+# monotone latency quantiles, balanced flow arrows), and emreport
+# replays the exported trace into an attribution report.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go run ./cmd/emsim -ms 50 -quiet -json-out "$tmp/artifact.json" -trace-out "$tmp/trace.json" >/dev/null
+go run ./cmd/emsim -ms 50 -attrib -quiet -json-out "$tmp/artifact.json" -trace-out "$tmp/trace.json" >/dev/null
 go run ./cmd/emtrace -check-artifact "$tmp/artifact.json"
 go run ./cmd/emtrace -check-trace "$tmp/trace.json"
+go run ./cmd/emreport -trace "$tmp/trace.json" -quiet >/dev/null
+go run ./cmd/emreport -policy rm -ms 50 -quiet -json-out "$tmp/report.json" >/dev/null
+
+echo "== benchmark smoke (one iteration each) =="
+BENCHTIME=1x ./scripts/bench.sh "$tmp/bench.json" >/dev/null
+grep -q '"schema": "emeralds.bench/v1"' "$tmp/bench.json"
 
 echo "ci: all green"

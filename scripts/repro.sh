@@ -16,7 +16,7 @@ WORKERS="${WORKERS:-0}" # 0 = all CPUs
 mkdir -p results
 
 echo "== Tables 1-3 / Figure 2 =="
-go run ./cmd/schedtab -json | tee results/tables.txt
+go run ./cmd/schedtab -json -txt-out results/schedtab.txt
 
 echo "== Figures 3-5 (breakdown utilization, $WORKLOADS workloads/point, workers=$WORKERS) =="
 for div in 1 2 3; do
@@ -30,11 +30,15 @@ go run ./cmd/sembench -workers "$WORKERS" -json -json-out results/figures11-12.j
 echo "== Section 7 (state messages vs mailboxes) =="
 go run ./cmd/ipcbench -workers "$WORKERS" -json -json-out results/ipc.json | tee results/ipc.txt
 
-echo "== Table 2 run: artifact + Perfetto trace =="
-go run ./cmd/emsim -ms 500 -quiet -json-out results/emsim.json -trace-out results/emsim-trace.json \
+echo "== Table 2 run: artifact + Perfetto trace + attribution =="
+go run ./cmd/emsim -ms 500 -attrib -quiet -json-out results/emsim.json -trace-out results/emsim-trace.json \
     | tee results/emsim.txt
 go run ./cmd/emtrace -check-artifact results/emsim.json
 go run ./cmd/emtrace -check-trace results/emsim-trace.json
+
+echo "== Deadline-miss root-cause report (RM overload on Table 2) =="
+go run ./cmd/emreport -policy rm -ms 500 -quiet -json -json-out results/emreport.json \
+    -txt-out results/emreport.txt
 
 echo "== Section 5.5.3 (partition search) =="
 go run ./cmd/csdsearch -n 100 -u 0.7 -json | tee results/csdsearch.txt
