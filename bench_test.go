@@ -15,6 +15,8 @@ import (
 	"emeralds/internal/costmodel"
 	"emeralds/internal/experiments"
 	"emeralds/internal/ipc"
+	"emeralds/internal/kernel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/schedq"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -242,6 +244,68 @@ func BenchmarkKernelSimulation(b *testing.B) {
 			b.Fatal("degenerate scenario")
 		}
 	}
+}
+
+// BenchmarkKernelSimulationM4 is the multicore counterpart of
+// BenchmarkKernelSimulation: the contended 8-task lock-ablation
+// workload on four per-CPU schedulers with lock-free run queues,
+// 10 ms of simulated time per iteration.
+func BenchmarkKernelSimulationM4(b *testing.B) {
+	var p experiments.LockPoint
+	for i := 0; i < b.N; i++ {
+		p = experiments.MulticoreCell(4, kernel.LockPerCPU, nil, 10*vtime.Millisecond)
+	}
+	if p.Completions == 0 {
+		b.Fatal("degenerate scenario")
+	}
+	b.ReportMetric(float64(p.Completions), "completions")
+	b.ReportMetric(p.Overhead.Micros(), "model-overhead-µs")
+}
+
+// BenchmarkMigrationOp prices one predictable migration: a task bounced
+// between two CPUs once per millisecond, every request arriving
+// mid-segment so the full deferred path runs (request, boundary detach,
+// transit, IPI, re-attach). ns/op covers the whole 20 ms bounce run;
+// model-µs is the calibrated simulated charge per move.
+func BenchmarkMigrationOp(b *testing.B) {
+	var migs uint64
+	var charge vtime.Duration
+	for i := 0; i < b.N; i++ {
+		migs, charge = experiments.MigrationPingPong(nil, 20*vtime.Millisecond)
+	}
+	if migs == 0 {
+		b.Fatal("no migrations landed")
+	}
+	b.ReportMetric(float64(migs), "migrations")
+	b.ReportMetric((charge / vtime.Duration(migs)).Micros(), "model-µs")
+}
+
+// BenchmarkPerCPUCounters compares the increment cost of the
+// single-shard counter Set — whose instrumentation made up 34% of
+// simulation time before the multicore split (BENCH_pr3, ROADMAP §3) —
+// with the M=4 per-CPU sharded layout plus its deterministic
+// MergeShards fold. Sharding must not regress the single-set cost.
+func BenchmarkPerCPUCounters(b *testing.B) {
+	b.Run("single-shard", func(b *testing.B) {
+		s := &metrics.Set{}
+		for i := 0; i < b.N; i++ {
+			s.Inc(metrics.ContextSwitches)
+		}
+		if s.Get(metrics.ContextSwitches) != uint64(b.N) {
+			b.Fatal("lost increments")
+		}
+	})
+	b.Run("sharded-m4", func(b *testing.B) {
+		shards := []*metrics.Set{{}, {}, {}, {}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shards[i&3].Inc(metrics.ContextSwitches)
+		}
+		merged := metrics.MergeShards(shards)
+		if merged.Get(metrics.ContextSwitches) != uint64(b.N) {
+			b.Fatal("merge lost increments")
+		}
+	})
 }
 
 // --- ablations (beyond the paper; DESIGN.md §6) ---------------------------

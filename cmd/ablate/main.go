@@ -21,8 +21,12 @@ func main() {
 	lens := flag.String("len", "5,10,15,20,25,30", "queue lengths for the semaphore ablation (minimum 3)")
 	sweepN := flag.Int("sweep-n", 30, "task count for the queue-count sweep")
 	sweepCount := flag.Int("sweep-workloads", 20, "workloads per queue-count point")
+	lockCPUs := flag.String("lock-cpus", "1,2,4", "CPU counts for the lock-granularity grid")
+	lockMs := flag.Float64("lock-ms", 1000, "virtual milliseconds per lock-granularity cell")
 	c.Parse()
 	ls := c.Ints("len", *lens, 3)
+	lockMs64 := vtime.Millis(*lockMs)
+	lcs := c.Ints("lock-cpus", *lockCPUs, 1)
 	par := experiments.Par{Workers: c.Workers, Progress: c.Progress()}
 
 	semSeries := map[string][]experiments.SemAblationPoint{}
@@ -51,6 +55,12 @@ func main() {
 		fmt.Println()
 	}
 
+	lockPts := experiments.LockGranularity(lcs, nil, lockMs64, par)
+	if !c.CSV {
+		fmt.Print(experiments.RenderLockGranularity(lockMs64, lockPts))
+		fmt.Println()
+	}
+
 	xs := []int{1, 2, 3, 4, 6, 8, 12, 20, 29}
 	sweep := experiments.QueueCountSweep(nil, *sweepN, xs, *sweepCount, c.Seed, par)
 	if c.CSV {
@@ -63,6 +73,13 @@ func main() {
 					fmt.Sprintf("%.2f", p.PlaceholderOnly.Micros()),
 					fmt.Sprintf("%.2f", p.Full.Micros())})
 			}
+		}
+		for _, p := range lockPts {
+			rows = append(rows, []string{"lock-" + p.Regime, fmt.Sprint(p.CPUs),
+				fmt.Sprintf("%.2f", p.LockCharge.Micros()),
+				fmt.Sprint(p.Contentions),
+				fmt.Sprintf("%.2f", p.Overhead.Micros()),
+				fmt.Sprint(p.Misses)})
 		}
 		for _, p := range sweep {
 			rows = append(rows, []string{"queue-sweep", fmt.Sprint(p.X),
@@ -80,17 +97,20 @@ func main() {
 		SavePct float64        `json:"saving_pct"`
 	}
 	type config struct {
-		Lens       []int `json:"lens"`
-		SweepN     int   `json:"sweep_n"`
-		SweepCount int   `json:"sweep_workloads"`
-		Seed       int64 `json:"seed"`
+		Lens       []int   `json:"lens"`
+		SweepN     int     `json:"sweep_n"`
+		SweepCount int     `json:"sweep_workloads"`
+		Seed       int64   `json:"seed"`
+		LockCPUs   []int   `json:"lock_cpus"`
+		LockMs     float64 `json:"lock_ms"`
 	}
 	type series struct {
 		SemAblation map[string][]experiments.SemAblationPoint `json:"sem_ablation"`
 		CSDCounters counterResult                             `json:"csd_counters"`
 		QueueSweep  []experiments.QueueSweepPoint             `json:"queue_sweep"`
+		LockGrid    []experiments.LockPoint                   `json:"lock_granularity"`
 	}
 	c.EmitArtifact(
-		config{ls, *sweepN, *sweepCount, c.Seed},
-		series{semSeries, counterResult{with, without, saving}, sweep})
+		config{ls, *sweepN, *sweepCount, c.Seed, lcs, *lockMs},
+		series{semSeries, counterResult{with, without, saving}, sweep, lockPts})
 }

@@ -26,6 +26,7 @@ import (
 	"emeralds/internal/attrib"
 	"emeralds/internal/cli"
 	"emeralds/internal/core"
+	"emeralds/internal/kernel"
 	"emeralds/internal/task"
 	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
@@ -56,6 +57,7 @@ func main() {
 		cfg := scenario{
 			Policy: *policy, Queues: *queues, N: *n, U: *u, Div: *div,
 			Seed: c.Seed, Millis: *ms, StandardSem: *standard,
+			CPUs: c.CPUs, Lock: c.LockRegime(),
 		}
 		rep, err = runScenario(cfg, c)
 		source = cfg.String()
@@ -88,6 +90,8 @@ func main() {
 		Seed   int64   `json:"seed,omitempty"`
 		Millis float64 `json:"run_ms,omitempty"`
 		StdSem bool    `json:"standard_sem,omitempty"`
+		CPUs   int     `json:"cpus,omitempty"`
+		Lock   string  `json:"lock,omitempty"`
 	}
 	type series struct {
 		Tasks      int `json:"tasks"`
@@ -96,9 +100,11 @@ func main() {
 	}
 	cfg := config{Trace: *traceIn}
 	if *traceIn == "" {
+		cpus, lock := c.MulticoreConfig()
 		cfg = config{
 			Policy: *policy, Queues: *queues, N: *n, U: *u,
 			Div: *div, Seed: c.Seed, Millis: *ms, StdSem: *standard,
+			CPUs: cpus, Lock: lock,
 		}
 	}
 	c.EmitArtifact(cfg, series{len(rep.Tasks), len(rep.Misses), len(rep.Inversions)})
@@ -114,6 +120,8 @@ type scenario struct {
 	Seed        int64
 	Millis      float64
 	StandardSem bool
+	CPUs        int
+	Lock        kernel.LockRegime
 }
 
 func (s scenario) String() string {
@@ -121,7 +129,11 @@ func (s scenario) String() string {
 	if s.N > 0 {
 		wl = fmt.Sprintf("random n=%d u=%.2f seed=%d", s.N, s.U, s.Seed)
 	}
-	return fmt.Sprintf("scenario %s policy=%s %.0fms", wl, s.Policy, s.Millis)
+	out := fmt.Sprintf("scenario %s policy=%s %.0fms", wl, s.Policy, s.Millis)
+	if s.CPUs > 1 {
+		out += fmt.Sprintf(" cpus=%d lock=%s", s.CPUs, s.Lock)
+	}
+	return out
 }
 
 // buildSystem boots the configured workload and runs it to the
@@ -130,6 +142,8 @@ func buildSystem(cfg scenario) (*core.System, error) {
 	sys := core.New(core.Config{
 		Policy:        core.Policy(cfg.Policy),
 		Queues:        cfg.Queues,
+		CPUs:          cfg.CPUs,
+		LockRegime:    cfg.Lock,
 		StandardSem:   cfg.StandardSem,
 		TraceCapacity: 1 << 20,
 	})

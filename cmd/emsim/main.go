@@ -52,6 +52,8 @@ func main() {
 	sys := core.New(core.Config{
 		Policy:          core.Policy(*policy),
 		Queues:          *queues,
+		CPUs:            c.CPUs,
+		LockRegime:      c.LockRegime(),
 		StandardSem:     *standard,
 		TraceCapacity:   traceCap,
 		RecordResponses: true,
@@ -168,13 +170,18 @@ func main() {
 		Seed   int64   `json:"seed"`
 		Millis float64 `json:"run_ms"`
 		StdSem bool    `json:"standard_sem"`
+		// Zero-valued on single-CPU runs so pre-multicore artifacts keep
+		// their exact bytes.
+		CPUs int    `json:"cpus,omitempty"`
+		Lock string `json:"lock,omitempty"`
 	}
 	type series struct {
 		Stats kernel.Stats `json:"stats"`
 		Tasks []taskRow    `json:"tasks"`
 	}
+	cpus, lock := c.MulticoreConfig()
 	c.Diagnostics = sys.Kernel().Diagnostics()
 	c.EmitArtifact(
-		config{*policy, *queues, *n, *u, *div, c.Seed, *ms, *standard},
+		config{*policy, *queues, *n, *u, *div, c.Seed, *ms, *standard, cpus, lock},
 		series{sys.Stats(), tasks})
 }

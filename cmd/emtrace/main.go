@@ -134,12 +134,19 @@ func checkArtifact(path string) error {
 	if d == nil {
 		return fmt.Errorf("%s: no diagnostics block", path)
 	}
-	if len(d.Counters) != int(metrics.NumIDs) {
-		return fmt.Errorf("%s: diagnostics has %d counters, want %d", path, len(d.Counters), metrics.NumIDs)
-	}
+	// The classic counter block (IDs below Migrations) is always
+	// present; the multicore counters appear only when non-zero, which
+	// keeps single-CPU artifacts byte-stable.
+	valid := map[string]bool{}
 	for id := metrics.ID(0); id < metrics.NumIDs; id++ {
-		if _, ok := d.Counters[id.String()]; !ok {
+		valid[id.String()] = true
+		if _, ok := d.Counters[id.String()]; !ok && id < metrics.Migrations {
 			return fmt.Errorf("%s: counter %q missing", path, id)
+		}
+	}
+	for name := range d.Counters {
+		if !valid[name] {
+			return fmt.Errorf("%s: stray counter %q", path, name)
 		}
 	}
 	for _, ts := range d.Tasks {

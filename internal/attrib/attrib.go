@@ -47,13 +47,17 @@ const (
 	Preempted
 	Blocked
 	Overhead
+	// Migration is time spent in transit between CPUs (multicore traces
+	// only; always zero on single-CPU traces and omitted from their
+	// serialized reports).
+	Migration
 
 	// NumComponents is the number of components (sentinel).
 	NumComponents
 )
 
 var componentNames = [NumComponents]string{
-	"running", "preempted", "blocked", "overhead",
+	"running", "preempted", "blocked", "overhead", "migration",
 }
 
 func (c Component) String() string {
@@ -180,27 +184,49 @@ const (
 	stRunning
 	stBlocked    // non-semaphore block (delay, event, mailbox, suspend)
 	stBlockedSem // semaphore wait
+	stMigrating  // in transit between CPUs (multicore traces)
 )
 
 type replayTask struct {
-	info     TaskInfo
-	state    taskState
-	since    vtime.Time // last interval cut for non-running states
-	runStart vtime.Time // dispatch instant while running
-	act      *Activation
-	actCount int
-	waitSem  string // semaphore name while stBlockedSem
-	holder   string // holder recorded in the block event's detail
-	reason   string // blocking reason while stBlocked
+	info       TaskInfo
+	state      taskState
+	since      vtime.Time // last interval cut for non-running states
+	runStart   vtime.Time // dispatch instant while running
+	act        *Activation
+	actCount   int
+	waitSem    string    // semaphore name while stBlockedSem
+	holder     string    // holder recorded in the block event's detail
+	reason     string    // blocking reason while stBlocked
+	cpu        int       // CPU whose runner attributes this task's waits
+	premigrate taskState // state to restore at migrate-done
+	migTarget  string    // migrate detail ("to=cpuN") while in transit
 }
 
 type replay struct {
 	order   []string
 	tasks   map[string]*replayTask
-	running string // task occupying the CPU, "" when idle
+	running []string // per-CPU: task occupying the CPU, "" when idle
 	semOwn  map[string]string
 	an      *Analysis
 	invOpen map[string]*Inversion // victim → open inversion window
+}
+
+// runningOn reports the task occupying CPU c ("" when idle or the CPU
+// never appeared in the trace).
+func (r *replay) runningOn(c int) string {
+	if c < 0 || c >= len(r.running) {
+		return ""
+	}
+	return r.running[c]
+}
+
+// setRunning records CPU c's occupant, growing the per-CPU slate on
+// first sight of a new CPU.
+func (r *replay) setRunning(c int, task string) {
+	for len(r.running) <= c {
+		r.running = append(r.running, "")
+	}
+	r.running[c] = task
 }
 
 // Analyze replays a trace into per-activation attribution. dropped is
@@ -266,6 +292,7 @@ func (r *replay) step(e trace.Event) {
 	case trace.TaskInfo:
 		t := r.task(e.Task)
 		t.info = parseTaskInfo(e.Task, e.Detail)
+		t.cpu = e.CPU // boot-time placement
 		return
 	case trace.Release:
 		r.closeSpans(e.At)
@@ -292,17 +319,18 @@ func (r *replay) step(e trace.Event) {
 	case trace.Dispatch:
 		r.closeSpans(e.At)
 		t := r.task(e.Task)
+		t.cpu = e.CPU
 		if t.act == nil {
 			// Activation released before the trace window; track CPU
 			// occupancy anyway so other tasks' ready time attributes.
-			r.running = e.Task
+			r.setRunning(e.CPU, e.Task)
 			t.state = stRunning
 			t.runStart = e.At
 			return
 		}
 		t.state = stRunning
 		t.runStart = e.At
-		r.running = e.Task
+		r.setRunning(e.CPU, e.Task)
 	case trace.Preempt:
 		r.closeSpans(e.At)
 		t := r.task(e.Task)
@@ -311,16 +339,16 @@ func (r *replay) step(e trace.Event) {
 			t.state = stReady
 			t.since = e.At
 		}
-		if r.running == e.Task {
-			r.running = ""
+		if r.runningOn(e.CPU) == e.Task {
+			r.setRunning(e.CPU, "")
 		}
 	case trace.BlockEv:
 		r.closeSpans(e.At)
 		t := r.task(e.Task)
 		if t.state == stRunning {
 			t.endOccupancy(e.At, e.Dur)
-			if r.running == e.Task {
-				r.running = ""
+			if r.runningOn(e.CPU) == e.Task {
+				r.setRunning(e.CPU, "")
 			}
 		}
 		if e.Detail == "job-killed" {
@@ -331,6 +359,14 @@ func (r *replay) step(e trace.Event) {
 			t.state = stOff
 			return
 		}
+		if t.state == stMigrating {
+			// Blocked mid-transit (e.g. suspension): the transit span
+			// keeps accruing as Migration; restore the blocked state at
+			// arrival instead.
+			t.premigrate = stBlocked
+			t.reason = e.Detail
+			return
+		}
 		t.state = stBlocked
 		t.reason = e.Detail
 		t.since = e.At
@@ -339,9 +375,14 @@ func (r *replay) step(e trace.Event) {
 		t := r.task(e.Task)
 		if t.state == stRunning {
 			t.endOccupancy(e.At, e.Dur)
-			if r.running == e.Task {
-				r.running = ""
+			if r.runningOn(e.CPU) == e.Task {
+				r.setRunning(e.CPU, "")
 			}
+		}
+		if t.state == stMigrating {
+			t.premigrate = stBlockedSem
+			t.waitSem, t.holder = parseSemDetail(e.Detail)
+			return
 		}
 		t.state = stBlockedSem
 		t.waitSem, t.holder = parseSemDetail(e.Detail)
@@ -370,9 +411,42 @@ func (r *replay) step(e trace.Event) {
 	case trace.UnblockEv:
 		r.closeSpans(e.At)
 		t := r.task(e.Task)
+		if t.state == stMigrating {
+			// A wakeup landing mid-transit: the task becomes ready on
+			// arrival, but the transit span stays Migration.
+			t.premigrate = stReady
+			return
+		}
 		if t.state == stBlocked || t.state == stBlockedSem {
 			t.state = stReady
 			t.waitSem, t.holder = "", ""
+			t.since = e.At
+		}
+	case trace.Migrate:
+		r.closeSpans(e.At)
+		t := r.task(e.Task)
+		if t.state == stRunning {
+			t.endOccupancy(e.At, e.Dur)
+			if r.runningOn(e.CPU) == e.Task {
+				r.setRunning(e.CPU, "")
+			}
+			t.premigrate = stReady
+		} else {
+			t.premigrate = t.state
+		}
+		t.state = stMigrating
+		t.migTarget = e.Detail
+		t.since = e.At
+	case trace.MigrateDone:
+		r.closeSpans(e.At)
+		t := r.task(e.Task)
+		t.cpu = e.CPU
+		if t.state == stMigrating {
+			t.state = t.premigrate
+			if t.state == stOff || t.state == stRunning {
+				t.state = stReady
+			}
+			t.migTarget = ""
 			t.since = e.At
 		}
 	case trace.Complete, trace.Miss:
@@ -381,8 +455,8 @@ func (r *replay) step(e trace.Event) {
 		if t.state == stRunning {
 			t.endOccupancy(e.At, e.Dur)
 		}
-		if r.running == e.Task {
-			r.running = ""
+		if r.runningOn(e.CPU) == e.Task {
+			r.setRunning(e.CPU, "")
 		}
 		if t.act != nil {
 			t.act.Missed = e.Kind == trace.Miss
@@ -391,7 +465,7 @@ func (r *replay) step(e trace.Event) {
 		t.state = stOff
 	case trace.Idle:
 		r.closeSpans(e.At)
-		r.running = ""
+		r.setRunning(e.CPU, "")
 	}
 }
 
@@ -447,7 +521,7 @@ func (r *replay) closeSpans(at vtime.Time) {
 		}
 		switch t.state {
 		case stReady:
-			culprit := r.running
+			culprit := r.runningOn(t.cpu)
 			if culprit == "" {
 				culprit = "idle"
 			}
@@ -455,6 +529,9 @@ func (r *replay) closeSpans(at vtime.Time) {
 			t.since = at
 		case stBlocked:
 			t.appendInterval(Interval{From: t.since, To: at, Comp: Blocked, Culprit: t.reason})
+			t.since = at
+		case stMigrating:
+			t.appendInterval(Interval{From: t.since, To: at, Comp: Migration, Culprit: t.migTarget})
 			t.since = at
 		case stBlockedSem:
 			chain := r.chain(t)
@@ -465,7 +542,7 @@ func (r *replay) closeSpans(at vtime.Time) {
 			iv := Interval{
 				From: t.since, To: at, Comp: Blocked,
 				Culprit: culprit, Sem: t.waitSem, Chain: chain,
-				Runner: r.running,
+				Runner: r.runningOn(t.cpu),
 			}
 			if r.isInversion(t, chain) {
 				iv.Inversion = true
@@ -505,19 +582,20 @@ func (r *replay) chain(t *replayTask) []string {
 	return chain
 }
 
-// isInversion reports whether the current running task inverts t's
+// isInversion reports whether the task running on t's CPU inverts t's
 // wait: lower priority than the victim and not part of its blocking
 // chain — CPU time no priority-inheritance bound accounts for.
 func (r *replay) isInversion(t *replayTask, chain []string) bool {
-	if r.running == "" || r.running == t.info.Name || t.info.Prio < 0 {
+	running := r.runningOn(t.cpu)
+	if running == "" || running == t.info.Name || t.info.Prio < 0 {
 		return false
 	}
-	run, ok := r.tasks[r.running]
+	run, ok := r.tasks[running]
 	if !ok || run.info.Prio < 0 || run.info.Prio <= t.info.Prio {
 		return false
 	}
 	for _, h := range chain {
-		if h == r.running {
+		if h == running {
 			return false
 		}
 	}
@@ -528,12 +606,13 @@ func (r *replay) isInversion(t *replayTask, chain []string) bool {
 // instant at; windows with a different runner or semaphore are split.
 func (r *replay) extendInversion(t *replayTask, at vtime.Time) {
 	name := t.info.Name
-	if w := r.invOpen[name]; w != nil && w.To == t.since && w.Runner == r.running && w.Sem == t.waitSem {
+	running := r.runningOn(t.cpu)
+	if w := r.invOpen[name]; w != nil && w.To == t.since && w.Runner == running && w.Sem == t.waitSem {
 		w.To = at
 		return
 	}
 	r.endInversion(name, t.since)
-	r.invOpen[name] = &Inversion{Task: name, Sem: t.waitSem, Runner: r.running, From: t.since, To: at}
+	r.invOpen[name] = &Inversion{Task: name, Sem: t.waitSem, Runner: running, From: t.since, To: at}
 }
 
 // endInversion closes the victim's open inversion window, if any.

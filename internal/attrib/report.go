@@ -54,6 +54,9 @@ type WorstActivation struct {
 	PreemptedUs float64 `json:"preempted_us"`
 	BlockedUs   float64 `json:"blocked_us"`
 	OverheadUs  float64 `json:"overhead_us"`
+	// MigrationUs appears only on multicore traces (omitted while zero,
+	// keeping single-CPU reports byte-identical).
+	MigrationUs float64 `json:"migration_us,omitempty"`
 }
 
 // MissReport is the root-cause record of one deadline miss.
@@ -163,6 +166,12 @@ func (an *Analysis) Report() *Report {
 			continue // never released inside the trace window
 		}
 		for c := Component(0); c < NumComponents; c++ {
+			if c == Migration && totals[c] == 0 {
+				// Single-CPU traces (and tasks that never migrated) omit
+				// the migration component entirely, keeping pre-multicore
+				// reports byte-identical.
+				continue
+			}
 			tr.TotalUs[c.String()] = us(totals[c])
 		}
 		tr.TotalUs["response"] = us(totals[NumComponents])
@@ -170,6 +179,9 @@ func (an *Analysis) Report() *Report {
 			tr.Components = append(tr.Components,
 				metrics.Summarize(ti.Name, "response", &hists[NumComponents]))
 			for c := Component(0); c < NumComponents; c++ {
+				if c == Migration && totals[c] == 0 {
+					continue
+				}
 				tr.Components = append(tr.Components,
 					metrics.Summarize(ti.Name, c.String(), &hists[c]))
 			}
@@ -183,6 +195,7 @@ func (an *Analysis) Report() *Report {
 				PreemptedUs: us(worst.Comp[Preempted]),
 				BlockedUs:   us(worst.Comp[Blocked]),
 				OverheadUs:  us(worst.Comp[Overhead]),
+				MigrationUs: us(worst.Comp[Migration]),
 			}
 		}
 		rep.Tasks = append(rep.Tasks, tr)
@@ -340,14 +353,30 @@ func (r *Report) RenderText(w io.Writer, source string) {
 	}
 
 	fmt.Fprintf(w, "\nper-task response decomposition (totals over completed activations, µs)\n")
+	// The migration column appears only when some task migrated, so
+	// single-CPU renderings are unchanged.
+	hasMigration := false
+	for _, t := range r.Tasks {
+		if _, ok := t.TotalUs["migration"]; ok {
+			hasMigration = true
+			break
+		}
+	}
 	header := []string{"task", "prio", "acts", "miss", "over", "response", "running", "preempted", "blocked", "overhead"}
+	if hasMigration {
+		header = append(header, "migration")
+	}
 	rows := make([][]string, 0, len(r.Tasks))
 	for _, t := range r.Tasks {
-		rows = append(rows, []string{
+		row := []string{
 			t.Task, itoa(t.Prio), itoa(t.Activations), itoa(t.Misses), itoa(t.Overruns),
 			f3(t.TotalUs["response"]), f3(t.TotalUs["running"]),
 			f3(t.TotalUs["preempted"]), f3(t.TotalUs["blocked"]), f3(t.TotalUs["overhead"]),
-		})
+		}
+		if hasMigration {
+			row = append(row, f3(t.TotalUs["migration"]))
+		}
+		rows = append(rows, row)
 	}
 	table(w, header, rows)
 

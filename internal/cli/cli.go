@@ -19,6 +19,7 @@ import (
 
 	"emeralds/internal/attrib"
 	"emeralds/internal/harness"
+	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
 )
 
@@ -26,9 +27,11 @@ import (
 type Common struct {
 	Tool string // command name, used in errors and artifact metadata
 
-	Workers int   // -workers: fan-out width, 0 = all CPUs
-	Seed    int64 // -seed: base RNG seed
-	JSON    bool  // -json: write an artifact to results/<tool>.json
+	Workers int    // -workers: fan-out width, 0 = all CPUs
+	Seed    int64  // -seed: base RNG seed
+	CPUs    int    // -cpus: simulated processor count (1 = classic single-CPU)
+	Lock    string // -lock: simulated lock regime (percpu, perqueue, biglock)
+	JSON    bool   // -json: write an artifact to results/<tool>.json
 	JSONOut string
 	TxtOut  string // -txt-out: mirror the rendered text to this file
 	CSV     bool   // -csv: machine-readable stdout
@@ -53,6 +56,8 @@ func Register(tool string) *Common {
 	c := &Common{Tool: tool, start: time.Now()}
 	flag.IntVar(&c.Workers, "workers", 0, "parallel worker count (0 = all CPUs); results are identical for any value")
 	flag.Int64Var(&c.Seed, "seed", 1, "base RNG seed")
+	flag.IntVar(&c.CPUs, "cpus", 1, "simulated processor count (1 = classic single-CPU kernel)")
+	flag.StringVar(&c.Lock, "lock", "percpu", "simulated lock granularity on multicore runs: percpu, perqueue, biglock")
 	flag.BoolVar(&c.JSON, "json", false, fmt.Sprintf("write a versioned JSON artifact to results/%s.json", tool))
 	flag.StringVar(&c.JSONOut, "json-out", "", "artifact path override (implies -json)")
 	flag.StringVar(&c.TxtOut, "txt-out", "", "also write the rendered text output to this file")
@@ -67,6 +72,28 @@ func (c *Common) Parse() {
 	if c.JSONOut != "" {
 		c.JSON = true
 	}
+	if c.CPUs < 1 {
+		c.Fatalf("bad -cpus: %d (want ≥ 1)", c.CPUs)
+	}
+	if _, err := kernel.ParseLockRegime(c.Lock); err != nil {
+		c.Fatalf("bad -lock: %v", err)
+	}
+}
+
+// LockRegime returns the parsed -lock flag (validated at Parse).
+func (c *Common) LockRegime() kernel.LockRegime {
+	r, _ := kernel.ParseLockRegime(c.Lock)
+	return r
+}
+
+// MulticoreConfig returns the (cpus, lock) pair experiment artifacts
+// should record: zero values on a single-CPU run, so pre-multicore
+// artifacts stay byte-identical under omitempty.
+func (c *Common) MulticoreConfig() (int, string) {
+	if c.CPUs <= 1 {
+		return 0, ""
+	}
+	return c.CPUs, c.Lock
 }
 
 // Progress returns the writer experiment sweeps should report

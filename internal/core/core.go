@@ -74,6 +74,15 @@ type Config struct {
 	// immediate priority ceiling protocol: deadlock freedom and a
 	// single-blocking bound, at the cost of a boost on every acquire.
 	PriorityCeiling bool
+	// CPUs is the number of processors; 0 and 1 both build the classic
+	// single-CPU system. On a multicore build tasks are partitioned
+	// across CPUs at Boot (honoring task.Spec.Affinity) and each CPU
+	// runs its own instance of the selected policy.
+	CPUs int
+	// LockRegime selects the simulated kernel-lock granularity charged
+	// on a multicore build (per-CPU lock-free run queues, per-queue
+	// locks, or a big kernel lock); ignored when CPUs ≤ 1.
+	LockRegime kernel.LockRegime
 	// RAMBudget bounds the kernel's accounted dynamic memory in bytes
 	// (§2's 32–128 KB on-chip constraint); 0 = unlimited.
 	RAMBudget int
@@ -117,6 +126,8 @@ func New(cfg Config) *System {
 	}
 	k, err := kernel.New(cfg.Engine, kernel.Options{
 		Profile:           prof,
+		CPUs:              cfg.CPUs,
+		LockRegime:        cfg.LockRegime,
 		OptimizedSem:      !cfg.StandardSem,
 		Trace:             tr,
 		DeadlineMonotonic: cfg.DeadlineMonotonic,
@@ -182,8 +193,13 @@ func (s *System) NewStateMessage(name string, depth, size int) int {
 func (s *System) NewProcess() int { return s.kern.NewProcess() }
 
 // Boot selects the scheduler (running the CSD partition search when
-// needed), binds it, and starts the system at virtual time zero.
+// needed), binds it — one instance per CPU on a multicore build — and
+// starts the system at virtual time zero.
 func (s *System) Boot() error {
+	m := s.kern.NumCPUs()
+	if m > 1 {
+		return s.bootMulti(m)
+	}
 	switch s.cfg.Policy {
 	case PolicyEDF:
 		s.kern.SetScheduler(sched.NewEDF(s.prof))
@@ -192,7 +208,7 @@ func (s *System) Boot() error {
 	case PolicyRMHeap:
 		s.kern.SetScheduler(sched.NewRMHeap(s.prof))
 	case PolicyCSD:
-		part, err := s.choosePartition()
+		part, err := s.choosePartition(s.periodicSpecs())
 		if err != nil {
 			return err
 		}
@@ -204,15 +220,67 @@ func (s *System) Boot() error {
 	return s.kern.Boot()
 }
 
-func (s *System) choosePartition() (sched.Partition, error) {
-	if s.cfg.Partition != nil {
-		return *s.cfg.Partition, nil
+// bootMulti binds one scheduler instance per CPU (instances hold queue
+// state and cannot be shared). For CSD the §5.5.3 partition search runs
+// per CPU over that CPU's share of the task set, previewed with the
+// same deterministic sched.AssignCPUs split Boot will use.
+func (s *System) bootMulti(m int) error {
+	ss := make([]sched.Scheduler, m)
+	switch s.cfg.Policy {
+	case PolicyEDF:
+		for i := range ss {
+			ss[i] = sched.NewEDF(s.prof)
+		}
+	case PolicyRM:
+		for i := range ss {
+			ss[i] = sched.NewRM(s.prof)
+		}
+	case PolicyRMHeap:
+		for i := range ss {
+			ss[i] = sched.NewRMHeap(s.prof)
+		}
+	case PolicyCSD:
+		var tcbs []*task.TCB
+		for _, th := range s.kern.Threads() {
+			tcbs = append(tcbs, th.TCB)
+		}
+		perCPU := sched.AssignCPUs(tcbs, m)
+		for i := range ss {
+			var specs []task.Spec
+			for _, t := range perCPU[i] {
+				if t.Spec.Period > 0 {
+					specs = append(specs, t.Spec)
+				}
+			}
+			part, err := s.choosePartition(specs)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				s.part = part
+			}
+			ss[i] = sched.NewCSD(s.prof, part)
+		}
+	default:
+		return fmt.Errorf("core: unknown policy %q", s.cfg.Policy)
 	}
+	s.kern.SetSchedulers(ss)
+	return s.kern.Boot()
+}
+
+func (s *System) periodicSpecs() []task.Spec {
 	var specs []task.Spec
 	for _, th := range s.kern.Threads() {
 		if th.TCB.Spec.Period > 0 {
 			specs = append(specs, th.TCB.Spec)
 		}
+	}
+	return specs
+}
+
+func (s *System) choosePartition(specs []task.Spec) (sched.Partition, error) {
+	if s.cfg.Partition != nil {
+		return *s.cfg.Partition, nil
 	}
 	n := len(specs)
 	if n == 0 {
@@ -253,6 +321,9 @@ func (s *System) Report() string {
 	fmt.Fprintf(&b, "%s @ %v  scheduler=%s", s.kern.Name(), s.kern.Now(), s.kern.Scheduler().Name())
 	if s.cfg.Policy == PolicyCSD {
 		fmt.Fprintf(&b, " partition=%v", s.part.DPSizes)
+	}
+	if n := s.kern.NumCPUs(); n > 1 {
+		fmt.Fprintf(&b, " cpus=%d lock=%s", n, s.kern.LockRegimeInEffect())
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "  %-12s %10s %8s %6s %6s %7s %12s %12s\n",

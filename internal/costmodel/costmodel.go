@@ -100,6 +100,18 @@ type Profile struct {
 	CopyPerByte    vtime.Duration
 	StateMsgOp     vtime.Duration // fixed cost of a state-message read or write
 	SharedMemMapOp vtime.Duration // mapping a region into an address space
+
+	// Multicore costs (beyond the paper; single-CPU runs never charge
+	// them). Migration is the Quest-V-style segment-boundary move of a
+	// TCB between per-CPU schedulers: detach, cross-CPU transfer, attach,
+	// and the first-touch cache refill on the target. IPI is one
+	// inter-processor interrupt (raise + remote acknowledge). SpinLock is
+	// the uncontended acquire/release pair of one kernel spinlock,
+	// charged per locked kernel operation under the simulated lock
+	// regimes; contention waits are charged separately from queue state.
+	Migration vtime.Duration
+	IPI       vtime.Duration
+	SpinLock  vtime.Duration
 }
 
 // M68040 returns the profile calibrated to the paper's measurements on
@@ -149,6 +161,14 @@ func M68040() *Profile {
 		CopyPerByte:    vtime.Micros(0.1),
 		StateMsgOp:     vtime.Micros(1.0),
 		SharedMemMapOp: vtime.Micros(5.0),
+
+		// Multicore constants, sized against the same 25 MHz budget:
+		// a migration moves one TCB across run queues and refills the
+		// working set (≈2.5 context switches), an IPI is a short vectored
+		// interrupt, and a spinlock pair is ~10 bus-locked cycles.
+		Migration: vtime.Micros(20.0),
+		IPI:       vtime.Micros(3.0),
+		SpinLock:  vtime.Micros(0.4),
 	}
 }
 
@@ -274,6 +294,9 @@ func Scaled(base *Profile, factor float64, name string) *Profile {
 	p.CopyPerByte = s(base.CopyPerByte)
 	p.StateMsgOp = s(base.StateMsgOp)
 	p.SharedMemMapOp = s(base.SharedMemMapOp)
+	p.Migration = s(base.Migration)
+	p.IPI = s(base.IPI)
+	p.SpinLock = s(base.SpinLock)
 	return &p
 }
 

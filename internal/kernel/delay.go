@@ -20,9 +20,10 @@ func (k *Kernel) doDelay(th *Thread, op task.Op) {
 	th.delayGen++
 	gen := th.delayGen
 	th.TCB.State = task.Blocked
-	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.blockTask(th.TCB)
 	k.traceOccupancyEnd(th, traceKindBlock, "delay")
 	k.eng.After(op.Dur, "delay:"+th.TCB.Name, func() {
+		k.exec = k.cpuOf(th)
 		// The job may have been killed or superseded meanwhile.
 		if th.delayGen != gen || th.TCB.State != task.Blocked {
 			return
@@ -48,17 +49,18 @@ func (k *Kernel) Suspend(th *Thread) {
 	if th.suspended {
 		return
 	}
+	k.exec = k.cpuOf(th)
 	th.suspended = true
 	if th.TCB.State == task.Ready {
 		th.TCB.State = task.Blocked
-		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
-		if th == k.current && k.seg != nil {
+		k.blockTask(th.TCB)
+		if th == k.exec.current && k.exec.seg != nil {
 			// Mid-segment suspension: let reschedule emit the Preempt
 			// (which carries the accumulated overhead and ends the
 			// occupancy) before the ready→blocked transition, so trace
 			// replay sees the events in causal order.
 			k.reschedule()
-			k.tr.Add(k.eng.Now(), traceKindBlock, th.TCB.Name, "suspend")
+			k.trAdd(traceKindBlock, th.TCB.Name, "suspend")
 			return
 		}
 		k.traceOccupancyEnd(th, traceKindBlock, "suspend")
@@ -72,11 +74,12 @@ func (k *Kernel) Resume(th *Thread) {
 	if !th.suspended {
 		return
 	}
+	k.exec = k.cpuOf(th)
 	th.suspended = false
 	if th.jobActive && th.TCB.State == task.Blocked && th.waitingSem == nil && th.reacquire == nil {
 		th.TCB.State = task.Ready
-		k.charge(k.sch.Unblock(th.TCB), &k.stats.SchedCharge)
-		k.tr.Add(k.eng.Now(), traceKindUnblock, th.TCB.Name, "resume")
+		k.unblockTask(th.TCB)
+		k.trAdd(traceKindUnblock, th.TCB.Name, "resume")
 		k.reschedule()
 	}
 }

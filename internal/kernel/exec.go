@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"emeralds/internal/metrics"
+	"emeralds/internal/sched"
 	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/trace"
@@ -12,7 +13,7 @@ import (
 
 // Execution model
 //
-// The CPU executes one *segment* at a time: either a preemptible slice
+// Each CPU executes one *segment* at a time: either a preemptible slice
 // of an OpCompute, or a non-preemptible kernel operation (system calls
 // run with a short critical section, as on the real hardware).
 // Asynchronous kernel work — timer releases, unblocks caused by other
@@ -20,6 +21,14 @@ import (
 // segment: the running thread loses exactly that much CPU, which is how
 // the paper's analysis accounts overhead too. When the CPU is idle the
 // charge accrues in idleDebt and delays the start of the next segment.
+//
+// On a multicore kernel the M CPUs share one event clock (one engine);
+// k.exec is the CPU whose event is being handled, pinned at the entry
+// of every engine callback. Charges stretch the executing CPU's
+// segment; a kernel operation that changes another CPU's run queue
+// marks that CPU for an IPI-delivered reschedule, drained at the end of
+// the local reschedule. With one CPU, exec is always cpus[0] and every
+// multicore branch is dead — the classic kernel, bit for bit.
 
 type segKind uint8
 
@@ -47,9 +56,54 @@ type eventRef struct {
 	fn    func()
 }
 
-// charge adds kernel overhead d: the active segment stretches by d; an
-// idle CPU accrues the debt against the next segment. bucket, when
-// non-nil, receives the amount for per-subsystem accounting.
+// trAdd records a trace event on the executing CPU.
+func (k *Kernel) trAdd(kind trace.Kind, taskName, detail string) {
+	k.tr.AddCPU(k.eng.Now(), kind, taskName, detail, k.exec.id)
+}
+
+// trAddDur records a trace event with a duration payload on the
+// executing CPU.
+func (k *Kernel) trAddDur(kind trace.Kind, taskName, detail string, dur vtime.Duration) {
+	k.tr.AddDurCPU(k.eng.Now(), kind, taskName, detail, dur, k.exec.id)
+}
+
+// cpuOf returns the CPU whose scheduler owns the thread.
+func (k *Kernel) cpuOf(th *Thread) *cpu { return k.cpus[th.TCB.CPU] }
+
+// sched returns the scheduler instance that owns t.
+func (k *Kernel) sched(t *task.TCB) sched.Scheduler { return k.cpus[t.CPU].sch }
+
+// blockTask routes a Block to the owning CPU's scheduler and charges
+// t_b on the executing CPU. A task in migration transit is in no
+// scheduler's queues; its State flip is all that happens.
+func (k *Kernel) blockTask(t *task.TCB) {
+	if k.byTCB[t].migrating {
+		return
+	}
+	cost := k.sched(t).Block(t)
+	k.lockRunq(t.CPU, cost)
+	k.charge(cost, &k.stats.SchedCharge)
+}
+
+// unblockTask routes an Unblock to the owning CPU's scheduler, charges
+// t_u on the executing CPU, and marks the owning CPU for an
+// IPI-delivered reschedule when it is a different one.
+func (k *Kernel) unblockTask(t *task.TCB) {
+	if k.byTCB[t].migrating {
+		return
+	}
+	cost := k.sched(t).Unblock(t)
+	k.lockRunq(t.CPU, cost)
+	k.charge(cost, &k.stats.SchedCharge)
+	if c := k.cpus[t.CPU]; c != k.exec {
+		c.needResched = true
+	}
+}
+
+// charge adds kernel overhead d: the executing CPU's active segment
+// stretches by d; an idle CPU accrues the debt against its next
+// segment. bucket, when non-nil, receives the amount for per-subsystem
+// accounting.
 func (k *Kernel) charge(d vtime.Duration, bucket *vtime.Duration) {
 	if d < 0 {
 		panic("kernel: negative charge")
@@ -60,26 +114,27 @@ func (k *Kernel) charge(d vtime.Duration, bucket *vtime.Duration) {
 	if d == 0 {
 		return
 	}
-	if k.seg != nil {
-		k.seg.injected += d
+	if k.exec.seg != nil {
+		k.exec.seg.injected += d
 		k.rearmSegment()
 		return
 	}
-	k.idleDebt += d
+	k.exec.idleDebt += d
 }
 
 func (k *Kernel) rearmSegment() {
-	s := k.seg
+	s := k.exec.seg
 	k.eng.Cancel(s.ev.ev)
 	end := s.startedAt.Add(s.pure + s.injected)
 	s.ev.ev = k.eng.AtClass(end, sim.ClassCompletion, s.ev.label, s.ev.fn)
 }
 
-// startSegment begins executing `pure` of work for th, absorbing any
-// idle debt, and calls done when it completes.
+// startSegment begins executing `pure` of work for th on the executing
+// CPU, absorbing any idle debt, and calls done when it completes.
 func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.Duration, preemptible bool, done func()) {
-	extra := k.idleDebt
-	k.idleDebt = 0
+	c := k.exec
+	extra := c.idleDebt
+	c.idleDebt = 0
 	s := &segment{
 		th:          th,
 		kind:        kind,
@@ -91,29 +146,32 @@ func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.D
 	}
 	label := "seg:" + th.TCB.Name
 	fn := func() {
+		// Completion runs in the owning CPU's context.
+		k.exec = c
 		// Book the overhead this segment consumed into the occupancy
 		// accumulator: a compute segment delivers pure useful work and
 		// consumes only its injected stretch; a kernel-op segment is
 		// overhead end to end.
 		if s.kind == segCompute {
-			k.ovAcc += s.injected
+			c.ovAcc += s.injected
 		} else {
-			k.ovAcc += s.pure + s.injected
+			c.ovAcc += s.pure + s.injected
 		}
-		k.seg = nil
+		c.seg = nil
 		done()
 	}
 	s.ev = &eventRef{label: label, fn: fn}
 	s.ev.ev = k.eng.AtClass(s.startedAt.Add(pure+extra), sim.ClassCompletion, label, fn)
-	k.seg = s
+	c.seg = s
 }
 
-// preemptSegment stops the active (preemptible) segment, saving the
-// remaining compute time into the thread's TCB. detail names the
-// preemptor in the trace event. It reports whether the boundary landed
-// exactly on the thread's final op, completing its job.
+// preemptSegment stops the executing CPU's active (preemptible)
+// segment, saving the remaining compute time into the thread's TCB.
+// detail names the preemptor in the trace event. It reports whether the
+// boundary landed exactly on the thread's final op, completing its job.
 func (k *Kernel) preemptSegment(detail string) bool {
-	s := k.seg
+	c := k.exec
+	s := c.seg
 	if s == nil {
 		return false
 	}
@@ -126,7 +184,7 @@ func (k *Kernel) preemptSegment(detail string) bool {
 	if useful < 0 {
 		// Overhead injected during the segment has not fully elapsed:
 		// the spill must still delay whoever runs next.
-		k.idleDebt += -useful
+		c.idleDebt += -useful
 		useful = 0
 	}
 	if useful > s.pure {
@@ -134,7 +192,7 @@ func (k *Kernel) preemptSegment(detail string) bool {
 	}
 	// Whatever part of the segment's wall span was not useful compute
 	// was consumed overhead; it belongs to the occupancy ending here.
-	k.ovAcc += elapsed - useful
+	c.ovAcc += elapsed - useful
 	k.stats.UsefulCompute += useful
 	finished := false
 	if useful == s.pure {
@@ -148,50 +206,81 @@ func (k *Kernel) preemptSegment(detail string) bool {
 	}
 	s.th.TCB.Preemptions++
 	k.stats.Preemptions++
-	k.met.Inc(metrics.Preemptions)
+	k.exec.met.Inc(metrics.Preemptions)
 	k.eng.Cancel(s.ev.ev)
-	k.seg = nil
+	c.seg = nil
 	// A preemption always ends the occupancy: attach its consumed
 	// overhead so replay can partition the span exactly.
-	k.tr.AddDur(now, traceKindPreempt, s.th.TCB.Name, detail, k.ovAcc)
-	k.ovAcc = 0
+	k.trAddDur(traceKindPreempt, s.th.TCB.Name, detail, c.ovAcc)
+	c.ovAcc = 0
 	return finished
 }
 
 // traceOccupancyEnd emits a trace event for a thread that just blocked
-// or had its job torn down. When th is the thread occupying the CPU
-// (current, with no segment in flight — op handlers run at segment
-// end), the event ends its occupancy and carries the overhead consumed
-// since dispatch; for any other thread it is a plain event.
+// or had its job torn down. When th is the thread occupying the
+// executing CPU (current, with no segment in flight — op handlers run
+// at segment end), the event ends its occupancy and carries the
+// overhead consumed since dispatch; for any other thread it is a plain
+// event.
 func (k *Kernel) traceOccupancyEnd(th *Thread, kind trace.Kind, detail string) {
-	if th == k.current && k.seg == nil {
-		k.tr.AddDur(k.eng.Now(), kind, th.TCB.Name, detail, k.ovAcc)
-		k.ovAcc = 0
+	if th == k.exec.current && k.exec.seg == nil {
+		k.trAddDur(kind, th.TCB.Name, detail, k.exec.ovAcc)
+		k.exec.ovAcc = 0
 		return
 	}
-	k.tr.Add(k.eng.Now(), kind, th.TCB.Name, detail)
+	k.trAdd(kind, th.TCB.Name, detail)
 }
 
-// reschedule asks the policy for the best ready task and switches to it
-// if it differs from the running one. Non-preemptible segments defer
-// the switch to their completion.
+// reschedule reschedules the executing CPU, then serves any cross-CPU
+// reschedule marks left by remote wakeups — each delivered as a
+// cost-charged IPI on its target CPU, in CPU order for determinism.
 func (k *Kernel) reschedule() {
-	if k.seg != nil && !k.seg.preemptible {
-		k.reschedPending = true
+	k.resched()
+	if len(k.cpus) == 1 || k.draining {
 		return
 	}
-	k.reschedPending = false
-	next, ts := k.sch.Select()
+	k.draining = true
+	home := k.exec
+	for again := true; again; {
+		again = false
+		for _, c := range k.cpus {
+			if !c.needResched {
+				continue
+			}
+			c.needResched = false
+			again = true
+			k.exec = c
+			k.charge(k.prof.IPI, &k.stats.IPICharge)
+			c.met.Inc(metrics.IPIs)
+			k.resched()
+		}
+	}
+	k.exec = home
+	k.draining = false
+}
+
+// resched asks the executing CPU's policy for the best ready task and
+// switches to it if it differs from the running one. Non-preemptible
+// segments defer the switch to their completion.
+func (k *Kernel) resched() {
+	c := k.exec
+	if c.seg != nil && !c.seg.preemptible {
+		c.reschedPending = true
+		return
+	}
+	c.reschedPending = false
+	next, ts := c.sch.Select()
+	k.lockRunq(c.id, ts)
 	k.charge(ts, &k.stats.SchedCharge)
 	var curTCB *task.TCB
-	if k.current != nil {
-		curTCB = k.current.TCB
+	if c.current != nil {
+		curTCB = c.current.TCB
 	}
 	if next == curTCB {
 		return
 	}
-	if k.seg != nil {
-		th := k.seg.th
+	if c.seg != nil {
+		th := c.seg.th
 		by := "for idle"
 		if next != nil {
 			by = "for " + next.Name
@@ -202,7 +291,7 @@ func (k *Kernel) reschedule() {
 			k.completeJob(th)
 			return
 		}
-	} else if k.current != nil && curTCB.State == task.Ready {
+	} else if c.current != nil && curTCB.State == task.Ready {
 		// Segment-boundary displacement: an op handler woke a
 		// higher-priority task (sem grant, signal, message) and the
 		// still-ready current thread loses the CPU with no segment in
@@ -214,27 +303,27 @@ func (k *Kernel) reschedule() {
 		if next != nil {
 			by = "for " + next.Name
 		}
-		k.tr.AddDur(k.eng.Now(), traceKindPreempt, curTCB.Name, by, k.ovAcc)
-		k.ovAcc = 0
+		k.trAddDur(traceKindPreempt, curTCB.Name, by, c.ovAcc)
+		c.ovAcc = 0
 	}
 	if next == nil {
-		k.current = nil
-		k.tr.Add(k.eng.Now(), traceKindIdle, "-", "")
+		c.current = nil
+		k.trAdd(traceKindIdle, "-", "")
 		return
 	}
 	k.stats.ContextSwitches++
-	k.met.Inc(metrics.Dispatches)
+	c.met.Inc(metrics.Dispatches)
 	if curTCB != nil {
-		k.met.Inc(metrics.ContextSwitches)
+		c.met.Inc(metrics.ContextSwitches)
 	}
 	k.charge(k.prof.ContextSwitch, &k.stats.SwitchCharge)
-	k.current = k.byTCB[next]
-	k.tr.Add(k.eng.Now(), traceKindDispatch, next.Name, "")
-	k.continueThread(k.current)
+	c.current = k.byTCB[next]
+	k.trAdd(traceKindDispatch, next.Name, "")
+	k.continueThread(c.current)
 }
 
 // continueThread starts the thread's next op segment. The thread must
-// be current and Ready.
+// be current on the executing CPU and Ready.
 func (k *Kernel) continueThread(th *Thread) {
 	tcb := th.TCB
 	prog := tcb.Spec.Prog
@@ -265,12 +354,28 @@ func (k *Kernel) continueThread(th *Thread) {
 }
 
 // afterOp runs after any op segment completes: honor deferred
-// reschedules, then continue the thread if it is still the one to run.
+// reschedules and segment-boundary migrations, then continue the
+// thread if it is still the one to run.
 func (k *Kernel) afterOp(th *Thread) {
-	if k.reschedPending {
+	if k.exec.reschedPending {
 		k.reschedule()
 	}
-	if k.current == th && th.TCB.State == task.Ready && k.seg == nil {
+	if th.migrateTo >= 0 && th.migrateTo != th.TCB.CPU && !th.migrating &&
+		th.TCB.PC < len(th.TCB.Spec.Prog) {
+		// The boundary must not also be the job's end: then teardown wins
+		// (completeJob cancels the request) and the task stays resident —
+		// migrating a job mid-retire would move its miss accounting and
+		// next release to the wrong CPU.
+		if k.migrationSafe(th) == nil {
+			tgt := th.migrateTo
+			th.migrateTo = -1
+			k.doMigrate(th, tgt)
+			return
+		}
+		// Unsafe boundary (the thread holds a lock or serves as a PI
+		// place-holder): keep the request pending for a later boundary.
+	}
+	if k.exec.current == th && th.TCB.State == task.Ready && k.exec.seg == nil {
 		k.continueThread(th)
 	}
 }
@@ -362,7 +467,10 @@ func (k *Kernel) performOp(th *Thread, op task.Op) {
 }
 
 // completeJob finishes the current job: record stats, detect deadline
-// misses, and block until the next release.
+// misses, and block until the next release. A migration deferred to a
+// segment boundary that turns out to be the job's end is cancelled —
+// the task is torn down on its current CPU and can be migrated between
+// jobs instead.
 func (k *Kernel) completeJob(th *Thread) {
 	if k.OnJobComplete != nil {
 		k.OnJobComplete(th)
@@ -379,16 +487,17 @@ func (k *Kernel) completeJob(th *Thread) {
 		th.respHist.Add(resp)
 	}
 	k.stats.Completions++
-	k.met.Inc(metrics.Completions)
+	k.exec.met.Inc(metrics.Completions)
 	if now.After(tcb.AbsDeadline) {
 		tcb.Misses++
 		k.stats.Misses++
-		k.met.Inc(metrics.DeadlineMisses)
-		k.tr.AddDur(now, traceKindMiss, tcb.Name, "", k.ovAcc)
+		k.exec.met.Inc(metrics.DeadlineMisses)
+		k.trAddDur(traceKindMiss, tcb.Name, "", k.exec.ovAcc)
 	} else {
-		k.tr.AddDur(now, traceKindComplete, tcb.Name, "", k.ovAcc)
+		k.trAddDur(traceKindComplete, tcb.Name, "", k.exec.ovAcc)
 	}
-	k.ovAcc = 0
+	k.exec.ovAcc = 0
+	th.migrateTo = -1
 	k.releaseAllHeld(th)
 	th.jobActive = false
 	tcb.PC = 0
@@ -396,7 +505,7 @@ func (k *Kernel) completeJob(th *Thread) {
 	tcb.PendingHint = task.NoHint
 	k.clearPreAcq(th)
 	tcb.State = task.Blocked
-	k.charge(k.sch.Block(tcb), &k.stats.SchedCharge)
+	k.blockTask(tcb)
 	k.reschedule()
 }
 
@@ -411,9 +520,9 @@ func (k *Kernel) onRelease(th *Thread) {
 		th.TCB.Misses++
 		k.stats.Overruns++
 		k.stats.Misses++
-		k.met.Inc(metrics.Overruns)
-		k.met.Inc(metrics.DeadlineMisses)
-		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "suspended")
+		k.exec.met.Inc(metrics.Overruns)
+		k.exec.met.Inc(metrics.DeadlineMisses)
+		k.trAdd(traceKindOverrun, th.TCB.Name, "suspended")
 		return
 	}
 	if th.jobActive {
@@ -423,9 +532,9 @@ func (k *Kernel) onRelease(th *Thread) {
 		th.TCB.Misses++ // the lost job can never meet its deadline
 		k.stats.Overruns++
 		k.stats.Misses++
-		k.met.Inc(metrics.Overruns)
-		k.met.Inc(metrics.DeadlineMisses)
-		k.tr.Add(k.eng.Now(), traceKindOverrun, th.TCB.Name, "")
+		k.exec.met.Inc(metrics.Overruns)
+		k.exec.met.Inc(metrics.DeadlineMisses)
+		k.trAdd(traceKindOverrun, th.TCB.Name, "")
 		return
 	}
 	k.startJob(th)
@@ -435,9 +544,10 @@ func (k *Kernel) onRelease(th *Thread) {
 // Call it from an ISR or test harness; it is a no-op if a job is in
 // flight.
 func (k *Kernel) ReleaseAperiodic(th *Thread) {
+	k.exec = k.cpuOf(th)
 	if th.jobActive {
 		k.stats.Overruns++
-		k.met.Inc(metrics.Overruns)
+		k.exec.met.Inc(metrics.Overruns)
 		return
 	}
 	k.startJob(th)
@@ -451,7 +561,7 @@ func (k *Kernel) startJob(th *Thread) {
 	}
 	tcb.Releases++
 	k.stats.Releases++
-	k.met.Inc(metrics.Releases)
+	k.exec.met.Inc(metrics.Releases)
 	tcb.ReleasedAt = now
 	tcb.AbsDeadline = now.Add(tcb.Spec.RelDeadline())
 	tcb.EffDeadline = tcb.AbsDeadline
@@ -460,7 +570,7 @@ func (k *Kernel) startJob(th *Thread) {
 	tcb.PendingHint = task.NoHint
 	th.jobActive = true
 	tcb.State = task.Ready
-	k.charge(k.sch.Unblock(tcb), &k.stats.SchedCharge)
-	k.tr.Add(now, traceKindRelease, tcb.Name, "")
+	k.unblockTask(tcb)
+	k.trAdd(traceKindRelease, tcb.Name, "")
 	k.reschedule()
 }

@@ -57,9 +57,10 @@ func (k *Kernel) applyCeiling(th *Thread, s *semaphore) {
 	if !k.icpp || s.ceiling >= th.TCB.EffPrio {
 		return
 	}
-	cost := k.sch.Restore(th.TCB, nil, s.ceiling, th.TCB.EffDeadline, false)
+	cost := k.sched(th.TCB).Restore(th.TCB, nil, s.ceiling, th.TCB.EffDeadline, false)
+	k.lockRunq(th.TCB.CPU, cost)
 	k.charge(cost, &k.stats.SemCharge)
-	k.tr.Add(k.eng.Now(), traceKindInherit, th.TCB.Name, "ceiling "+s.name)
+	k.trAdd(traceKindInherit, th.TCB.Name, "ceiling "+s.name)
 }
 
 // SemCeiling reports a semaphore's ICPP ceiling (tests).

@@ -77,6 +77,70 @@ type Options struct {
 	RAMBudget int
 	// Name labels the kernel (node name in distributed setups).
 	Name string
+	// CPUs is the number of processors (0 and 1 both mean the classic
+	// single-CPU kernel, whose behavior is bit-for-bit unchanged). With
+	// M > 1 the kernel runs one scheduler instance per CPU over a shared
+	// event clock: tasks are partitioned at Boot (sched.AssignCPUs,
+	// honoring Spec.Affinity), cross-CPU wakeups are delivered by
+	// cost-charged IPIs, and tasks move between CPUs only through the
+	// explicit Migrate operation at segment boundaries.
+	CPUs int
+	// Schedulers provides one policy instance per CPU when CPUs > 1
+	// (index = CPU). Scheduler instances hold queue state, so they
+	// cannot be shared; Boot fails if any slot is nil. Ignored for the
+	// single-CPU kernel, which uses Scheduler.
+	Schedulers []sched.Scheduler
+	// LockRegime selects the simulated kernel-lock granularity charged
+	// on multicore runs (never charged with one CPU). The zero value is
+	// LockPerCPU: per-CPU lock-free run queues, object locks only.
+	LockRegime LockRegime
+}
+
+// LockRegime models the granularity of kernel locking as a simulated
+// cost policy: every locked kernel operation extends its lock domain's
+// busy window, and an operation from another CPU that lands inside the
+// window spins for the remainder — charged as lock contention. The
+// regimes differ only in how operations map to domains.
+type LockRegime uint8
+
+const (
+	// LockPerCPU: run-queue operations are lock-free (each CPU owns its
+	// queue); only shared kernel objects (semaphores, mailboxes) take a
+	// lock. The EMERALDS-native fine-grained end point.
+	LockPerCPU LockRegime = iota
+	// LockPerQueue: one spinlock per run queue plus one per kernel
+	// object.
+	LockPerQueue
+	// LockBig: a single big kernel lock serializes every kernel
+	// operation, the coarse-grained end point.
+	LockBig
+)
+
+func (r LockRegime) String() string {
+	switch r {
+	case LockPerCPU:
+		return "percpu"
+	case LockPerQueue:
+		return "perqueue"
+	case LockBig:
+		return "biglock"
+	default:
+		return fmt.Sprintf("lockregime(%d)", uint8(r))
+	}
+}
+
+// ParseLockRegime inverts LockRegime.String.
+func ParseLockRegime(s string) (LockRegime, error) {
+	switch s {
+	case "percpu":
+		return LockPerCPU, nil
+	case "perqueue":
+		return LockPerQueue, nil
+	case "biglock":
+		return LockBig, nil
+	default:
+		return 0, fmt.Errorf("kernel: unknown lock regime %q (want percpu, perqueue or biglock)", s)
+	}
 }
 
 // Thread is a kernel thread: a TCB plus the kernel-private state the
@@ -95,6 +159,8 @@ type Thread struct {
 	semBlockAt vtime.Time       // instant the thread last blocked on a semaphore
 	jobActive  bool
 	suspended  bool
+	migrating  bool // in transit between CPUs (in no scheduler's queues)
+	migrateTo  int  // deferred migration target; -1 when none
 	delayGen   uint64
 	beforeJob  func() task.Program // rebuilds the job body at release (polling server)
 	releaseLbl string
@@ -148,11 +214,41 @@ type Stats struct {
 	TimerCharge   vtime.Duration // timer and interrupt entry charges
 	SyscallCharge vtime.Duration
 	UsefulCompute vtime.Duration
+
+	// Multicore charges; always zero on single-CPU runs and therefore
+	// omitted from their serialized form, keeping existing artifacts
+	// byte-identical.
+	MigrationCharge vtime.Duration `json:",omitempty"` // cross-CPU task moves
+	IPICharge       vtime.Duration `json:",omitempty"` // inter-processor interrupts
+	LockCharge      vtime.Duration `json:",omitempty"` // kernel-lock spin + contention waits
 }
 
 // TotalOverhead sums every non-compute charge.
 func (s Stats) TotalOverhead() vtime.Duration {
-	return s.SchedCharge + s.SwitchCharge + s.SemCharge + s.IPCCharge + s.TimerCharge + s.SyscallCharge
+	return s.SchedCharge + s.SwitchCharge + s.SemCharge + s.IPCCharge + s.TimerCharge + s.SyscallCharge +
+		s.MigrationCharge + s.IPICharge + s.LockCharge
+}
+
+// cpu is one processor's execution state: its scheduler instance, the
+// thread and segment it is executing, and the per-CPU accumulators that
+// were kernel-global before the multicore refactor. The single-CPU
+// kernel is exactly the M=1 special case: one cpu, no locks, no IPIs.
+type cpu struct {
+	id             int
+	sch            sched.Scheduler
+	current        *Thread
+	seg            *segment
+	idleDebt       vtime.Duration
+	ovAcc          vtime.Duration // overhead consumed since the current occupancy's dispatch
+	reschedPending bool           // reschedule deferred past a non-preemptible segment
+	needResched    bool           // cross-CPU wakeup pending; served by an IPI
+	met            *metrics.Set   // this CPU's counter shard
+}
+
+// lockDomain is the busy window of one simulated kernel lock.
+type lockDomain struct {
+	owner     int // CPU that last took the lock
+	busyUntil vtime.Time
 }
 
 // Kernel is one EMERALDS node.
@@ -160,7 +256,6 @@ type Kernel struct {
 	name     string
 	eng      *sim.Engine
 	prof     *costmodel.Profile
-	sch      sched.Scheduler
 	record   bool // per-task response histograms
 	optHints bool // §6.2 hint-based context-switch elimination
 	optPI    bool // §6.2 O(1) place-holder priority inheritance
@@ -168,14 +263,18 @@ type Kernel struct {
 	icpp     bool // immediate priority ceiling protocol
 	tr       *trace.Log
 
-	threads        []*Thread
-	byTCB          map[*task.TCB]*Thread
-	current        *Thread
-	seg            *segment
-	idleDebt       vtime.Duration
-	ovAcc          vtime.Duration // overhead consumed since the current occupancy's dispatch
-	reschedPending bool
-	booted         bool
+	// Multicore execution state. cpus always has at least one entry;
+	// exec is the CPU whose event is currently being handled (every
+	// engine callback pins it on entry) and is cpus[0] otherwise.
+	cpus     []*cpu
+	exec     *cpu
+	lockReg  LockRegime
+	lockDoms map[int]*lockDomain
+	draining bool // reschedule is draining cross-CPU marks (re-entrancy guard)
+
+	threads []*Thread
+	byTCB   map[*task.TCB]*Thread
+	booted  bool
 
 	sems   []*semaphore
 	events []*kevent
@@ -232,24 +331,45 @@ func New(eng *sim.Engine, opts Options) (*Kernel, error) {
 	if name == "" {
 		name = "node0"
 	}
+	m := opts.CPUs
+	if m < 1 {
+		m = 1
+	}
 	k := &Kernel{
 		name:      name,
 		eng:       eng,
 		prof:      prof,
-		sch:       opts.Scheduler,
 		optHints:  opts.OptimizedSem && !opts.DisableHints,
 		optPI:     opts.OptimizedSem && !opts.DisablePlaceholder,
 		dm:        opts.DeadlineMonotonic,
 		icpp:      opts.PriorityCeiling,
 		record:    opts.RecordResponses,
 		tr:        opts.Trace,
+		lockReg:   opts.LockRegime,
+		lockDoms:  map[int]*lockDomain{},
 		byTCB:     map[*task.TCB]*Thread{},
 		isrs:      map[int]func(*Kernel){},
 		memsys:    mem.NewSystem(),
 		footprint: mem.NewFootprint(),
 		ram:       mem.NewRAM(opts.RAMBudget),
-		met:       &metrics.Set{},
 	}
+	k.cpus = make([]*cpu, m)
+	for i := range k.cpus {
+		k.cpus[i] = &cpu{id: i, met: &metrics.Set{}}
+	}
+	k.cpus[0].sch = opts.Scheduler
+	if m > 1 {
+		for i, s := range opts.Schedulers {
+			if i < m {
+				k.cpus[i].sch = s
+			}
+		}
+	}
+	k.exec = k.cpus[0]
+	// Shard 0 doubles as the global shard: kernel objects created
+	// before Boot (mailboxes, state messages) bind their Observe
+	// counters here.
+	k.met = k.cpus[0].met
 	k.memsys.NewSpace() // space 0: kernel
 	return k, nil
 }
@@ -266,23 +386,54 @@ func (k *Kernel) Name() string { return k.name }
 // Profile returns the cost model in effect.
 func (k *Kernel) Profile() *costmodel.Profile { return k.prof }
 
-// Scheduler returns the scheduling policy in effect.
-func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
+// Scheduler returns the scheduling policy in effect (CPU 0's instance
+// on a multicore kernel; see SchedulerOn).
+func (k *Kernel) Scheduler() sched.Scheduler { return k.cpus[0].sch }
+
+// SchedulerOn returns CPU c's scheduler instance.
+func (k *Kernel) SchedulerOn(c int) sched.Scheduler { return k.cpus[c].sch }
+
+// NumCPUs reports the number of processors.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// LockRegimeInEffect reports the simulated lock granularity.
+func (k *Kernel) LockRegimeInEffect() LockRegime { return k.lockReg }
 
 // Stats returns a snapshot of kernel-wide accounting.
 func (k *Kernel) Stats() Stats { return k.stats }
 
-// Metrics returns the kernel's counter set. Always non-nil; subsystems
-// (scheduler, IPC objects) share it via metrics.Instrumented/Observe.
-func (k *Kernel) Metrics() *metrics.Set { return k.met }
+// Metrics returns the kernel's counter set. On the single-CPU kernel it
+// is the live set subsystems increment (shared via
+// metrics.Instrumented/Observe); on a multicore kernel it is a merged
+// snapshot of the per-CPU shards.
+func (k *Kernel) Metrics() *metrics.Set {
+	if len(k.cpus) == 1 {
+		return k.met
+	}
+	return k.mergedMetrics()
+}
+
+// MetricsOn returns CPU c's live counter shard.
+func (k *Kernel) MetricsOn(c int) *metrics.Set { return k.cpus[c].met }
+
+// mergedMetrics folds the per-CPU shards in shard order. Shard 0 also
+// holds the global counters (IPC objects bind there before Boot).
+func (k *Kernel) mergedMetrics() *metrics.Set {
+	sets := make([]*metrics.Set, len(k.cpus))
+	for i, c := range k.cpus {
+		sets[i] = c.met
+	}
+	return metrics.MergeShards(sets)
+}
 
 // Diagnostics builds the observability block for artifacts: the full
 // counter snapshot plus per-task response/blocking summaries (present
 // only with Options.RecordResponses, and only for tasks that recorded
 // at least one sample). Tasks appear in creation order, so the block is
-// deterministic.
+// deterministic. On multicore kernels the counters are the per-CPU
+// shards merged in shard order.
 func (k *Kernel) Diagnostics() *metrics.Diagnostics {
-	d := &metrics.Diagnostics{Counters: k.met.Snapshot(), TraceDropped: k.tr.Dropped()}
+	d := &metrics.Diagnostics{Counters: k.mergedMetrics().Snapshot(), TraceDropped: k.tr.Dropped()}
 	for _, th := range k.threads {
 		if th.respHist != nil && th.respHist.Count() > 0 {
 			d.Tasks = append(d.Tasks, metrics.Summarize(th.TCB.Name, "response", th.respHist))
@@ -317,8 +468,12 @@ func (k *Kernel) chargeRAM(kind string, bytes int) {
 // Threads returns all threads on the node.
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
-// Current returns the running thread (nil when idle).
-func (k *Kernel) Current() *Thread { return k.current }
+// Current returns the running thread (nil when idle). On a multicore
+// kernel it reports CPU 0; see CurrentOn.
+func (k *Kernel) Current() *Thread { return k.cpus[0].current }
+
+// CurrentOn returns the thread running on CPU c (nil when idle).
+func (k *Kernel) CurrentOn(c int) *Thread { return k.cpus[c].current }
 
 // NewProcess creates an address space and returns its id.
 func (k *Kernel) NewProcess() int { return k.memsys.NewSpace() }
@@ -348,6 +503,7 @@ func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
 		Proc:       proc,
 		releaseLbl: "release:" + tcb.Name,
 		aperiodic:  spec.Period == 0,
+		migrateTo:  -1,
 	}
 	if k.record {
 		th.respHist = &stats.Histogram{}
@@ -361,63 +517,89 @@ func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
 	return th
 }
 
-// SetScheduler binds the scheduling policy before Boot.
+// SetScheduler binds the scheduling policy before Boot (CPU 0's slot;
+// see SetSchedulers for a multicore kernel).
 func (k *Kernel) SetScheduler(s sched.Scheduler) {
 	if k.booted {
 		panic("kernel: SetScheduler after Boot")
 	}
-	k.sch = s
+	k.cpus[0].sch = s
+}
+
+// SetSchedulers binds one policy instance per CPU before Boot.
+func (k *Kernel) SetSchedulers(ss []sched.Scheduler) {
+	if k.booted {
+		panic("kernel: SetSchedulers after Boot")
+	}
+	for i, s := range ss {
+		if i < len(k.cpus) {
+			k.cpus[i].sch = s
+		}
+	}
 }
 
 // Boot assigns priorities, admits every thread to the scheduler and
 // schedules the first periodic releases. For a CSD scheduler the queue
 // partition in the scheduler is applied to the RM-sorted TCBs —
-// package core chooses it automatically.
+// package core chooses it automatically. On a multicore kernel the
+// task set is first partitioned across CPUs (sched.AssignCPUs, which
+// honors Spec.Affinity) and each CPU's scheduler admits its share with
+// per-CPU priority ranks.
 func (k *Kernel) Boot() error {
 	if k.booted {
 		return fmt.Errorf("kernel: already booted")
 	}
-	if k.sch == nil {
-		return fmt.Errorf("kernel: no scheduler bound")
+	for _, c := range k.cpus {
+		if c.sch == nil {
+			return fmt.Errorf("kernel: no scheduler bound on cpu%d", c.id)
+		}
 	}
 	if k.ramErr != nil {
 		k.booted = false
 		return k.ramErr
 	}
 	k.booted = true
-	if in, ok := k.sch.(metrics.Instrumented); ok {
-		in.SetMetrics(k.met)
-	}
 	tcbs := make([]*task.TCB, len(k.threads))
 	for i, th := range k.threads {
 		tcbs[i] = th.TCB
 	}
-	var sorted []*task.TCB
-	if k.dm {
-		sorted = sched.AssignDMPriorities(tcbs)
+	if len(k.cpus) == 1 {
+		if in, ok := k.cpus[0].sch.(metrics.Instrumented); ok {
+			in.SetMetrics(k.met)
+		}
+		var sorted []*task.TCB
+		if k.dm {
+			sorted = sched.AssignDMPriorities(tcbs)
+		} else {
+			sorted = sched.AssignRMPriorities(tcbs)
+		}
+		if csd, ok := k.cpus[0].sch.(*sched.CSD); ok {
+			if err := csd.Partition().Apply(sorted); err != nil {
+				return err
+			}
+		}
+		for _, th := range k.threads {
+			th.TCB.EffPrio = th.TCB.BasePrio
+		}
+		if k.icpp {
+			k.computeCeilings()
+		}
+		k.cpus[0].sch.Admit(sorted)
 	} else {
-		sorted = sched.AssignRMPriorities(tcbs)
-	}
-	if csd, ok := k.sch.(*sched.CSD); ok {
-		if err := csd.Partition().Apply(sorted); err != nil {
+		if err := k.bootCPUs(tcbs); err != nil {
 			return err
 		}
 	}
-	for _, th := range k.threads {
-		th.TCB.EffPrio = th.TCB.BasePrio
-	}
-	if k.icpp {
-		k.computeCeilings()
-	}
-	k.sch.Admit(sorted)
 	// Announce every task's static parameters up front so a trace is
 	// self-describing: the attribution engine (package attrib) needs
 	// priorities for inversion detection and deadlines for miss
-	// analysis without access to the Spec structs.
+	// analysis without access to the Spec structs. The event's CPU
+	// field records the boot-time placement.
 	for _, th := range k.threads {
-		k.tr.Addf(k.eng.Now(), traceKindTaskInfo, th.TCB.Name,
-			"prio=%d period=%d deadline=%d",
-			th.TCB.BasePrio, int64(th.TCB.Spec.Period), int64(th.TCB.Spec.RelDeadline()))
+		k.tr.AddCPU(k.eng.Now(), traceKindTaskInfo, th.TCB.Name,
+			fmt.Sprintf("prio=%d period=%d deadline=%d",
+				th.TCB.BasePrio, int64(th.TCB.Spec.Period), int64(th.TCB.Spec.RelDeadline())),
+			th.TCB.CPU)
 	}
 	for _, th := range k.threads {
 		if !th.aperiodic {
@@ -428,9 +610,42 @@ func (k *Kernel) Boot() error {
 	return nil
 }
 
+// bootCPUs is the multicore half of Boot: partition, per-CPU priority
+// ranks, per-CPU admission.
+func (k *Kernel) bootCPUs(tcbs []*task.TCB) error {
+	perCPU := sched.AssignCPUs(tcbs, len(k.cpus))
+	for i, c := range k.cpus {
+		if in, ok := c.sch.(metrics.Instrumented); ok {
+			in.SetMetrics(c.met)
+		}
+		var sorted []*task.TCB
+		if k.dm {
+			sorted = sched.AssignDMPriorities(perCPU[i])
+		} else {
+			sorted = sched.AssignRMPriorities(perCPU[i])
+		}
+		if csd, ok := c.sch.(*sched.CSD); ok {
+			if err := csd.Partition().Apply(sorted); err != nil {
+				return fmt.Errorf("cpu%d: %w", i, err)
+			}
+		}
+		c.sch.Admit(sorted)
+	}
+	for _, th := range k.threads {
+		th.TCB.EffPrio = th.TCB.BasePrio
+	}
+	if k.icpp {
+		k.computeCeilings()
+	}
+	return nil
+}
+
 func (k *Kernel) scheduleRelease(th *Thread) {
 	at := th.nextRel
-	k.eng.At(at, th.releaseLbl, func() { k.onRelease(th) })
+	k.eng.At(at, th.releaseLbl, func() {
+		k.exec = k.cpus[th.TCB.CPU]
+		k.onRelease(th)
+	})
 }
 
 // Run advances the simulation by d of virtual time.

@@ -1,0 +1,83 @@
+package kernel
+
+import (
+	"emeralds/internal/metrics"
+	"emeralds/internal/vtime"
+)
+
+// Simulated kernel-lock cost policies (multicore kernels only).
+//
+// Rather than simulate spinlock interleavings, each lock is modeled as
+// a busy window in virtual time: taking the lock extends the window by
+// the spin cost plus the critical section's hold time, and a second CPU
+// whose operation lands inside the window spins for the remainder —
+// charged to that CPU as lock contention. The three LockRegime values
+// differ only in how kernel operations map to lock domains; the
+// operations themselves are identical, so a regime comparison isolates
+// pure locking cost. With one CPU no lock is ever charged.
+
+// Lock-domain address space: domain 0 is the big kernel lock, domains
+// [1, 1+M) are the per-CPU run queues, object domains follow.
+const (
+	domBig  = 0
+	objSem  = 0 // object classes, spaced so ids never collide
+	objMbox = 1
+)
+
+// lockRunq charges the lock protecting CPU c's run queue around an
+// operation holding it for `hold`. Under LockPerCPU run queues are
+// lock-free (each CPU owns its queue exclusively; cross-CPU wakeups go
+// through IPIs), so nothing is charged.
+func (k *Kernel) lockRunq(c int, hold vtime.Duration) {
+	if len(k.cpus) == 1 {
+		return
+	}
+	switch k.lockReg {
+	case LockPerCPU:
+		return
+	case LockPerQueue:
+		k.lockAcquire(1+c, hold)
+	case LockBig:
+		k.lockAcquire(domBig, hold)
+	}
+}
+
+// lockObj charges the lock protecting a shared kernel object (semaphore
+// or mailbox) around an operation holding it for `hold`. Objects are
+// locked under every regime — they are shared state on any kernel — but
+// under LockBig the domain is the one big lock.
+func (k *Kernel) lockObj(class, id int, hold vtime.Duration) {
+	if len(k.cpus) == 1 {
+		return
+	}
+	if k.lockReg == LockBig {
+		k.lockAcquire(domBig, hold)
+		return
+	}
+	base := 1 + len(k.cpus)
+	k.lockAcquire(base+2*id+class, hold)
+}
+
+// lockAcquire models taking lock domain dom for a critical section of
+// length hold: spin for whatever remains of the domain's busy window if
+// another CPU owns it, then extend the window past our own hold time.
+// The spin (contention wait plus the lock's own cost) is charged to the
+// executing CPU as LockCharge.
+func (k *Kernel) lockAcquire(dom int, hold vtime.Duration) {
+	d := k.lockDoms[dom]
+	if d == nil {
+		d = &lockDomain{owner: -1}
+		k.lockDoms[dom] = d
+	}
+	now := k.eng.Now()
+	var wait vtime.Duration
+	if d.owner != k.exec.id && d.owner >= 0 && d.busyUntil.After(now) {
+		wait = d.busyUntil.Sub(now)
+		k.exec.met.Inc(metrics.LockContentions)
+		k.exec.met.Add(metrics.LockWaitNs, uint64(wait))
+	}
+	spin := wait + k.prof.SpinLock
+	k.charge(spin, &k.stats.LockCharge)
+	d.owner = k.exec.id
+	d.busyUntil = now.Add(spin + hold)
+}

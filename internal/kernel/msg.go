@@ -48,13 +48,14 @@ func (k *Kernel) MailboxLen(id int) int { return k.mbox(id).box.Len() }
 
 func (k *Kernel) doSend(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
+	k.lockObj(objMbox, mb.box.ID, k.prof.MailboxOp)
 	if mb.box.Full() {
 		// Block the sender; its send completes when space frees up.
-		k.met.Inc(metrics.MailboxBlocks)
+		k.exec.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.sendq.Add(th.TCB)
 		th.TCB.State = task.Blocked
-		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+		k.blockTask(th.TCB)
 		k.traceOccupancyEnd(th, traceKindBlock, mb.box.Name+" full")
 		k.reschedule()
 		return
@@ -62,7 +63,7 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 	mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size})
 	k.stats.MsgsSent++
 	th.TCB.PC++
-	k.tr.Add(k.eng.Now(), traceKindMsgSend, th.TCB.Name, mb.box.Name)
+	k.trAdd(traceKindMsgSend, th.TCB.Name, mb.box.Name)
 	if k.pumpMailbox(mb) {
 		k.reschedule()
 	}
@@ -70,12 +71,13 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 
 func (k *Kernel) doRecv(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
+	k.lockObj(objMbox, mb.box.ID, k.prof.MailboxOp)
 	if mb.box.Empty() {
-		k.met.Inc(metrics.MailboxBlocks)
+		k.exec.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.recvq.Add(th.TCB)
 		th.TCB.State = task.Blocked
-		k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+		k.blockTask(th.TCB)
 		k.traceOccupancyEnd(th, traceKindBlock, mb.box.Name+" empty")
 		k.reschedule()
 		return
@@ -83,7 +85,7 @@ func (k *Kernel) doRecv(th *Thread, op task.Op) {
 	msg := mb.box.Pop()
 	th.msgVal = msg.Val
 	th.TCB.PC++
-	k.tr.Add(k.eng.Now(), traceKindMsgRecv, th.TCB.Name, mb.box.Name)
+	k.trAdd(traceKindMsgRecv, th.TCB.Name, mb.box.Name)
 	if k.completePendingSends(mb) {
 		k.reschedule()
 	}
@@ -101,7 +103,7 @@ func (k *Kernel) pumpMailbox(mb *kmailbox) bool {
 		// Charge the receiver-side copy now that the data moves.
 		k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
 		wTCB.PC++ // past the recv op
-		k.tr.Add(k.eng.Now(), traceKindMsgRecv, wTCB.Name, mb.box.Name)
+		k.trAdd(traceKindMsgRecv, wTCB.Name, mb.box.Name)
 		if k.wakeup(w) {
 			woke = true
 		}
@@ -126,7 +128,7 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 			k.stats.MsgsSent++
 			k.charge(k.prof.MailboxTransfer(op.Size), &k.stats.IPCCharge)
 			sTCB.PC++
-			k.tr.Add(k.eng.Now(), traceKindMsgSend, sTCB.Name, mb.box.Name)
+			k.trAdd(traceKindMsgSend, sTCB.Name, mb.box.Name)
 		}
 		if k.wakeup(s) {
 			woke = true
@@ -152,19 +154,20 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 // message — fieldbus data is periodic state, so the next sample
 // supersedes it. Reports whether it was delivered.
 func (k *Kernel) InjectMessage(id int, val int64, size int) bool {
+	k.exec = k.cpus[0] // interrupts are wired to CPU 0
 	k.stats.Interrupts++
-	k.met.Inc(metrics.Interrupts)
+	k.exec.met.Inc(metrics.Interrupts)
 	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
 	mb := k.mbox(id)
 	if mb.box.Full() {
 		k.stats.MsgsDropped++
-		k.met.Inc(metrics.MailboxDrops)
-		k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", mb.box.Name+" drop")
+		k.exec.met.Inc(metrics.MailboxDrops)
+		k.trAdd(traceKindInterrupt, "isr", mb.box.Name+" drop")
 		return false
 	}
 	mb.box.Push(ipc.Msg{Val: val, Size: size})
 	k.stats.MsgsSent++
-	k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", mb.box.Name)
+	k.trAdd(traceKindInterrupt, "isr", mb.box.Name)
 	if k.pumpMailbox(mb) {
 		k.reschedule()
 	}
@@ -202,7 +205,7 @@ func (k *Kernel) doStateWrite(th *Thread, op task.Op) {
 	sm.Write(op.Val)
 	k.stats.StateWrites++
 	th.TCB.PC++
-	k.tr.Add(k.eng.Now(), traceKindStateWrite, th.TCB.Name, sm.Name)
+	k.trAdd(traceKindStateWrite, th.TCB.Name, sm.Name)
 }
 
 func (k *Kernel) doStateRead(th *Thread, op task.Op) {
@@ -212,16 +215,17 @@ func (k *Kernel) doStateRead(th *Thread, op task.Op) {
 	}
 	k.stats.StateReads++
 	th.TCB.PC++
-	k.tr.Add(k.eng.Now(), traceKindStateRead, th.TCB.Name, sm.Name)
+	k.trAdd(traceKindStateRead, th.TCB.Name, sm.Name)
 }
 
 // StateWriteISR publishes a state-message value from interrupt context
 // (sensor ISRs in the examples).
 func (k *Kernel) StateWriteISR(id int, val int64) {
+	k.exec = k.cpus[0]
 	k.charge(k.prof.StateMsgTransfer(k.state(id).Size()), &k.stats.IPCCharge)
 	k.state(id).Write(val)
 	k.stats.StateWrites++
-	k.tr.Add(k.eng.Now(), traceKindStateWrite, "isr", k.state(id).Name)
+	k.trAdd(traceKindStateWrite, "isr", k.state(id).Name)
 }
 
 // --- memory-protected access -----------------------------------------
@@ -241,8 +245,8 @@ func (k *Kernel) doMemOp(th *Thread, op task.Op) {
 		// Protection fault: the job is killed, full memory protection
 		// being the point of multi-threaded processes (§3).
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, err.Error())
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, err.Error())
 		k.killJob(th)
 		return
 	}
@@ -259,7 +263,7 @@ func (k *Kernel) killJob(th *Thread) {
 	th.TCB.PendingHint = task.NoHint
 	k.clearPreAcq(th)
 	th.TCB.State = task.Blocked
-	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.blockTask(th.TCB)
 	// Close the occupancy explicitly: without an ending event the
 	// consumed-overhead accumulator would leak into the next task's
 	// occupancy and trace replay would see the victim still running.
@@ -287,8 +291,8 @@ func (k *Kernel) doIO(th *Thread, op task.Op) {
 	d := k.device(op.Obj)
 	if d == nil {
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no device %d", op.Obj))
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, fmt.Sprintf("no device %d", op.Obj))
 		th.TCB.PC++
 		return
 	}
@@ -301,12 +305,14 @@ func (k *Kernel) BindISR(vector int, handler func(*Kernel)) {
 	k.isrs[vector] = handler
 }
 
-// Raise dispatches an interrupt immediately.
+// Raise dispatches an interrupt immediately (on CPU 0, where external
+// interrupts are wired).
 func (k *Kernel) Raise(vector int) {
+	k.exec = k.cpus[0]
 	k.stats.Interrupts++
-	k.met.Inc(metrics.Interrupts)
+	k.exec.met.Inc(metrics.Interrupts)
 	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
-	k.tr.Add(k.eng.Now(), traceKindInterrupt, "isr", fmt.Sprintf("vector %d", vector))
+	k.trAdd(traceKindInterrupt, "isr", fmt.Sprintf("vector %d", vector))
 	if h := k.isrs[vector]; h != nil {
 		h(k)
 	}
@@ -327,14 +333,14 @@ func (k *Kernel) RegisterBusPort(p BusPort) int {
 func (k *Kernel) doBusSend(th *Thread, op task.Op) {
 	if op.Obj < 0 || op.Obj >= len(k.ports) {
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, fmt.Sprintf("no bus port %d", op.Obj))
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, fmt.Sprintf("no bus port %d", op.Obj))
 		th.TCB.PC++
 		return
 	}
 	k.ports[op.Obj].Send(op.Val, op.Size)
 	th.TCB.PC++
-	k.tr.Add(k.eng.Now(), traceKindMsgSend, th.TCB.Name, k.ports[op.Obj].Name())
+	k.trAdd(traceKindMsgSend, th.TCB.Name, k.ports[op.Obj].Name())
 }
 
 // SetAlarm arms a one-shot software timer (Figure 1's "timers / clock
@@ -344,8 +350,9 @@ func (k *Kernel) doBusSend(th *Thread, op task.Op) {
 func (k *Kernel) SetAlarm(d vtime.Duration, eventID int) {
 	k.event(eventID) // validate now, not at fire time
 	k.eng.After(d, "alarm", func() {
+		k.exec = k.cpus[0]
 		k.stats.Interrupts++
-		k.met.Inc(metrics.Interrupts)
+		k.exec.met.Inc(metrics.Interrupts)
 		k.charge(k.prof.TimerInterrupt, &k.stats.TimerCharge)
 		k.signalEvent(eventID, "alarm")
 		k.reschedule()

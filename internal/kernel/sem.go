@@ -96,7 +96,8 @@ func (k *Kernel) SemOwnerName(id int) string {
 func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	s := k.sem(op.Obj)
 	k.stats.SemAcquires++
-	k.met.Inc(metrics.SemAcquires)
+	k.exec.met.Inc(metrics.SemAcquires)
+	k.lockObj(objSem, s.id, k.prof.SemBookkeeping)
 	if th.preAcq == s {
 		k.removePreAcq(th, s)
 	}
@@ -112,7 +113,7 @@ func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 			k.blockPreAcquirers(s, th)
 		}
 		th.TCB.PC++
-		k.tr.Add(k.eng.Now(), traceKindSemAcquire, th.TCB.Name, s.name)
+		k.trAdd(traceKindSemAcquire, th.TCB.Name, s.name)
 		return
 	}
 	// Contended. The caller blocks *before* priority inheritance runs:
@@ -121,10 +122,10 @@ func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	// caller's own position or the forward scan would miss the boosted
 	// holder entirely.
 	k.stats.SemContended++
-	k.met.Inc(metrics.SemBlocks)
+	k.exec.met.Inc(metrics.SemBlocks)
 	th.semBlockAt = k.eng.Now()
 	th.TCB.State = task.Blocked
-	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.blockTask(th.TCB)
 	k.inheritFromWaiter(s, th)
 	s.waiters.Add(th.TCB)
 	th.waitingSem = s
@@ -144,16 +145,17 @@ func semBlockDetail(s *semaphore) string {
 // doRelease handles OpRelease.
 func (k *Kernel) doRelease(th *Thread, op task.Op) {
 	s := k.sem(op.Obj)
+	k.lockObj(objSem, s.id, k.prof.SemBookkeeping)
 	if s.isMutex() && s.owner != th {
 		// Releasing a mutex one does not hold is an application bug;
 		// surface it as a fault rather than corrupting lock state.
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "release of unheld "+s.name)
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, "release of unheld "+s.name)
 		th.TCB.PC++
 		return
 	}
-	k.tr.Add(k.eng.Now(), traceKindSemRelease, th.TCB.Name, s.name)
+	k.trAdd(traceKindSemRelease, th.TCB.Name, s.name)
 	k.releaseInternal(th, s)
 	th.TCB.PC++
 	k.reschedule()
@@ -176,15 +178,24 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 	}
 	prio, dl := th.holder.RestoreTarget(th.TCB.BasePrio, th.TCB.AbsDeadline)
 	if hadInh || prio != th.TCB.EffPrio || dl != th.TCB.EffDeadline {
-		k.charge(k.sch.Restore(th.TCB, ph, prio, dl, k.optPI), &k.stats.SemCharge)
-		k.met.Inc(metrics.PIRestores)
-		k.tr.Add(k.eng.Now(), traceKindRestore, th.TCB.Name, s.name)
+		opt := k.optPI
+		if ph != nil && ph.CPU != th.TCB.CPU {
+			// The place-holder swap needs both tasks in one queue; a
+			// cross-CPU pair falls back to the standard reposition.
+			ph = nil
+			opt = false
+		}
+		cost := k.sched(th.TCB).Restore(th.TCB, ph, prio, dl, opt)
+		k.lockRunq(th.TCB.CPU, cost)
+		k.charge(cost, &k.stats.SemCharge)
+		k.exec.met.Inc(metrics.PIRestores)
+		k.trAdd(traceKindRestore, th.TCB.Name, s.name)
 	}
 	// §6.3.1: wake the pre-acquire threads that were re-blocked when
 	// the semaphore was taken; they proceed to their acquire calls.
 	for _, w := range s.blocked {
 		w.TCB.State = task.Ready
-		k.charge(k.sch.Unblock(w.TCB), &k.stats.SchedCharge)
+		k.unblockTask(w.TCB)
 		s.preAcq = append(s.preAcq, w)
 		w.preAcq = s
 	}
@@ -203,12 +214,12 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 		// cond-wait op whose mutex it is re-taking.
 		k.advancePastLockOp(w, s)
 		wTCB.State = task.Ready
-		k.charge(k.sch.Unblock(wTCB), &k.stats.SchedCharge)
-		k.met.Inc(metrics.SemGrants)
+		k.unblockTask(wTCB)
+		k.exec.met.Inc(metrics.SemGrants)
 		if w.blockHist != nil {
 			w.blockHist.Add(k.eng.Now().Sub(w.semBlockAt))
 		}
-		k.tr.Add(k.eng.Now(), traceKindSemGrant, wTCB.Name, s.name)
+		k.trAdd(traceKindSemGrant, wTCB.Name, s.name)
 		// With the semaphore still locked (by w now), hinted threads in
 		// the pre-acquire queue must stay parked.
 		k.blockPreAcquirers(s, w)
@@ -230,8 +241,8 @@ func (k *Kernel) releaseAllHeld(th *Thread) {
 		}
 		s := k.sem(id)
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "job ended holding "+s.name)
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, "job ended holding "+s.name)
 		k.releaseInternal(th, s)
 	}
 }
@@ -276,16 +287,19 @@ func (k *Kernel) inheritFromWaiter(s *semaphore, waiter *Thread) {
 		// place-holder back in its own slot first ("T₂ is simply put
 		// back to its original position"), then swap with T₃ below —
 		// one extra O(1) step.
-		k.charge(k.sch.Restore(hTCB, s.inh.Placeholder, hTCB.EffPrio, hTCB.EffDeadline, true), &k.stats.SemCharge)
+		k.charge(k.sched(hTCB).Restore(hTCB, s.inh.Placeholder, hTCB.EffPrio, hTCB.EffDeadline, true), &k.stats.SemCharge)
 		s.inh.Placeholder = nil
 	}
-	cost, ph := k.sch.Inherit(hTCB, wTCB, k.optPI)
-	if k.optPI {
+	// The O(1) place-holder swap requires holder and waiter in the same
+	// run queue; a cross-CPU waiter boosts through the standard path.
+	opt := k.optPI && hTCB.CPU == wTCB.CPU
+	cost, ph := k.sched(hTCB).Inherit(hTCB, wTCB, opt)
+	if opt {
 		s.inh.Placeholder = ph
 	}
 	k.charge(cost, &k.stats.SemCharge)
-	k.met.Inc(metrics.PIInherits)
-	k.tr.Add(k.eng.Now(), traceKindInherit, hTCB.Name, "from "+wTCB.Name)
+	k.exec.met.Inc(metrics.PIInherits)
+	k.trAdd(traceKindInherit, hTCB.Name, "from "+wTCB.Name)
 	// Transitive inheritance: a boosted holder that is itself blocked
 	// passes the boost along its own wait chain.
 	if holder.waitingSem != nil {
@@ -305,7 +319,7 @@ func (k *Kernel) blockPreAcquirers(s *semaphore, except *Thread) {
 			keep = append(keep, w)
 			continue
 		}
-		if w.TCB.State != task.Ready || w == k.current {
+		if w.TCB.State != task.Ready || k.isCurrent(w) {
 			// The running thread cannot be parked here (it is the one
 			// executing this path is `except`; defensively keep
 			// anything not plainly parkable).
@@ -314,7 +328,7 @@ func (k *Kernel) blockPreAcquirers(s *semaphore, except *Thread) {
 		}
 		w.preAcq = nil
 		w.TCB.State = task.Blocked
-		k.charge(k.sch.Block(w.TCB), &k.stats.SchedCharge)
+		k.blockTask(w.TCB)
 		s.blocked = append(s.blocked, w)
 	}
 	s.preAcq = keep
@@ -376,9 +390,9 @@ func (k *Kernel) wakeup(th *Thread) bool {
 			th.semBlockAt = k.eng.Now()
 			k.stats.SavedSwitches++
 			k.stats.HintPIs++
-			k.met.Inc(metrics.SavedSwitches)
-			k.met.Inc(metrics.HintPIs)
-			k.tr.Add(k.eng.Now(), traceKindSemHintPI, th.TCB.Name, semBlockDetail(s))
+			k.exec.met.Inc(metrics.SavedSwitches)
+			k.exec.met.Inc(metrics.HintPIs)
+			k.trAdd(traceKindSemHintPI, th.TCB.Name, semBlockDetail(s))
 			return false
 		}
 		if s.isMutex() && s.owner == nil {
@@ -386,8 +400,8 @@ func (k *Kernel) wakeup(th *Thread) bool {
 		}
 	}
 	th.TCB.State = task.Ready
-	k.charge(k.sch.Unblock(th.TCB), &k.stats.SchedCharge)
-	k.tr.Add(k.eng.Now(), traceKindUnblock, th.TCB.Name, "")
+	k.unblockTask(th.TCB)
+	k.trAdd(traceKindUnblock, th.TCB.Name, "")
 	return true
 }
 
@@ -438,7 +452,7 @@ func (k *Kernel) doWaitEvent(th *Thread, op task.Op) {
 	th.TCB.PendingHint = op.Hint
 	e.waiters.Add(th.TCB)
 	th.TCB.State = task.Blocked
-	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.blockTask(th.TCB)
 	k.traceOccupancyEnd(th, traceKindBlock, e.name)
 	k.reschedule()
 }
@@ -453,7 +467,7 @@ func (k *Kernel) doSignalEvent(th *Thread, op task.Op) {
 // Shared by the OpSignalEvent path and ISRs.
 func (k *Kernel) signalEvent(id int, byName string) {
 	e := k.event(id)
-	k.tr.Add(k.eng.Now(), traceKindSignal, byName, e.name)
+	k.trAdd(traceKindSignal, byName, e.name)
 	ws := e.waiters.Drain()
 	if len(ws) == 0 {
 		e.pending = true
@@ -508,8 +522,8 @@ func (k *Kernel) doCondWait(th *Thread, op task.Op) {
 	m := k.sem(op.Hint)
 	if m.isMutex() && m.owner != th {
 		k.stats.Faults++
-		k.met.Inc(metrics.Faults)
-		k.tr.Add(k.eng.Now(), traceKindFault, th.TCB.Name, "cond-wait without "+m.name)
+		k.exec.met.Inc(metrics.Faults)
+		k.trAdd(traceKindFault, th.TCB.Name, "cond-wait without "+m.name)
 		th.TCB.PC++
 		return
 	}
@@ -517,7 +531,7 @@ func (k *Kernel) doCondWait(th *Thread, op task.Op) {
 	th.reacquire = m
 	c.waiters.Add(th.TCB)
 	th.TCB.State = task.Blocked
-	k.charge(k.sch.Block(th.TCB), &k.stats.SchedCharge)
+	k.blockTask(th.TCB)
 	k.traceOccupancyEnd(th, traceKindBlock, c.name)
 	k.reschedule()
 }
@@ -545,12 +559,12 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 				// The waiter takes the mutex right here, without passing
 				// through doAcquire — record it, or trace replay loses
 				// track of who holds m.
-				k.tr.Add(k.eng.Now(), traceKindSemAcquire, wTCB.Name, m.name)
+				k.trAdd(traceKindSemAcquire, wTCB.Name, m.name)
 			}
 			wTCB.PC++
 			wTCB.State = task.Ready
-			k.charge(k.sch.Unblock(wTCB), &k.stats.SchedCharge)
-			k.tr.Add(k.eng.Now(), traceKindUnblock, wTCB.Name, c.name)
+			k.unblockTask(wTCB)
+			k.trAdd(traceKindUnblock, wTCB.Name, c.name)
 		} else {
 			// Mutex held: move the waiter onto the mutex queue with
 			// priority inheritance; it stays blocked and is granted the
@@ -564,10 +578,10 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 			// The waiter silently moves from the condvar queue to the
 			// mutex queue; surface the transition so replay knows it is
 			// now semaphore-blocked (and on whom).
-			k.tr.Add(k.eng.Now(), traceKindSemBlock, wTCB.Name, semBlockDetail(m))
+			k.trAdd(traceKindSemBlock, wTCB.Name, semBlockDetail(m))
 			if k.optHints {
 				k.stats.SavedSwitches++
-				k.met.Inc(metrics.SavedSwitches)
+				k.exec.met.Inc(metrics.SavedSwitches)
 			}
 		}
 		if !broadcast {

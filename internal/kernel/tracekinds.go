@@ -28,4 +28,8 @@ const (
 	traceKindFault      = trace.Fault
 	traceKindIdle       = trace.Idle
 	traceKindTaskInfo   = trace.TaskInfo
+
+	// Multicore kinds; never emitted by a single-CPU kernel.
+	traceKindMigrate     = trace.Migrate
+	traceKindMigrateDone = trace.MigrateDone
 )

@@ -20,7 +20,7 @@ func TestTraceKindAliasesInSync(t *testing.T) {
 		traceKindMsgSend, traceKindMsgRecv,
 		traceKindStateWrite, traceKindStateRead,
 		traceKindInterrupt, traceKindFault, traceKindIdle,
-		traceKindTaskInfo,
+		traceKindTaskInfo, traceKindMigrate, traceKindMigrateDone,
 	}
 	if len(aliases) != int(trace.NumKinds) {
 		t.Fatalf("tracekinds.go declares %d aliases, trace.Kind has %d kinds", len(aliases), trace.NumKinds)

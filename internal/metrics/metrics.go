@@ -50,6 +50,14 @@ const (
 	Interrupts                // interrupt entries (ISRs, timer alarms, injections)
 	Faults                    // protection faults and misuse surfaced by the kernel
 
+	// Multicore counters. IDs at or above Migrations are omitted from
+	// Snapshot while zero, so single-CPU artifacts stay byte-identical
+	// to their pre-multicore layout.
+	Migrations      // tasks moved between per-CPU schedulers
+	IPIs            // inter-processor interrupts (cross-CPU reschedules)
+	LockContentions // locked kernel ops that found their lock domain busy
+	LockWaitNs      // total simulated ns spent spinning on busy lock domains
+
 	// NumIDs is the number of defined counters (sentinel, not a counter).
 	NumIDs
 )
@@ -81,6 +89,10 @@ var names = [NumIDs]string{
 	StateReads:      "state_reads",
 	Interrupts:      "interrupts",
 	Faults:          "faults",
+	Migrations:      "migrations",
+	IPIs:            "ipis",
+	LockContentions: "lock_contentions",
+	LockWaitNs:      "lock_wait_ns",
 }
 
 func (id ID) String() string {
@@ -129,14 +141,32 @@ func (s *Set) Merge(other *Set) {
 	}
 }
 
-// Snapshot returns every counter by name. The map always holds all
-// NumIDs keys so artifact consumers can rely on the full block being
-// present; encoding/json orders the keys lexically, keeping artifacts
+// Snapshot returns the counters by name. The map always holds the full
+// pre-multicore key set so artifact consumers can rely on the block
+// being present; the multicore counters (Migrations and above) appear
+// only when non-zero, so single-CPU artifacts keep their original byte
+// layout. encoding/json orders the keys lexically, keeping artifacts
 // byte-stable.
 func (s *Set) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, NumIDs)
 	for id := ID(0); id < NumIDs; id++ {
+		if id >= Migrations && s.Get(id) == 0 {
+			continue
+		}
 		out[names[id]] = s.Get(id)
+	}
+	return out
+}
+
+// MergeShards folds per-CPU counter shards into one Set, in shard-index
+// order. Counter sums are commutative, so the result is independent of
+// worker count and GOMAXPROCS by construction; fixing the order anyway
+// makes the determinism testable and keeps any future non-commutative
+// aggregate honest. Nil shards are skipped.
+func MergeShards(shards []*Set) *Set {
+	out := &Set{}
+	for _, sh := range shards {
+		out.Merge(sh)
 	}
 	return out
 }

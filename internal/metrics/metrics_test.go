@@ -64,11 +64,39 @@ func TestMergeAndSnapshot(t *testing.T) {
 		t.Errorf("merged dispatches = %d, want 11", got)
 	}
 	snap := a.Snapshot()
-	if len(snap) != int(NumIDs) {
-		t.Fatalf("snapshot has %d keys, want %d (every counter present)", len(snap), NumIDs)
+	// Multicore counters are omitted while zero (single-CPU artifacts
+	// stay byte-identical); every classic counter is always present.
+	if len(snap) != int(Migrations) {
+		t.Fatalf("snapshot has %d keys, want %d (every single-CPU counter present)", len(snap), Migrations)
 	}
 	if snap["sem_blocks"] != 2 || snap["state_reads"] != 1 || snap["dispatches"] != 11 {
 		t.Errorf("snapshot = %v", snap)
+	}
+	if _, ok := snap["migrations"]; ok {
+		t.Error("zero multicore counter serialized")
+	}
+	a.Inc(Migrations)
+	snap = a.Snapshot()
+	if snap["migrations"] != 1 {
+		t.Errorf("non-zero multicore counter missing: %v", snap)
+	}
+	if len(snap) != int(Migrations)+1 {
+		t.Errorf("snapshot has %d keys, want %d", len(snap), int(Migrations)+1)
+	}
+}
+
+// TestMergeShards folds per-CPU shards in shard order.
+func TestMergeShards(t *testing.T) {
+	a, b := &Set{}, &Set{}
+	a.Inc(Dispatches)
+	b.Add(Dispatches, 2)
+	b.Inc(IPIs)
+	m := MergeShards([]*Set{a, b, nil})
+	if m.Get(Dispatches) != 3 || m.Get(IPIs) != 1 {
+		t.Errorf("merged = %d dispatches, %d ipis", m.Get(Dispatches), m.Get(IPIs))
+	}
+	if a.Get(Dispatches) != 1 {
+		t.Error("MergeShards mutated an input shard")
 	}
 }
 

@@ -226,6 +226,39 @@ func (s *CSD) migrate(t *task.TCB, k int) vtime.Duration {
 	return cost
 }
 
+// Detach implements Scheduler: the removal half of migrate, from
+// whichever queue currently holds t (DP unlink + counter decrement, or
+// FP removal with the highestP re-home scan).
+func (s *CSD) Detach(t *task.TCB) vtime.Duration {
+	if cur := t.CSDCur; cur < len(s.dp) {
+		s.dp[cur].q.Remove(t)
+		if t.DPCounted {
+			s.dp[cur].ready--
+			t.DPCounted = false
+		}
+		return s.profile.EDFBlock()
+	}
+	scanned := s.fp.Remove(t)
+	return s.profile.RMBlock(scanned)
+}
+
+// Attach implements Scheduler: the insertion half of migrate, into t's
+// home queue on this instance. Any cross-queue inheritance migration is
+// reset — the task arrives at its own priority, as after a Restore.
+func (s *CSD) Attach(t *task.TCB) vtime.Duration {
+	t.CSDCur = t.CSDQueue
+	if k := t.CSDQueue; k < len(s.dp) {
+		s.dp[k].q.Insert(t)
+		if t.State == task.Ready && !t.DPCounted {
+			s.dp[k].ready++
+			t.DPCounted = true
+		}
+		return s.profile.EDFUnblock()
+	}
+	scanned := s.fp.Insert(t)
+	return s.profile.RMInsert(scanned)
+}
+
 // FPQueue exposes the FP queue for white-box tests.
 func (s *CSD) FPQueue() *schedq.Sorted { return &s.fp }
 

@@ -62,5 +62,17 @@ func (s *EDF) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vt
 	return s.profile.PIStep
 }
 
+// Detach implements Scheduler: O(1) unlink from the unsorted queue.
+func (s *EDF) Detach(t *task.TCB) vtime.Duration {
+	s.q.Remove(t)
+	return s.profile.EDFBlock()
+}
+
+// Attach implements Scheduler: O(1) insert into the unsorted queue.
+func (s *EDF) Attach(t *task.TCB) vtime.Duration {
+	s.q.Insert(t)
+	return s.profile.EDFUnblock()
+}
+
 // Queue exposes the underlying queue for white-box tests.
 func (s *EDF) Queue() *schedq.Unsorted { return &s.q }

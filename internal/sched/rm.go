@@ -97,5 +97,18 @@ func (s *RM) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vti
 	return s.profile.PIReposition(scanned)
 }
 
+// Detach implements Scheduler: unlink from the sorted queue, paying the
+// highestP re-home scan when the removed task was the highest ready one.
+func (s *RM) Detach(t *task.TCB) vtime.Duration {
+	scanned := s.q.Remove(t)
+	return s.profile.RMBlock(scanned)
+}
+
+// Attach implements Scheduler: sorted insert at t's priority.
+func (s *RM) Attach(t *task.TCB) vtime.Duration {
+	scanned := s.q.Insert(t)
+	return s.profile.RMInsert(scanned)
+}
+
 // Queue exposes the underlying queue for white-box tests.
 func (s *RM) Queue() *schedq.Sorted { return &s.q }

@@ -80,5 +80,25 @@ func (s *RMHeap) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline
 	return s.profile.HeapBlock(levels)
 }
 
+// Detach implements Scheduler: heap removal if present (only ready
+// tasks live in the heap).
+func (s *RMHeap) Detach(t *task.TCB) vtime.Duration {
+	levels := 0
+	if s.h.Contains(t) {
+		levels = s.h.Remove(t)
+	}
+	return s.profile.HeapBlock(levels)
+}
+
+// Attach implements Scheduler: heap insert for ready tasks; blocked
+// tasks enter the heap later, at their Unblock.
+func (s *RMHeap) Attach(t *task.TCB) vtime.Duration {
+	levels := 0
+	if t.State == task.Ready && !s.h.Contains(t) {
+		levels = s.h.Insert(t)
+	}
+	return s.profile.HeapUnblock(levels)
+}
+
 // Heap exposes the underlying heap for white-box tests.
 func (s *RMHeap) Heap() *schedq.Heap { return &s.h }

@@ -54,6 +54,16 @@ type Scheduler interface {
 	// after releasing a semaphore. placeholder is the task whose queue
 	// slot holder borrowed under the optimized scheme (nil when none).
 	Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vtime.Time, optimized bool) vtime.Duration
+
+	// Detach removes t from this scheduler's queues entirely — the
+	// first half of a cross-CPU migration. Returns the queue-surgery
+	// cost. The task keeps its State; it is simply no longer this
+	// policy's to schedule.
+	Detach(t *task.TCB) vtime.Duration
+
+	// Attach inserts t into this scheduler's queues, honoring t.State —
+	// the second half of a cross-CPU migration. Returns the insert cost.
+	Attach(t *task.TCB) vtime.Duration
 }
 
 // AssignRMPriorities sorts the TCBs shortest-period-first and assigns
@@ -87,6 +97,59 @@ func assignByKey(ts []*task.TCB, key func(*task.TCB) vtime.Duration) []*task.TCB
 		t.EffPrio = rank
 	}
 	return sorted
+}
+
+// AssignCPUs places the task set onto m CPUs and stamps each TCB's CPU
+// field. Tasks with an explicit Spec.Affinity (1-based CPU number) go
+// where they asked; the rest are placed worst-fit decreasing by
+// utilization — heaviest task first onto the least-loaded CPU — the
+// standard partitioned-RM heuristic. Ties (equal utilization, equal
+// load) break by task ID and lowest CPU index, so the placement is a
+// pure function of the specs. Returns the per-CPU task slices, each in
+// the original admission order.
+func AssignCPUs(ts []*task.TCB, m int) [][]*task.TCB {
+	if m < 1 {
+		m = 1
+	}
+	load := make([]float64, m)
+	cpuOf := make(map[*task.TCB]int, len(ts))
+	var auto []*task.TCB
+	for _, t := range ts {
+		if a := t.Spec.Affinity; a > 0 {
+			cpu := a - 1
+			if cpu >= m {
+				cpu = m - 1
+			}
+			cpuOf[t] = cpu
+			load[cpu] += t.Spec.Utilization()
+		} else {
+			auto = append(auto, t)
+		}
+	}
+	sort.SliceStable(auto, func(i, j int) bool {
+		ui, uj := auto[i].Spec.Utilization(), auto[j].Spec.Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return auto[i].ID < auto[j].ID
+	})
+	for _, t := range auto {
+		best := 0
+		for c := 1; c < m; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		cpuOf[t] = best
+		load[best] += t.Spec.Utilization()
+	}
+	out := make([][]*task.TCB, m)
+	for _, t := range ts {
+		c := cpuOf[t]
+		t.CPU = c
+		out[c] = append(out[c], t)
+	}
+	return out
 }
 
 // Partition describes a CSD queue assignment: DPSizes[k] tasks (in RM

@@ -24,6 +24,8 @@ type Spec struct {
 	Deadline vtime.Duration // relative deadline; 0 means = Period
 	Phase    vtime.Duration // release offset of the first job
 	Prog     Program        // body executed once per period; nil = pure Compute(WCET)
+	Affinity int            // multicore: 0 = place automatically, k>0 = start on CPU k-1
+	Pinned   bool           // multicore: never migrate off the assigned CPU
 }
 
 // RelDeadline returns the effective relative deadline (Period when the
@@ -110,6 +112,7 @@ type TCB struct {
 	CSDQueue    int        // home CSD queue this task is assigned to
 	CSDCur      int        // current CSD queue (differs from home only during cross-queue inheritance)
 	DPCounted   bool       // included in its DP queue's ready counter (owned by sched.CSD)
+	CPU         int        // multicore: CPU whose scheduler currently owns this task
 
 	// Queue links (owned by schedq).
 	QNext, QPrev *TCB

@@ -26,6 +26,7 @@ type RawEvent struct {
 	Task   string `json:"task"`
 	Detail string `json:"detail,omitempty"`
 	Dur    int64  `json:"dur,omitempty"`
+	CPU    int    `json:"cpu,omitempty"`
 }
 
 // RawLog is the serialized log: the retained events plus the lifetime
@@ -45,7 +46,7 @@ func (l *Log) Raw() RawLog {
 	for i, e := range evs {
 		out.Events[i] = RawEvent{
 			At: int64(e.At), Kind: e.Kind.String(), Task: e.Task,
-			Detail: e.Detail, Dur: int64(e.Dur),
+			Detail: e.Detail, Dur: int64(e.Dur), CPU: e.CPU,
 		}
 	}
 	return out
@@ -83,7 +84,7 @@ func (r RawLog) Decode() (events []Event, dropped uint64, err error) {
 		}
 		events[i] = Event{
 			At: vtime.Time(re.At), Kind: k, Task: re.Task,
-			Detail: re.Detail, Dur: vtime.Duration(re.Dur),
+			Detail: re.Detail, Dur: vtime.Duration(re.Dur), CPU: re.CPU,
 		}
 	}
 	return events, r.Dropped, nil

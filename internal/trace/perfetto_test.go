@@ -130,3 +130,92 @@ func TestPerfettoOpenSliceClosed(t *testing.T) {
 		t.Errorf("got %d slices, want 1", slices)
 	}
 }
+
+// TestPerfettoMulticore: events naming CPUs get one process per CPU,
+// run slices land in their CPU's process, and a Migrate/MigrateDone
+// pair produces a flow arrow across processes.
+func TestPerfettoMulticore(t *testing.T) {
+	ms := func(n int) vtime.Time { return vtime.Time(n) * vtime.Time(vtime.Millisecond) }
+	events := []Event{
+		{At: ms(0), Kind: Dispatch, Task: "a", CPU: 0},
+		{At: ms(0), Kind: Dispatch, Task: "b", CPU: 1},
+		{At: ms(1), Kind: Migrate, Task: "a", Detail: "to=cpu1", CPU: 0},
+		{At: ms(1), Kind: Idle, Task: "-", CPU: 0},
+		{At: ms(2), Kind: Complete, Task: "b", CPU: 1},
+		{At: ms(2), Kind: MigrateDone, Task: "a", Detail: "from=cpu0", CPU: 1},
+		{At: ms(2), Kind: Dispatch, Task: "a", CPU: 1},
+		{At: ms(3), Kind: Complete, Task: "a", CPU: 1},
+	}
+	_, evs := perfettoDoc(t, events)
+
+	procs := map[float64]string{}
+	var flowsS, flowsF []map[string]any
+	var slices []map[string]any
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				procs[e["pid"].(float64)] = e["args"].(map[string]any)["name"].(string)
+			}
+		case "s":
+			if e["name"] == "migrate" {
+				flowsS = append(flowsS, e)
+			}
+		case "f":
+			if e["name"] == "migrate" {
+				flowsF = append(flowsF, e)
+			}
+		case "X":
+			slices = append(slices, e)
+		}
+	}
+	if procs[1] != "emeralds cpu0" || procs[2] != "emeralds cpu1" {
+		t.Errorf("process names = %v, want per-CPU processes", procs)
+	}
+	if len(flowsS) != 1 || len(flowsF) != 1 {
+		t.Fatalf("migrate flows: %d starts, %d finishes, want 1/1", len(flowsS), len(flowsF))
+	}
+	if flowsS[0]["id"] != flowsF[0]["id"] {
+		t.Error("migrate flow ids do not match")
+	}
+	if flowsS[0]["pid"].(float64) != 1 || flowsF[0]["pid"].(float64) != 2 {
+		t.Errorf("flow runs pid %v → %v, want 1 → 2", flowsS[0]["pid"], flowsF[0]["pid"])
+	}
+	// a's pre-migration slice is in cpu0's process, post-migration in
+	// cpu1's; b's slice in cpu1's.
+	var sawA0, sawA1 bool
+	for _, x := range slices {
+		if x["dur"].(float64) < 0 {
+			t.Errorf("negative slice duration: %v", x["dur"])
+		}
+		switch x["pid"].(float64) {
+		case 1:
+			sawA0 = true
+		case 2:
+			sawA1 = true
+		}
+	}
+	if !sawA0 || !sawA1 {
+		t.Errorf("slices per process: cpu0=%v cpu1=%v, want both", sawA0, sawA1)
+	}
+}
+
+// TestPerfettoSingleCPUUnchanged: a trace with every event on CPU 0
+// keeps the classic single-process layout.
+func TestPerfettoSingleCPUUnchanged(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: Dispatch, Task: "a"},
+		{At: 100, Kind: Complete, Task: "a"},
+	}
+	_, evs := perfettoDoc(t, events)
+	for _, e := range evs {
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			if got := e["args"].(map[string]any)["name"]; got != "emeralds" {
+				t.Errorf("process name = %v, want classic \"emeralds\"", got)
+			}
+		}
+		if pid, ok := e["pid"].(float64); ok && pid != 1 {
+			t.Errorf("event in pid %v, want single process 1", pid)
+		}
+	}
+}

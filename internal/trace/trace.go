@@ -39,6 +39,12 @@ const (
 	Fault
 	Idle
 	TaskInfo
+	// Migrate ends a task's occupancy on its source CPU (its Dur payload
+	// carries the occupancy's overhead, like Preempt's); MigrateDone
+	// marks the arrival on the target CPU after the charged in-transit
+	// window. Neither is emitted by single-CPU runs.
+	Migrate
+	MigrateDone
 
 	// NumKinds is the number of defined kinds (sentinel, not a Kind).
 	// kindNames and the kernel's tracekinds.go aliases are locked to it
@@ -53,6 +59,7 @@ var kindNames = [NumKinds]string{
 	"inherit", "restore", "signal",
 	"msg-send", "msg-recv", "state-write", "state-read",
 	"interrupt", "FAULT", "idle", "task-info",
+	"migrate", "migrate-done",
 }
 
 // The literal above must fill the array exactly: a Kind added without a
@@ -78,6 +85,9 @@ type Event struct {
 	// compute it delivered. Zero elsewhere. Package attrib relies on it
 	// for the exact response-time partition.
 	Dur vtime.Duration
+	// CPU is the processor the event happened on. Always 0 in
+	// single-CPU runs, which therefore serialize without it.
+	CPU int
 }
 
 func (e Event) String() string {
@@ -106,16 +116,26 @@ func New(cap int) *Log {
 
 // Add records an event.
 func (l *Log) Add(at vtime.Time, kind Kind, taskName, detail string) {
-	l.AddDur(at, kind, taskName, detail, 0)
+	l.AddDurCPU(at, kind, taskName, detail, 0, 0)
 }
 
 // AddDur records an event with a duration payload (see Event.Dur).
 func (l *Log) AddDur(at vtime.Time, kind Kind, taskName, detail string, dur vtime.Duration) {
+	l.AddDurCPU(at, kind, taskName, detail, dur, 0)
+}
+
+// AddCPU records an event on a specific CPU.
+func (l *Log) AddCPU(at vtime.Time, kind Kind, taskName, detail string, cpu int) {
+	l.AddDurCPU(at, kind, taskName, detail, 0, cpu)
+}
+
+// AddDurCPU records an event with both a duration payload and a CPU.
+func (l *Log) AddDurCPU(at vtime.Time, kind Kind, taskName, detail string, dur vtime.Duration, cpu int) {
 	if l == nil {
 		return
 	}
 	l.total++
-	e := Event{At: at, Kind: kind, Task: taskName, Detail: detail, Dur: dur}
+	e := Event{At: at, Kind: kind, Task: taskName, Detail: detail, Dur: dur, CPU: cpu}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 		return

@@ -1,0 +1,92 @@
+// Command artifactdiff compares two emeralds.artifact/v1 JSON files,
+// ignoring the volatile "run" block (git commit, wall-clock time,
+// worker count, written-at stamp) that legitimately differs between
+// regenerations. Exit status 0 when the deterministic content is
+// identical, 1 with a pointer to the first difference otherwise —
+// the regression gate scripts/ci.sh uses to hold simulation artifacts
+// byte-stable across refactors.
+//
+//	go run ./scripts/artifactdiff results/emsim.json /tmp/emsim.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: artifactdiff <a.json> <b.json>")
+		os.Exit(2)
+	}
+	a := load(os.Args[1])
+	b := load(os.Args[2])
+	delete(a, "run")
+	delete(b, "run")
+	if !reflect.DeepEqual(a, b) {
+		fmt.Fprintf(os.Stderr, "artifactdiff: %s and %s differ at %s\n",
+			os.Args[1], os.Args[2], firstDiff(a, b, "$"))
+		os.Exit(1)
+	}
+}
+
+func load(path string) map[string]any {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "artifactdiff:", err)
+		os.Exit(2)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "artifactdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return doc
+}
+
+// firstDiff walks both values and names the first diverging path.
+func firstDiff(a, b any, path string) string {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			return path
+		}
+		keys := map[string]bool{}
+		for k := range av {
+			keys[k] = true
+		}
+		for k := range bv {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			x, okA := av[k]
+			y, okB := bv[k]
+			if !okA || !okB {
+				return path + "." + k
+			}
+			if !reflect.DeepEqual(x, y) {
+				return firstDiff(x, y, path+"."+k)
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok || len(av) != len(bv) {
+			return path
+		}
+		for i := range av {
+			if !reflect.DeepEqual(av[i], bv[i]) {
+				return firstDiff(av[i], bv[i], fmt.Sprintf("%s[%d]", path, i))
+			}
+		}
+	}
+	return path
+}

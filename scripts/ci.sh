@@ -19,8 +19,8 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race (short) =="
+go test -race -short ./...
 
 echo "== artifact + trace smoke =="
 # Round-trip the observability pipeline: emsim writes an artifact and a
@@ -34,6 +34,27 @@ go run ./cmd/emtrace -check-artifact "$tmp/artifact.json"
 go run ./cmd/emtrace -check-trace "$tmp/trace.json"
 go run ./cmd/emreport -trace "$tmp/trace.json" -quiet >/dev/null
 go run ./cmd/emreport -policy rm -ms 50 -quiet -json-out "$tmp/report.json" >/dev/null
+
+echo "== single-CPU artifact regression (deterministic content vs results/) =="
+# The multicore refactor guarantees the classic one-CPU build is
+# byte-for-byte unchanged: regenerate the committed simulation
+# artifacts and compare, ignoring only the volatile "run" block.
+go run ./cmd/emsim -ms 500 -attrib -quiet -json-out "$tmp/emsim.json" -trace-out "$tmp/emsim-trace.json" >/dev/null
+go run ./scripts/artifactdiff results/emsim.json "$tmp/emsim.json"
+cmp results/emsim-trace.json "$tmp/emsim-trace.json"
+go run ./cmd/emreport -policy rm -ms 500 -quiet -json -json-out "$tmp/emreport.json" -txt-out "$tmp/emreport.txt" >/dev/null
+go run ./scripts/artifactdiff results/emreport.json "$tmp/emreport.json"
+cmp results/emreport.txt "$tmp/emreport.txt"
+
+echo "== multicore determinism gate =="
+# An M=4 run must produce identical artifacts regardless of host
+# parallelism (GOMAXPROCS) and harness fan-out (-workers).
+GOMAXPROCS=1 go run ./cmd/emsim -cpus 4 -ms 200 -attrib -quiet -json-out "$tmp/m4a.json" >/dev/null
+GOMAXPROCS=8 go run ./cmd/emsim -cpus 4 -ms 200 -attrib -quiet -json-out "$tmp/m4b.json" >/dev/null
+go run ./scripts/artifactdiff "$tmp/m4a.json" "$tmp/m4b.json"
+go run ./cmd/ablate -workers 1 -quiet -lock-ms 100 -sweep-workloads 2 -json-out "$tmp/abl1.json" >/dev/null
+go run ./cmd/ablate -workers 8 -quiet -lock-ms 100 -sweep-workloads 2 -json-out "$tmp/abl8.json" >/dev/null
+go run ./scripts/artifactdiff "$tmp/abl1.json" "$tmp/abl8.json"
 
 echo "== benchmark smoke (one iteration each) =="
 BENCHTIME=1x ./scripts/bench.sh "$tmp/bench.json" >/dev/null
