@@ -7,6 +7,7 @@
 package emeralds_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"emeralds/internal/ipc"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
+	"emeralds/internal/scenario"
 	"emeralds/internal/schedq"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -347,8 +349,33 @@ func BenchmarkMailboxOp(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Push(ipc.Msg{Val: int64(i), Size: 8})
-		if got := m.Pop(); got.Val != int64(i) {
+		if got, ok := m.Pop(); !ok || got.Val != int64(i) {
 			b.Fatal("value mismatch")
 		}
 	}
+}
+
+// --- fuzzing campaign throughput ------------------------------------------
+
+// BenchmarkFuzzCampaign measures cmd/emfuzz's end-to-end rate: generate,
+// build, simulate, and oracle-check a mixed 56-scenario slice (every
+// policy × scheme × M coordinate and all seven archetypes) per
+// iteration. scenarios/sec is what sizes CI and overnight campaigns.
+func BenchmarkFuzzCampaign(b *testing.B) {
+	const n = 56
+	var rep *scenario.CampaignReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = scenario.RunCampaign(context.Background(), scenario.CampaignConfig{
+			Scenarios: n, BaseSeed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Violations) > 0 {
+			b.Fatalf("oracle violations: %+v", rep.Violations)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "scenarios/sec")
+	b.ReportMetric(float64(rep.Completions), "completions")
 }

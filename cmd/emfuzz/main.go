@@ -1,0 +1,157 @@
+// Command emfuzz runs a property-based fuzzing campaign over randomly
+// generated scenarios: every policy, both semaphore schemes, and
+// M ∈ {1,2,4} unless -cpus pins one, with four oracles checked per
+// trace (differential feasibility, attribution residual, priority
+// inversion, kernel invariants). Violations are minimized into
+// self-contained repro files and the exit status is 1, so the command
+// doubles as a CI gate.
+//
+//	emfuzz -scenarios 1000 -seed 1     # the PR acceptance run
+//	emfuzz -scenarios 50 -cpus 4       # pin quad-core scenarios
+//	emfuzz -json                       # emeralds.fuzz/v1 artifact
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"emeralds/internal/cli"
+	"emeralds/internal/harness"
+	"emeralds/internal/scenario"
+)
+
+func main() {
+	c := cli.Register("emfuzz")
+	scenarios := flag.Int("scenarios", 200, "number of scenarios to generate and run")
+	minimize := flag.Bool("minimize", true, "delta-debug each violation into a minimal repro")
+	reproDir := flag.String("repro-dir", "results/repros", "directory for violation repro files")
+	start := time.Now()
+	c.Parse()
+	if *scenarios < 1 {
+		c.Fatalf("bad -scenarios: %d (want ≥ 1)", *scenarios)
+	}
+	// The shared -cpus flag defaults to 1, but the campaign's default is
+	// the full mix M ∈ {1,2,4}; only an explicit -cpus pins the count.
+	cpus := 0
+	if cli.Explicit("cpus") {
+		cpus = c.CPUs
+	}
+
+	rep, err := scenario.RunCampaign(context.Background(), scenario.CampaignConfig{
+		Scenarios: *scenarios,
+		BaseSeed:  c.Seed,
+		CPUs:      cpus,
+		Workers:   c.Workers,
+		Minimize:  *minimize,
+		Progress:  c.Progress(),
+	})
+	if err != nil {
+		c.Fatalf("campaign: %v", err)
+	}
+
+	var repros []string
+	for i, v := range rep.Violations {
+		s := v.Minimized
+		if s == nil {
+			s = v.Scenario
+		}
+		path := filepath.Join(*reproDir,
+			fmt.Sprintf("emfuzz-s%d-i%d-%s.json", c.Seed, v.Scenario.Index, v.Finding.Oracle))
+		if err := os.MkdirAll(*reproDir, 0o755); err != nil {
+			c.Fatalf("writing repros: %v", err)
+		}
+		if err := scenario.WriteRepro(s, path); err != nil {
+			c.Fatalf("writing repro %d: %v", i, err)
+		}
+		repros = append(repros, path)
+	}
+
+	var out strings.Builder
+	render(&out, c, rep, cpus, repros)
+	fmt.Print(out.String())
+	c.EmitText(out.String())
+
+	type config struct {
+		Scenarios int    `json:"scenarios"`
+		Seed      int64  `json:"seed"`
+		CPUs      int    `json:"cpus"` // 0 = mixed M ∈ {1,2,4}
+		Minimize  bool   `json:"minimize"`
+		ReproDir  string `json:"repro_dir,omitempty"`
+	}
+	if c.JSON {
+		a := harness.NewArtifact(c.Tool, config{*scenarios, c.Seed, cpus, *minimize, *reproDir},
+			rep, c.EffectiveWorkers(), time.Since(start))
+		a.Schema = harness.FuzzSchema
+		path := c.ArtifactPath()
+		if err := a.WriteFile(path); err != nil {
+			c.Fatalf("writing artifact: %v", err)
+		}
+		if !c.Quiet {
+			fmt.Fprintf(os.Stderr, "emfuzz: wrote %s\n", path)
+		}
+	}
+
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func render(out *strings.Builder, c *cli.Common, rep *scenario.CampaignReport, cpus int, repros []string) {
+	if c.CSV {
+		rows := [][]string{
+			{"scenarios", fmt.Sprint(rep.Scenarios)},
+			{"clean", fmt.Sprint(rep.Clean)},
+			{"feasible", fmt.Sprint(rep.Feasible)},
+			{"completions", fmt.Sprint(rep.Completions)},
+			{"misses", fmt.Sprint(rep.Misses)},
+			{"violations", fmt.Sprint(len(rep.Violations))},
+		}
+		for _, k := range rep.KindOrder() {
+			rows = append(rows, []string{"kind:" + k, fmt.Sprint(rep.PerKind[k])})
+		}
+		for _, o := range rep.OracleOrder() {
+			rows = append(rows, []string{"oracle:" + o, fmt.Sprint(rep.PerOracle[o])})
+		}
+		cli.WriteCSV(out, []string{"metric", "value"}, rows)
+		return
+	}
+
+	mix := "1,2,4 (mixed)"
+	if cpus > 0 {
+		mix = fmt.Sprint(cpus)
+	}
+	fmt.Fprintf(out, "emfuzz — %d scenarios, seed %d, M = %s\n\n", rep.Scenarios, c.Seed, mix)
+	var rows [][]string
+	for _, k := range rep.KindOrder() {
+		rows = append(rows, []string{k, fmt.Sprint(rep.PerKind[k])})
+	}
+	cli.Table(out, []string{"archetype", "scenarios"}, rows)
+	fmt.Fprintf(out, "\ndifferential oracle armed on %d scenarios (%d analysis-feasible)\n",
+		rep.Clean, rep.Feasible)
+	fmt.Fprintf(out, "%d completions, %d deadline misses across the campaign\n",
+		rep.Completions, rep.Misses)
+
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(out, "\nno oracle violations\n")
+		return
+	}
+	fmt.Fprintf(out, "\n%d ORACLE VIOLATIONS\n", len(rep.Violations))
+	for i, v := range rep.Violations {
+		min := ""
+		if v.Minimized != nil {
+			min = fmt.Sprintf(" (minimized to %d tasks, %v)",
+				len(v.Minimized.Tasks), v.Minimized.Horizon)
+		}
+		fmt.Fprintf(out, "  scenario %d [%s, %s, M=%d]: %s: %s%s\n",
+			v.Scenario.Index, v.Scenario.Name, v.Scenario.Policy, max(1, v.Scenario.CPUs),
+			v.Finding.Oracle, v.Finding.Detail, min)
+		if i < len(repros) {
+			fmt.Fprintf(out, "    repro: %s\n", repros[i])
+		}
+	}
+}

@@ -30,6 +30,7 @@
 package attrib
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -158,9 +159,9 @@ type Analysis struct {
 	// Open counts activations still in flight when the trace ended,
 	// per task; they are closed as Aborted at the last event time.
 	Open map[string]int
-	// Dropped is the number of trace events lost to ring overflow. A
-	// non-zero value means the analysis saw a truncated window and
-	// early activations may be missing.
+	// Dropped is the number of trace events lost to ring overflow.
+	// Always zero since Analyze refuses truncated traces; kept for
+	// artifact-schema stability.
 	Dropped uint64
 }
 
@@ -229,11 +230,22 @@ func (r *replay) setRunning(c int, task string) {
 	r.running[c] = task
 }
 
+// ErrTruncated reports that a trace lost events to ring overflow.
+// Attribution over a truncated window is silently wrong — the oldest
+// activations are missing their releases, so state-machine replay
+// starts mid-flight and every derived number (response, blocking,
+// inversion windows) is suspect. Analyze therefore refuses instead of
+// salvaging; size the ring (core.Config.TraceCapacity / -trace-cap)
+// for the full horizon and rerun.
+var ErrTruncated = errors.New("attrib: trace ring overflowed; attribution over a truncated window would be wrong — enlarge the trace capacity and rerun")
+
 // Analyze replays a trace into per-activation attribution. dropped is
 // the trace ring's overwrite count (trace.Log.Dropped or the raw JSON
-// header); a non-zero value is recorded, not rejected, so callers can
-// warn loudly while still salvaging the retained window.
+// header); any non-zero value is refused with ErrTruncated.
 func Analyze(events []trace.Event, dropped uint64) (*Analysis, error) {
+	if dropped > 0 {
+		return nil, fmt.Errorf("%w (%d events dropped)", ErrTruncated, dropped)
+	}
 	r := &replay{
 		tasks:   map[string]*replayTask{},
 		semOwn:  map[string]string{},

@@ -1,6 +1,7 @@
 package attrib_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -329,20 +330,27 @@ func TestReportDeterminism(t *testing.T) {
 	}
 }
 
-// TestTruncatedTraceWarns: a non-zero dropped count must surface in
-// the report and its rendering.
-func TestTruncatedTraceWarns(t *testing.T) {
-	sys := core.New(core.Config{Policy: core.PolicyRM, TraceCapacity: 1 << 16})
+// TestTruncatedTraceRefused: Analyze must refuse a trace that lost
+// events to ring overflow instead of silently attributing a truncated
+// window (the fuzz campaign's zero-residual oracle depends on seeing
+// every release). The ring here is deliberately undersized for the
+// horizon so the overflow is real, not synthesized.
+func TestTruncatedTraceRefused(t *testing.T) {
+	sys := core.New(core.Config{Policy: core.PolicyRM, TraceCapacity: 8})
 	sys.AddTask(task.Spec{Name: "t0", Period: 4 * vtime.Millisecond, WCET: 1 * vtime.Millisecond})
-	an := analyzeSystem(t, sys, 8*vtime.Millisecond)
-	an.Dropped = 42
-	rep := an.Report()
-	if rep.TraceDropped != 42 {
-		t.Fatalf("TraceDropped = %d, want 42", rep.TraceDropped)
+	if err := sys.Boot(); err != nil {
+		t.Fatalf("boot: %v", err)
 	}
-	var sb strings.Builder
-	rep.RenderText(&sb, "test")
-	if !strings.Contains(sb.String(), "WARNING") || !strings.Contains(sb.String(), "42") {
-		t.Fatalf("rendering does not warn about dropped events:\n%s", sb.String())
+	sys.Run(100 * vtime.Millisecond)
+	log := sys.Trace()
+	if log.Dropped() == 0 {
+		t.Fatal("ring did not overflow; the test needs a truncated trace")
+	}
+	an, err := attrib.Analyze(log.Events(), log.Dropped())
+	if !errors.Is(err, attrib.ErrTruncated) {
+		t.Fatalf("Analyze(truncated) = %v, %v; want ErrTruncated", an, err)
+	}
+	if !strings.Contains(fmt.Sprint(err), fmt.Sprint(log.Dropped())) {
+		t.Errorf("error does not name the dropped count: %v", err)
 	}
 }

@@ -80,6 +80,21 @@ func (c *Common) Parse() {
 	}
 }
 
+// Explicit reports whether the named flag was set on the command line,
+// for flags whose default means "pick for me" but whose zero value is
+// also a legal explicit choice (cmd/emfuzz's -cpus: default mixes
+// M ∈ {1,2,4}, while an explicit -cpus 1 pins single-CPU scenarios).
+// Call after Parse.
+func Explicit(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 // LockRegime returns the parsed -lock flag (validated at Parse).
 func (c *Common) LockRegime() kernel.LockRegime {
 	r, _ := kernel.ParseLockRegime(c.Lock)

@@ -18,6 +18,10 @@ import (
 // a field changes meaning so downstream plotting scripts can dispatch.
 const ArtifactSchema = "emeralds.artifact/v1"
 
+// FuzzSchema versions the cmd/emfuzz campaign artifact, whose series is
+// a scenario.CampaignReport rather than an experiment table.
+const FuzzSchema = "emeralds.fuzz/v1"
+
 // Artifact is the machine-readable record of one experiment run,
 // written next to the human-readable .txt under results/. Everything
 // outside Run is a pure function of the experiment's configuration —
@@ -113,8 +117,15 @@ func (a *Artifact) WriteFile(path string) error {
 }
 
 // ReadArtifact loads an artifact without interpreting Config/Series
-// (they come back as generic JSON values) and rejects unknown schemas.
+// (they come back as generic JSON values) and rejects anything that is
+// not an experiment artifact (fuzz artifacts need ReadArtifactSchema).
 func ReadArtifact(path string) (*Artifact, error) {
+	return ReadArtifactSchema(path, ArtifactSchema)
+}
+
+// ReadArtifactSchema loads an artifact and requires the given schema
+// string, so each consumer dispatches on the layout it understands.
+func ReadArtifactSchema(path, schema string) (*Artifact, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -123,8 +134,8 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err := json.Unmarshal(data, &aj); err != nil {
 		return nil, fmt.Errorf("harness: parse %s: %w", path, err)
 	}
-	if aj.Schema != ArtifactSchema {
-		return nil, fmt.Errorf("harness: %s has schema %q, want %q", path, aj.Schema, ArtifactSchema)
+	if aj.Schema != schema {
+		return nil, fmt.Errorf("harness: %s has schema %q, want %q", path, aj.Schema, schema)
 	}
 	a := Artifact(aj)
 	return &a, nil

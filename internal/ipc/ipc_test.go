@@ -14,8 +14,9 @@ func TestMailboxFIFO(t *testing.T) {
 		t.Error("should be full")
 	}
 	for i := int64(1); i <= 4; i++ {
-		if got := m.Pop(); got.Val != i {
-			t.Fatalf("pop = %d, want %d", got.Val, i)
+		got, ok := m.Pop()
+		if !ok || got.Val != i {
+			t.Fatalf("pop = %d/%v, want %d", got.Val, ok, i)
 		}
 	}
 	if !m.Empty() {
@@ -28,34 +29,47 @@ func TestMailboxWrapAround(t *testing.T) {
 	for round := int64(0); round < 10; round++ {
 		m.Push(Msg{Val: round})
 		m.Push(Msg{Val: round + 100})
-		if m.Pop().Val != round {
+		if got, ok := m.Pop(); !ok || got.Val != round {
 			t.Fatal("wrap order broken")
 		}
-		if m.Pop().Val != round+100 {
+		if got, ok := m.Pop(); !ok || got.Val != round+100 {
 			t.Fatal("wrap order broken")
 		}
 	}
 }
 
-func TestMailboxPushFullPanics(t *testing.T) {
+// TestMailboxPushFullRefused pins the block-or-error semantics the
+// fuzz campaign's producer/consumer graphs rely on: a push into a full
+// mailbox is refused (the kernel then blocks the sender, an ISR drops
+// the sample) and must neither panic nor disturb the queued messages.
+func TestMailboxPushFullRefused(t *testing.T) {
 	m := NewMailbox(0, "m", 1)
-	m.Push(Msg{})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	m.Push(Msg{})
+	if !m.Push(Msg{Val: 1}) {
+		t.Fatal("push into empty mailbox refused")
+	}
+	if m.Push(Msg{Val: 2}) {
+		t.Error("push into full mailbox accepted")
+	}
+	if got, ok := m.Pop(); !ok || got.Val != 1 {
+		t.Errorf("refused push corrupted the queue: %d/%v", got.Val, ok)
+	}
 }
 
-func TestMailboxPopEmptyPanics(t *testing.T) {
+// TestMailboxPopEmptyRefused is the receive-side edge: popping an
+// empty mailbox reports ok=false instead of panicking, and the mailbox
+// stays usable.
+func TestMailboxPopEmptyRefused(t *testing.T) {
 	m := NewMailbox(0, "m", 1)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	m.Pop()
+	if _, ok := m.Pop(); ok {
+		t.Error("pop from empty mailbox succeeded")
+	}
+	m.Push(Msg{Val: 7})
+	if got, ok := m.Pop(); !ok || got.Val != 7 {
+		t.Errorf("pop after refused pop = %d/%v", got.Val, ok)
+	}
+	if _, ok := m.Pop(); ok {
+		t.Error("second pop from drained mailbox succeeded")
+	}
 }
 
 func TestMailboxMinimumCapacity(t *testing.T) {

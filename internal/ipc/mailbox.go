@@ -10,8 +10,6 @@
 package ipc
 
 import (
-	"fmt"
-
 	"emeralds/internal/metrics"
 )
 
@@ -59,26 +57,31 @@ func (m *Mailbox) Full() bool { return m.n == len(m.buf) }
 // Empty reports whether a receive would block.
 func (m *Mailbox) Empty() bool { return m.n == 0 }
 
-// Push enqueues a message; it panics if full (the kernel checks Full
-// and blocks the sender instead — pushing to a full mailbox is a kernel
-// bug).
-func (m *Mailbox) Push(msg Msg) {
+// Push enqueues a message, reporting whether it was accepted. A full
+// mailbox refuses the message and the caller decides the policy — the
+// kernel blocks the sending task (§7 queue behavior), an ISR drops the
+// sample. Fuzzed producer/consumer graphs legally race senders against
+// capacity, so a refused push is an ordinary outcome, not a kernel bug.
+func (m *Mailbox) Push(msg Msg) bool {
 	if m.Full() {
-		panic(fmt.Sprintf("ipc: push to full mailbox %q", m.Name))
+		return false
 	}
 	m.buf[(m.head+m.n)%len(m.buf)] = msg
 	m.n++
 	m.met.Inc(metrics.MailboxSends)
+	return true
 }
 
-// Pop dequeues the oldest message; it panics if empty.
-func (m *Mailbox) Pop() Msg {
+// Pop dequeues the oldest message. An empty mailbox reports ok=false
+// and the caller blocks the receiving task (or polls again); like Push
+// it never panics.
+func (m *Mailbox) Pop() (Msg, bool) {
 	if m.Empty() {
-		panic(fmt.Sprintf("ipc: pop from empty mailbox %q", m.Name))
+		return Msg{}, false
 	}
 	msg := m.buf[m.head]
 	m.head = (m.head + 1) % len(m.buf)
 	m.n--
 	m.met.Inc(metrics.MailboxRecvs)
-	return msg
+	return msg, true
 }

@@ -1,0 +1,108 @@
+package kernel
+
+import (
+	"fmt"
+
+	"emeralds/internal/vtime"
+)
+
+// CheckInvariants audits the kernel's quiescent-state invariants and
+// returns one message per violation (nil when healthy). It is meant to
+// be called between events — typically after Run returns — when every
+// in-flight wakeup has been delivered; the fuzz campaign surfaces
+// violations as findings instead of crashing mid-simulation, so one
+// broken scenario produces a minimizable repro rather than a dead
+// worker pool.
+func (k *Kernel) CheckInvariants() []string {
+	var bad []string
+
+	// Mailboxes: a queued message coexisting with a blocked receiver
+	// (or free space with a blocked sender) is a lost wakeup — pump/
+	// completePendingSends must have drained one side.
+	for _, mb := range k.mboxes {
+		if mb.box.Len() > 0 && mb.recvq.Len() > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"mailbox %s: %d messages queued while %d receivers blocked (lost wakeup)",
+				mb.box.Name, mb.box.Len(), mb.recvq.Len()))
+		}
+		if !mb.box.Full() && mb.sendq.Len() > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"mailbox %s: %d/%d slots used while %d senders blocked (lost wakeup)",
+				mb.box.Name, mb.box.Len(), mb.box.Cap(), mb.sendq.Len()))
+		}
+	}
+
+	// Semaphores: a free mutex (or a counting semaphore with permits)
+	// must not strand waiters, and a held mutex must be held by a live
+	// job — completeJob/killJob release everything a job held.
+	for _, s := range k.sems {
+		if s.isMutex() {
+			if s.owner == nil && s.waiters.Len() > 0 {
+				bad = append(bad, fmt.Sprintf(
+					"semaphore %s: free with %d waiters queued (lost grant)",
+					s.name, s.waiters.Len()))
+			}
+			if s.owner != nil && !s.owner.jobActive {
+				bad = append(bad, fmt.Sprintf(
+					"semaphore %s: held by %s whose job already retired (leaked lock)",
+					s.name, s.owner.TCB.Name))
+			}
+		} else if s.count > 0 && s.waiters.Len() > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"semaphore %s: count %d with %d waiters queued (lost grant)",
+				s.name, s.count, s.waiters.Len()))
+		}
+	}
+
+	// Accounting: the kernel-wide counters are incremented in lockstep
+	// with the per-TCB ones; a skew means a path updated one and not
+	// the other.
+	var rel, comp, miss uint64
+	for _, th := range k.threads {
+		rel += th.TCB.Releases
+		comp += th.TCB.Completions
+		miss += th.TCB.Misses
+	}
+	if rel != k.stats.Releases {
+		bad = append(bad, fmt.Sprintf("stats: Releases=%d but Σ task releases=%d", k.stats.Releases, rel))
+	}
+	if comp != k.stats.Completions {
+		bad = append(bad, fmt.Sprintf("stats: Completions=%d but Σ task completions=%d", k.stats.Completions, comp))
+	}
+	if miss != k.stats.Misses {
+		bad = append(bad, fmt.Sprintf("stats: Misses=%d but Σ task misses=%d", k.stats.Misses, miss))
+	}
+
+	// Charges: every overhead bucket accumulates non-negative charges
+	// only (charge() guards the hot path; this catches direct writes).
+	for _, c := range []struct {
+		name string
+		d    vtime.Duration
+	}{
+		{"SchedCharge", k.stats.SchedCharge},
+		{"SwitchCharge", k.stats.SwitchCharge},
+		{"SemCharge", k.stats.SemCharge},
+		{"IPCCharge", k.stats.IPCCharge},
+		{"TimerCharge", k.stats.TimerCharge},
+		{"SyscallCharge", k.stats.SyscallCharge},
+		{"UsefulCompute", k.stats.UsefulCompute},
+		{"MigrationCharge", k.stats.MigrationCharge},
+		{"IPICharge", k.stats.IPICharge},
+		{"LockCharge", k.stats.LockCharge},
+	} {
+		if c.d < 0 {
+			bad = append(bad, fmt.Sprintf("stats: negative %s %v", c.name, c.d))
+		}
+	}
+
+	// Occupancy: the per-CPU consumed-overhead accumulator is reset at
+	// every occupancy end; a stale positive value after quiescence means
+	// an exit path forgot traceOccupancyEnd and the next dispatch would
+	// inherit another task's overhead.
+	for _, c := range k.cpus {
+		if c.current == nil && c.ovAcc != 0 {
+			bad = append(bad, fmt.Sprintf("cpu%d: idle with leaked occupancy overhead %v", c.id, c.ovAcc))
+		}
+	}
+	return bad
+}

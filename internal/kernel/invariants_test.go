@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// newBooted builds a single-CPU kernel with an RM scheduler, the
+// smallest harness the invariant tests need.
+func newBooted(t *testing.T, specs ...task.Spec) *Kernel {
+	t.Helper()
+	prof := costmodel.M68040()
+	k, err := New(nil, Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		k.AddTask(s)
+	}
+	k.SetScheduler(sched.NewRM(prof))
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestCheckInvariantsHealthy: a contended but correct run — semaphores,
+// mailbox traffic, preemption — must audit clean at quiescence.
+func TestCheckInvariantsHealthy(t *testing.T) {
+	prof := costmodel.M68040()
+	k, err := New(nil, Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := k.NewSemaphore("m")
+	mb := k.NewMailbox("mb", 1)
+	k.AddTask(task.Spec{Name: "prod", Period: 4 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Acquire(sem), task.Compute(300 * vtime.Microsecond), task.Release(sem),
+			task.Send(mb, 1, 8),
+		}})
+	k.AddTask(task.Spec{Name: "cons", Period: 8 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Recv(mb),
+			task.Acquire(sem), task.Compute(1 * vtime.Millisecond), task.Release(sem),
+		}})
+	k.SetScheduler(sched.NewRM(prof))
+	if err := k.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(100 * vtime.Millisecond)
+	if bad := k.CheckInvariants(); bad != nil {
+		t.Fatalf("healthy run failed the audit:\n%s", strings.Join(bad, "\n"))
+	}
+}
+
+// TestCheckInvariantsDetectsSkew: corrupting one side of the dual
+// counters must be reported, proving the audit has teeth.
+func TestCheckInvariantsDetectsSkew(t *testing.T) {
+	k := newBooted(t, task.Spec{Name: "t0", Period: 5 * vtime.Millisecond, WCET: vtime.Millisecond})
+	k.Run(20 * vtime.Millisecond)
+	k.stats.Releases += 3
+	bad := k.CheckInvariants()
+	found := false
+	for _, m := range bad {
+		if strings.Contains(m, "Releases") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter skew not detected; audit returned %v", bad)
+	}
+}
+
+// TestCheckInvariantsDetectsLeakedLock: a mutex left owned by a retired
+// job must be reported.
+func TestCheckInvariantsDetectsLeakedLock(t *testing.T) {
+	k := newBooted(t, task.Spec{Name: "t0", Period: 5 * vtime.Millisecond, WCET: vtime.Millisecond})
+	sem := k.NewSemaphore("leak")
+	// 22 ms lands between the job released at 20 ms retiring (21 ms) and
+	// the next release (25 ms), so jobActive is genuinely false.
+	k.Run(22 * vtime.Millisecond)
+	k.sems[sem].owner = k.threads[0] // jobActive is false between jobs
+	bad := k.CheckInvariants()
+	found := false
+	for _, m := range bad {
+		if strings.Contains(m, "leaked lock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leaked lock not detected; audit returned %v", bad)
+	}
+}

@@ -49,8 +49,9 @@ func (k *Kernel) MailboxLen(id int) int { return k.mbox(id).box.Len() }
 func (k *Kernel) doSend(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
 	k.lockObj(objMbox, mb.box.ID, k.prof.MailboxOp)
-	if mb.box.Full() {
-		// Block the sender; its send completes when space frees up.
+	if !mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size}) {
+		// Mailbox full: block the sender; its send completes when space
+		// frees up.
 		k.exec.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.sendq.Add(th.TCB)
@@ -60,7 +61,6 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 		k.reschedule()
 		return
 	}
-	mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size})
 	k.stats.MsgsSent++
 	th.TCB.PC++
 	k.trAdd(traceKindMsgSend, th.TCB.Name, mb.box.Name)
@@ -72,7 +72,9 @@ func (k *Kernel) doSend(th *Thread, op task.Op) {
 func (k *Kernel) doRecv(th *Thread, op task.Op) {
 	mb := k.mbox(op.Obj)
 	k.lockObj(objMbox, mb.box.ID, k.prof.MailboxOp)
-	if mb.box.Empty() {
+	msg, ok := mb.box.Pop()
+	if !ok {
+		// Mailbox empty: block the receiver until a message arrives.
 		k.exec.met.Inc(metrics.MailboxBlocks)
 		th.TCB.PendingHint = op.Hint
 		mb.recvq.Add(th.TCB)
@@ -82,7 +84,6 @@ func (k *Kernel) doRecv(th *Thread, op task.Op) {
 		k.reschedule()
 		return
 	}
-	msg := mb.box.Pop()
 	th.msgVal = msg.Val
 	th.TCB.PC++
 	k.trAdd(traceKindMsgRecv, th.TCB.Name, mb.box.Name)
@@ -98,7 +99,7 @@ func (k *Kernel) pumpMailbox(mb *kmailbox) bool {
 	for !mb.box.Empty() && mb.recvq.Len() > 0 {
 		wTCB := mb.recvq.PopHighest()
 		w := k.byTCB[wTCB]
-		msg := mb.box.Pop()
+		msg, _ := mb.box.Pop() // loop condition guarantees non-empty
 		w.msgVal = msg.Val
 		// Charge the receiver-side copy now that the data moves.
 		k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
@@ -124,7 +125,7 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 		prog := sTCB.Spec.Prog
 		if sTCB.PC < len(prog) && prog[sTCB.PC].Kind == task.OpSend {
 			op := prog[sTCB.PC]
-			mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size})
+			mb.box.Push(ipc.Msg{Val: op.Val, Size: op.Size}) // loop condition guarantees space
 			k.stats.MsgsSent++
 			k.charge(k.prof.MailboxTransfer(op.Size), &k.stats.IPCCharge)
 			sTCB.PC++
@@ -137,7 +138,7 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 		for !mb.box.Empty() && mb.recvq.Len() > 0 {
 			wTCB := mb.recvq.PopHighest()
 			w := k.byTCB[wTCB]
-			msg := mb.box.Pop()
+			msg, _ := mb.box.Pop()
 			w.msgVal = msg.Val
 			k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
 			wTCB.PC++
@@ -159,13 +160,12 @@ func (k *Kernel) InjectMessage(id int, val int64, size int) bool {
 	k.exec.met.Inc(metrics.Interrupts)
 	k.charge(k.prof.InterruptEntry, &k.stats.TimerCharge)
 	mb := k.mbox(id)
-	if mb.box.Full() {
+	if !mb.box.Push(ipc.Msg{Val: val, Size: size}) {
 		k.stats.MsgsDropped++
 		k.exec.met.Inc(metrics.MailboxDrops)
 		k.trAdd(traceKindInterrupt, "isr", mb.box.Name+" drop")
 		return false
 	}
-	mb.box.Push(ipc.Msg{Val: val, Size: size})
 	k.stats.MsgsSent++
 	k.trAdd(traceKindInterrupt, "isr", mb.box.Name)
 	if k.pumpMailbox(mb) {

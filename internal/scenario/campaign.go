@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"context"
+	"io"
+	"sort"
+
+	"emeralds/internal/harness"
+)
+
+// CampaignConfig parameterizes a fuzzing campaign.
+type CampaignConfig struct {
+	Scenarios int   // number of scenarios to generate and run
+	BaseSeed  int64 // campaign seed; scenario i uses workload.SeedFor(BaseSeed, 0, i)
+	CPUs      int   // 0 = mix M ∈ {1,2,4}; > 0 pins the CPU count
+	Workers   int   // harness fan-out; 0 = all host CPUs
+	Minimize  bool  // delta-debug each violating scenario into a repro
+	Progress  io.Writer
+}
+
+// Violation pairs a finding with the scenario that produced it and,
+// when minimization ran, the reduced repro.
+type Violation struct {
+	Scenario  *Scenario `json:"scenario"`
+	Finding   Finding   `json:"finding"`
+	Minimized *Scenario `json:"minimized,omitempty"`
+}
+
+// CampaignReport is the deterministic result of a campaign: identical
+// for any worker count, since scenarios are generated from (seed,
+// index) alone and results merge in job order.
+type CampaignReport struct {
+	Scenarios   int            `json:"scenarios"`
+	Feasible    int            `json:"feasible"`    // analysis-clean scenarios the analysis admitted
+	Clean       int            `json:"clean"`       // scenarios eligible for the differential oracle
+	Misses      uint64         `json:"misses"`      // deadline misses across all scenarios
+	Completions uint64         `json:"completions"` // job completions across all scenarios
+	PerOracle   map[string]int `json:"per_oracle,omitempty"`
+	PerKind     map[string]int `json:"per_kind"` // scenarios per archetype
+	Violations  []Violation    `json:"violations,omitempty"`
+}
+
+type campaignJob struct {
+	scenario *Scenario
+	result   *Result
+}
+
+// RunCampaign generates and runs cfg.Scenarios scenarios on the shared
+// harness worker pool, checking every oracle and (optionally)
+// minimizing each violation. The returned report is independent of
+// cfg.Workers.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	jobs, err := harness.Run(ctx, cfg.Scenarios, harness.Options{
+		Workers:  cfg.Workers,
+		BaseSeed: cfg.BaseSeed,
+		Label:    "emfuzz",
+		Progress: cfg.Progress,
+	}, func(ctx context.Context, job harness.Job) (campaignJob, error) {
+		s := Gen(cfg.BaseSeed, job.Index, cfg.CPUs)
+		return campaignJob{scenario: s, result: Run(s)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CampaignReport{
+		Scenarios: cfg.Scenarios,
+		PerOracle: map[string]int{},
+		PerKind:   map[string]int{},
+	}
+	for _, j := range jobs {
+		rep.PerKind[j.scenario.Name]++
+		rep.Misses += j.result.Misses
+		rep.Completions += j.result.Completions
+		if j.scenario.AnalysisClean() {
+			rep.Clean++
+			if j.result.Feasible {
+				rep.Feasible++
+			}
+		}
+		for _, f := range j.result.Findings {
+			rep.PerOracle[f.Oracle]++
+			v := Violation{Scenario: j.scenario, Finding: f}
+			if cfg.Minimize {
+				v.Minimized = Minimize(j.scenario, f.Oracle)
+			}
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	if len(rep.PerOracle) == 0 {
+		rep.PerOracle = nil
+	}
+	return rep, nil
+}
+
+// OracleOrder returns the report's violated-oracle names sorted, for
+// deterministic rendering.
+func (r *CampaignReport) OracleOrder() []string {
+	names := make([]string, 0, len(r.PerOracle))
+	for k := range r.PerOracle {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KindOrder returns the archetype names sorted.
+func (r *CampaignReport) KindOrder() []string {
+	names := make([]string, 0, len(r.PerKind))
+	for k := range r.PerKind {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

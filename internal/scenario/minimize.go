@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// Minimize shrinks a violating scenario while the same oracle kind
+// still fires, using greedy deterministic delta-debugging: drop tasks,
+// strip programs to pure compute, shrink WCETs, halve the horizon, and
+// garbage-collect unreferenced kernel objects. Each accepted step
+// re-runs the full simulation, so the result is a true repro — Run on
+// the returned scenario still produces a finding of the given kind.
+// The candidate budget is bounded; Minimize never loops forever on a
+// pathological scenario.
+func Minimize(s *Scenario, oracle string) *Scenario {
+	cur := clone(s)
+	budget := 400 // simulation runs
+	still := func(c *Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		for _, f := range Run(c).Findings {
+			if f.Oracle == oracle {
+				return true
+			}
+		}
+		return false
+	}
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+		// Drop whole tasks, highest index first so earlier drops don't
+		// reshuffle the indices still to be tried.
+		for i := len(cur.Tasks) - 1; i >= 0 && len(cur.Tasks) > 1; i-- {
+			c := clone(cur)
+			c.Tasks = append(c.Tasks[:i:i], c.Tasks[i+1:]...)
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+		// Strip programs to pure Compute(WCET).
+		for i := range cur.Tasks {
+			if cur.Tasks[i].Spec.Prog == nil {
+				continue
+			}
+			c := clone(cur)
+			c.Tasks[i].Spec.Prog = nil
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+		// Strip IPC/sync edges from remaining programs: keep only the
+		// compute ops (paired releases vanish with their acquires).
+		for i := range cur.Tasks {
+			prog := cur.Tasks[i].Spec.Prog
+			if prog == nil {
+				continue
+			}
+			var computeOnly task.Program
+			for _, op := range prog {
+				if op.Kind == task.OpCompute {
+					computeOnly = append(computeOnly, op)
+				}
+			}
+			if len(computeOnly) == len(prog) {
+				continue
+			}
+			c := clone(cur)
+			c.Tasks[i].Spec.Prog = computeOnly
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+		// Shrink pure-compute WCETs.
+		for i := range cur.Tasks {
+			if cur.Tasks[i].Spec.Prog != nil || cur.Tasks[i].Spec.WCET < vtime.Micros(20) {
+				continue
+			}
+			c := clone(cur)
+			c.Tasks[i].Spec.WCET /= 2
+			if c.Tasks[i].Spec.Deadline > 0 && c.Tasks[i].Spec.Deadline < c.Tasks[i].Spec.WCET {
+				continue
+			}
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+		// Halve the horizon.
+		if cur.Horizon > vtime.Millisecond {
+			c := clone(cur)
+			c.Horizon /= 2
+			if still(c) {
+				cur, changed = c, true
+			}
+		}
+		if gc := dropUnreferenced(cur); gc != nil && still(gc) {
+			cur, changed = gc, true
+		}
+		if !changed || budget <= 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// clone deep-copies a scenario (programs and arrivals included).
+func clone(s *Scenario) *Scenario {
+	c := *s
+	c.Counting = append([]int(nil), s.Counting...)
+	c.Mailboxes = append([]int(nil), s.Mailboxes...)
+	c.Tasks = make([]Task, len(s.Tasks))
+	for i, t := range s.Tasks {
+		c.Tasks[i] = Task{
+			Spec:     t.Spec,
+			Arrivals: append([]vtime.Time(nil), t.Arrivals...),
+		}
+	}
+	for i := range c.Tasks {
+		c.Tasks[i].Spec.Prog = s.Tasks[i].Spec.Prog.Clone()
+	}
+	return &c
+}
+
+// dropUnreferenced removes kernel objects no program references,
+// renumbering the survivors and rewriting every op (mutexes and
+// counting semaphores share the semaphore id space, in declaration
+// order; mailboxes have their own). Returns nil when nothing is
+// droppable.
+func dropUnreferenced(s *Scenario) *Scenario {
+	usedSem := map[int]bool{}
+	usedMbox := map[int]bool{}
+	for _, t := range s.Tasks {
+		for _, op := range t.Spec.Prog {
+			switch op.Kind {
+			case task.OpAcquire, task.OpRelease:
+				usedSem[op.Obj] = true
+			case task.OpSend, task.OpRecv:
+				usedMbox[op.Obj] = true
+			}
+			// Hint is only meaningful on blocking ops; elsewhere the
+			// field is zero-valued and must not pin semaphore 0 alive.
+			if op.Blocking() && op.Hint != task.NoHint {
+				usedSem[op.Hint] = true
+			}
+		}
+	}
+	nSems := s.NumSems()
+	semMap := make([]int, nSems)
+	newMutexes, newCounting := 0, []int(nil)
+	next := 0
+	for id := 0; id < nSems; id++ {
+		if !usedSem[id] {
+			semMap[id] = -1
+			continue
+		}
+		semMap[id] = next
+		next++
+		if id < s.Mutexes {
+			newMutexes++
+		} else {
+			newCounting = append(newCounting, s.Counting[id-s.Mutexes])
+		}
+	}
+	mboxMap := make([]int, len(s.Mailboxes))
+	newMboxes := []int(nil)
+	next = 0
+	for id := range s.Mailboxes {
+		if !usedMbox[id] {
+			mboxMap[id] = -1
+			continue
+		}
+		mboxMap[id] = next
+		next++
+		newMboxes = append(newMboxes, s.Mailboxes[id])
+	}
+	if newMutexes == s.Mutexes && len(newCounting) == len(s.Counting) &&
+		len(newMboxes) == len(s.Mailboxes) {
+		return nil
+	}
+	c := clone(s)
+	c.Mutexes, c.Counting, c.Mailboxes = newMutexes, newCounting, newMboxes
+	for i := range c.Tasks {
+		for j := range c.Tasks[i].Spec.Prog {
+			op := &c.Tasks[i].Spec.Prog[j]
+			switch op.Kind {
+			case task.OpAcquire, task.OpRelease:
+				op.Obj = semMap[op.Obj]
+			case task.OpSend, task.OpRecv:
+				op.Obj = mboxMap[op.Obj]
+			}
+			if op.Blocking() && op.Hint != task.NoHint {
+				op.Hint = semMap[op.Hint]
+			}
+		}
+	}
+	return c
+}

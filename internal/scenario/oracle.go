@@ -1,0 +1,178 @@
+package scenario
+
+import (
+	"fmt"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/attrib"
+	"emeralds/internal/core"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/sched"
+	"emeralds/internal/task"
+)
+
+// Oracle kinds, in the order the findings report groups them.
+const (
+	OracleFeasibleMiss = "feasible-miss"   // analysis said schedulable, simulator missed
+	OracleResidual     = "attrib-residual" // activation partition did not sum exactly
+	OracleInversion    = "inversion"       // priority-inversion window outside the blocking chain
+	OracleInvariant    = "invariant"       // kernel quiescent-state audit failed
+	OracleTruncated    = "truncated"       // trace ring overflowed despite horizon sizing
+	OraclePanic        = "panic"           // the simulation itself panicked
+)
+
+// Finding is one oracle violation.
+type Finding struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+}
+
+// Result is the outcome of running one scenario.
+type Result struct {
+	Findings    []Finding `json:"findings,omitempty"`
+	Misses      uint64    `json:"misses"`
+	Completions uint64    `json:"completions"`
+	// Feasible is the analysis verdict; meaningful only when the
+	// scenario is analysis-clean.
+	Feasible bool `json:"feasible"`
+}
+
+// Run executes the scenario and checks every applicable oracle. It
+// never panics: a panic anywhere in build/boot/simulate surfaces as an
+// OraclePanic finding so the campaign keeps going and the scenario can
+// be minimized like any other violation.
+func Run(s *Scenario) (res *Result) {
+	res = &Result{}
+	defer func() {
+		if v := recover(); v != nil {
+			res.Findings = append(res.Findings, Finding{OraclePanic, fmt.Sprint(v)})
+		}
+	}()
+
+	sys, aper, err := Build(s)
+	if err != nil {
+		res.Findings = append(res.Findings, Finding{OraclePanic, "build: " + err.Error()})
+		return res
+	}
+	if err := sys.Boot(); err != nil {
+		res.Findings = append(res.Findings, Finding{OraclePanic, "boot: " + err.Error()})
+		return res
+	}
+	// Aperiodic arrivals are plain engine events; ReleaseAperiodic
+	// ignores arrivals that land while a job is still in flight
+	// (counted as overruns, like a lost periodic release).
+	eng := sys.Kernel().Engine()
+	for i, th := range aper {
+		if th == nil {
+			continue
+		}
+		th := th
+		for _, at := range s.Tasks[i].Arrivals {
+			eng.At(at, "arrival", func() { sys.Kernel().ReleaseAperiodic(th) })
+		}
+	}
+	sys.Run(s.Horizon)
+
+	st := sys.Stats()
+	res.Misses, res.Completions = st.Misses, st.Completions
+
+	// (d) kernel invariants.
+	for _, msg := range sys.Kernel().CheckInvariants() {
+		res.Findings = append(res.Findings, Finding{OracleInvariant, msg})
+	}
+
+	// (b)/(c) need the trace; the ring was sized from the horizon, so an
+	// overflow here is itself a finding (the sizing formula is part of
+	// the campaign's contract with attrib's truncation refusal).
+	log := sys.Trace()
+	if d := log.Dropped(); d > 0 {
+		res.Findings = append(res.Findings, Finding{OracleTruncated,
+			fmt.Sprintf("%d events dropped with capacity %d", d, s.TraceCapacity())})
+	} else {
+		an, err := attrib.Analyze(log.Events(), 0)
+		if err != nil {
+			res.Findings = append(res.Findings, Finding{OracleResidual, "analyze: " + err.Error()})
+		} else {
+			for i := range an.Activations {
+				a := &an.Activations[i]
+				if a.Aborted {
+					continue
+				}
+				if r := a.Residual(); r != 0 {
+					res.Findings = append(res.Findings, Finding{OracleResidual,
+						fmt.Sprintf("%s activation %d: residual %v", a.Task, a.Index, r)})
+				}
+			}
+			if s.InversionClean() {
+				for _, iv := range an.Inversions {
+					res.Findings = append(res.Findings, Finding{OracleInversion,
+						fmt.Sprintf("%s blocked on %s while %s ran [%v, %v]",
+							iv.Task, iv.Sem, iv.Runner, iv.From, iv.To)})
+				}
+			}
+		}
+	}
+
+	// (a) differential oracle, only where the analysis is exact.
+	if s.AnalysisClean() {
+		res.Feasible = Feasible(s)
+		if res.Feasible && st.Misses > 0 {
+			res.Findings = append(res.Findings, Finding{OracleFeasibleMiss,
+				fmt.Sprintf("analysis feasible but %d misses in %v", st.Misses, s.Horizon)})
+		}
+	}
+	return res
+}
+
+// Feasible runs the schedulability analysis the simulator's Boot
+// implicitly claims: on a single CPU the policy's feasibility test over
+// the whole set; on a multicore build the same test per CPU over the
+// deterministic sched.AssignCPUs split Boot will use. For CSD the claim
+// is "some partition passes §5.5.3's search" — when none does, core
+// degrades to the all-DP split without claiming schedulability, so no
+// claim is made here either.
+func Feasible(s *Scenario) bool {
+	prof := s.Profile()
+	if s.CPUs <= 1 {
+		specs := make([]task.Spec, len(s.Tasks))
+		for i, t := range s.Tasks {
+			specs[i] = t.Spec
+		}
+		return feasibleOn(s.Policy, prof, specs)
+	}
+	// Mirror kernel.bootCPUs: placement is a pure function of the specs
+	// in admission order.
+	tcbs := make([]*task.TCB, len(s.Tasks))
+	for i, t := range s.Tasks {
+		tcbs[i] = task.New(i, t.Spec)
+	}
+	perCPU := sched.AssignCPUs(tcbs, s.CPUs)
+	for _, cpuTasks := range perCPU {
+		var specs []task.Spec
+		for _, t := range cpuTasks {
+			specs = append(specs, t.Spec)
+		}
+		if !feasibleOn(s.Policy, prof, specs) {
+			return false
+		}
+	}
+	return true
+}
+
+func feasibleOn(policy core.Policy, prof *costmodel.Profile, specs []task.Spec) bool {
+	if len(specs) == 0 {
+		return true
+	}
+	switch policy {
+	case core.PolicyEDF:
+		return analysis.FeasibleEDF(prof, specs)
+	case core.PolicyRM:
+		return analysis.FeasibleRM(prof, specs)
+	case core.PolicyRMHeap:
+		return analysis.FeasibleRMHeap(prof, specs)
+	case core.PolicyCSD:
+		_, _, ok := analysis.BestPartition(prof, analysis.SortRM(specs), 3)
+		return ok
+	}
+	return false
+}

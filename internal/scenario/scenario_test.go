@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"emeralds/internal/core"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// Gen must be a pure function of (base, index, forcedCPUs): campaign
+// reports would otherwise depend on worker interleaving.
+func TestGenDeterministic(t *testing.T) {
+	for index := 0; index < 40; index++ {
+		a := Gen(7, index, 0)
+		b := Gen(7, index, 0)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("index %d: Gen not deterministic:\n%+v\n%+v", index, a, b)
+		}
+	}
+	if reflect.DeepEqual(Gen(7, 3, 0), Gen(8, 3, 0)) {
+		t.Fatal("different base seeds produced identical scenarios")
+	}
+}
+
+// A contiguous index range must sweep the whole coordinate product:
+// every policy × semaphore scheme × CPU count, and every archetype.
+func TestGenCoverage(t *testing.T) {
+	coords := map[string]bool{}
+	kinds := map[string]bool{}
+	for index := 0; index < 168; index++ {
+		s := Gen(1, index, 0)
+		coords[fmt.Sprintf("%s/%v/%d", s.Policy, s.StdSem, s.CPUs)] = true
+		kinds[s.Name] = true
+		if s.CPUs > 1 && s.Lock == "" {
+			t.Fatalf("index %d: multicore scenario with no lock regime", index)
+		}
+	}
+	if want := 4 * 2 * 3; len(coords) != want {
+		t.Fatalf("saw %d policy/scheme/CPUs coordinates, want %d: %v", len(coords), want, coords)
+	}
+	if want := 7; len(kinds) != want {
+		t.Fatalf("saw %d archetypes, want %d: %v", len(kinds), want, kinds)
+	}
+	// Pinning the CPU count must not disturb the rest of the coordinates.
+	for index := 0; index < 24; index++ {
+		s := Gen(1, index, 4)
+		if s.CPUs != 4 {
+			t.Fatalf("index %d: forced CPUs=4, got %d", index, s.CPUs)
+		}
+	}
+}
+
+func TestAnalysisCleanGate(t *testing.T) {
+	base := Scenario{ZeroCost: true, Tasks: []Task{
+		{Spec: task.Spec{Name: "a", Period: vtime.Millis(10), WCET: vtime.Millis(1)}},
+	}}
+	if !base.AnalysisClean() {
+		t.Fatal("pure-compute periodic zero-cost set must be analysis-clean")
+	}
+	costed := base
+	costed.ZeroCost = false
+	if costed.AnalysisClean() {
+		t.Fatal("costed profile must disable the differential oracle")
+	}
+	withProg := clone(&base)
+	withProg.Tasks[0].Spec.Prog = task.Program{task.Compute(vtime.Millis(1))}
+	if withProg.AnalysisClean() {
+		t.Fatal("programs must disable the differential oracle")
+	}
+	aper := clone(&base)
+	aper.Tasks[0].Spec.Period = 0
+	if aper.AnalysisClean() {
+		t.Fatal("aperiodic tasks must disable the differential oracle")
+	}
+}
+
+func TestInversionCleanGate(t *testing.T) {
+	prog := func(ops ...task.Op) []Task {
+		return []Task{{Spec: task.Spec{Name: "a", Period: vtime.Millis(10),
+			WCET: vtime.Millis(1), Prog: ops}}}
+	}
+	pure := Scenario{Mutexes: 1, Tasks: prog(
+		task.Acquire(0), task.Compute(vtime.Micros(100)), task.Release(0))}
+	if !pure.InversionClean() {
+		t.Fatal("pure-compute critical section must keep oracle (c) armed")
+	}
+	multi := pure
+	multi.CPUs = 2
+	if multi.InversionClean() {
+		t.Fatal("multicore must disarm the inversion oracle")
+	}
+	counting := pure
+	counting.Counting = []int{2}
+	if counting.InversionClean() {
+		t.Fatal("counting semaphores must disarm the inversion oracle")
+	}
+	blocking := Scenario{Mutexes: 1, Mailboxes: []int{1}, Tasks: prog(
+		task.Acquire(0), task.Recv(0), task.Release(0))}
+	if blocking.InversionClean() {
+		t.Fatal("blocking inside a critical section must disarm the inversion oracle")
+	}
+}
+
+// The oracle harness must have teeth: a scenario referencing a mailbox
+// that does not exist panics inside the kernel, and Run must convert
+// that into an OraclePanic finding instead of crashing the campaign.
+// Minimize must then shrink the scenario while the finding persists.
+func TestRunCapturesPanicAndMinimizes(t *testing.T) {
+	s := &Scenario{
+		Name: "teeth", Policy: core.PolicyRM, ZeroCost: true,
+		Horizon: vtime.Millis(20),
+		Tasks: []Task{
+			{Spec: task.Spec{Name: "a", Period: vtime.Millis(10), WCET: vtime.Millis(1)}},
+			{Spec: task.Spec{Name: "b", Period: vtime.Millis(8), WCET: vtime.Millis(1)}},
+			{Spec: task.Spec{Name: "bad", Period: vtime.Millis(5), WCET: vtime.Micros(100),
+				Prog: task.Program{task.Recv(3)}}},
+		},
+	}
+	res := Run(s)
+	if len(res.Findings) == 0 || res.Findings[0].Oracle != OraclePanic {
+		t.Fatalf("expected an %s finding, got %+v", OraclePanic, res.Findings)
+	}
+
+	min := Minimize(s, OraclePanic)
+	if len(min.Tasks) >= len(s.Tasks) {
+		t.Fatalf("minimizer kept all %d tasks", len(min.Tasks))
+	}
+	if min.Horizon >= s.Horizon {
+		t.Fatalf("minimizer kept horizon %v", min.Horizon)
+	}
+	found := false
+	for _, f := range Run(min).Findings {
+		if f.Oracle == OraclePanic {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("minimized scenario no longer reproduces the panic finding")
+	}
+}
+
+// dropUnreferenced must renumber surviving objects and rewrite every op
+// so the shrunk scenario still builds and still references the same
+// kernel objects.
+func TestDropUnreferenced(t *testing.T) {
+	s := &Scenario{
+		Policy: core.PolicyRM, ZeroCost: true, Horizon: vtime.Millis(10),
+		Mutexes: 2, Counting: []int{3}, Mailboxes: []int{4, 2},
+		Tasks: []Task{{Spec: task.Spec{Name: "a", Period: vtime.Millis(5),
+			WCET: vtime.Micros(300),
+			Prog: task.Program{
+				task.Acquire(1), task.Compute(vtime.Micros(100)), task.Release(1),
+				task.Send(1, 9, 8), task.Compute(vtime.Micros(200)),
+			}}}},
+	}
+	c := dropUnreferenced(s)
+	if c == nil {
+		t.Fatal("nothing dropped despite unreferenced mutex 0, counting sem, mailbox 0")
+	}
+	if c.Mutexes != 1 || len(c.Counting) != 0 || len(c.Mailboxes) != 1 {
+		t.Fatalf("got %d mutexes, %d counting, %d mailboxes", c.Mutexes, len(c.Counting), len(c.Mailboxes))
+	}
+	prog := c.Tasks[0].Spec.Prog
+	if prog[0].Obj != 0 || prog[2].Obj != 0 {
+		t.Fatalf("mutex ops not renumbered: %v", prog)
+	}
+	if prog[3].Obj != 0 {
+		t.Fatalf("mailbox op not renumbered: %v", prog)
+	}
+	if c.Mailboxes[0] != 2 {
+		t.Fatalf("wrong mailbox survived: capacities %v", c.Mailboxes)
+	}
+	if _, _, err := Build(c); err != nil {
+		t.Fatalf("shrunk scenario no longer builds: %v", err)
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	s := Gen(11, 13, 0)
+	path := t.TempDir() + "/repro.json"
+	if err := WriteRepro(s, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", s, back)
+	}
+	a, b := Run(s), Run(back)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round-tripped scenario runs differently: %+v vs %+v", a, b)
+	}
+}

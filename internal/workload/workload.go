@@ -55,20 +55,56 @@ func Generate(cfg Config) []task.Spec {
 		weightSum += weights[i]
 	}
 	// Distribute the utilization budget across tasks by weight:
-	// uᵢ = U·wᵢ/Σw, cᵢ = uᵢ·Pᵢ.
-	for i := range specs {
-		u := cfg.Utilization * weights[i] / weightSum
-		c := vtime.Scale(specs[i].Period, u)
-		if c < vtime.Micros(10) {
-			c = vtime.Micros(10)
+	// uᵢ = U·wᵢ/Σw, cᵢ = uᵢ·Pᵢ. Tasks pinned by the 10 µs WCET floor or
+	// the cᵢ ≤ Pᵢ ceiling would silently drag the achieved utilization
+	// away from the target, so the unclamped remainder is renormalized
+	// against the leftover budget until the assignment is stable —
+	// sweeps near U → 1.0 then get (to integer-nanosecond rounding) the
+	// utilization they asked for, or the closest value the clamps allow.
+	// When no clamp binds, the first pass is exactly the historical
+	// single-pass assignment.
+	clamped := make([]bool, cfg.N)
+	budget := cfg.Utilization
+	free := weightSum
+	for pass := 0; pass <= cfg.N; pass++ {
+		again := false
+		for i := range specs {
+			if clamped[i] {
+				continue
+			}
+			var u float64
+			if budget > 0 && free > 0 {
+				u = budget * weights[i] / free
+			}
+			c := vtime.Scale(specs[i].Period, u)
+			if c < vtime.Micros(10) {
+				c = vtime.Micros(10)
+			} else if c > specs[i].Period {
+				c = specs[i].Period
+			} else {
+				specs[i].WCET = c
+				continue
+			}
+			// The clamp fixes this task's utilization; take it out of the
+			// budget and redistribute over the still-free tasks.
+			specs[i].WCET = c
+			clamped[i] = true
+			budget -= specs[i].Utilization()
+			free -= weights[i]
+			again = true
 		}
-		if c > specs[i].Period {
-			c = specs[i].Period
+		if !again {
+			break
 		}
-		specs[i].WCET = c
 	}
 	return specs
 }
+
+// AchievedUtilization is task.TotalUtilization for a generated set —
+// named here so fuzz sweeps read as "the utilization Generate actually
+// delivered", which the clamp renormalization keeps within rounding of
+// the requested target whenever the clamps leave it reachable.
+func AchievedUtilization(specs []task.Spec) float64 { return task.TotalUtilization(specs) }
 
 // SeedFor derives the RNG seed of workload i of an n-task sweep from
 // the base seed. The derivation is a pure function of (base, n, i) —

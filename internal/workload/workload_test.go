@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"emeralds/internal/task"
@@ -72,6 +73,77 @@ func TestGenerateHitsUtilizationTarget(t *testing.T) {
 		got := task.TotalUtilization(specs)
 		if math.Abs(got-u) > 0.02 {
 			t.Errorf("target %.2f, got %.4f", u, got)
+		}
+	}
+}
+
+// TestGenerateAchievedTracksTarget pins the renormalization fix: the
+// §5.7 recipe (short periods, high n, U → 1.0) triggers both the 10 µs
+// WCET floor and the cᵢ ≤ Pᵢ ceiling, and before the fix the achieved
+// utilization silently drifted from the request (floors push it up,
+// ceilings pull it down). The unclamped tasks now absorb the
+// difference, so fuzz sweeps near the breakdown region are honest.
+func TestGenerateAchievedTracksTarget(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		div  int
+		u    float64
+		seed int64
+	}{
+		{10, 1, 0.50, 1},
+		{20, 3, 0.95, 2}, // §5.7 derived workload, near breakdown
+		{40, 3, 0.99, 3}, // floor binds on low-weight short-period tasks
+		{50, 3, 0.90, 4},
+		{20, 2, 0.999, 5},
+	} {
+		specs := Generate(Config{N: tc.n, PeriodDiv: tc.div, Utilization: tc.u, Seed: tc.seed})
+		got := AchievedUtilization(specs)
+		if math.Abs(got-tc.u) > 0.005 {
+			t.Errorf("n=%d div=%d target %.3f: achieved %.4f (drift %.4f)",
+				tc.n, tc.div, tc.u, got, got-tc.u)
+		}
+		for _, s := range specs {
+			if s.WCET < vtime.Micros(10) || s.WCET > s.Period {
+				t.Fatalf("clamp violated: WCET %v period %v", s.WCET, s.Period)
+			}
+		}
+	}
+}
+
+// TestGenerateUnclampedUnchanged locks that the renormalization is a
+// strict extension: when no clamp binds, the assignment is the
+// historical single-pass one (same RNG draws, same arithmetic), so
+// every committed figure generated away from the clamps is unchanged.
+func TestGenerateUnclampedUnchanged(t *testing.T) {
+	cfg := Config{N: 12, Seed: 11, Utilization: 0.5}
+	specs := Generate(cfg)
+	// Replay the historical single-pass assignment over the identical
+	// RNG stream.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	periods := make([]vtime.Duration, cfg.N)
+	weights := make([]float64, cfg.N)
+	var weightSum float64
+	for i := 0; i < cfg.N; i++ {
+		var ms int
+		switch rng.Intn(3) {
+		case 0:
+			ms = 5 + rng.Intn(5)
+		case 1:
+			ms = 10 + rng.Intn(90)
+		default:
+			ms = 100 + rng.Intn(900)
+		}
+		periods[i] = vtime.Millis(float64(ms))
+		weights[i] = 0.1 + rng.Float64()
+		weightSum += weights[i]
+	}
+	for i, s := range specs {
+		if s.Period != periods[i] {
+			t.Fatalf("task %d: period %v differs from replay %v", i, s.Period, periods[i])
+		}
+		want := vtime.Scale(periods[i], cfg.Utilization*weights[i]/weightSum)
+		if s.WCET != want {
+			t.Fatalf("task %d: WCET %v differs from single-pass %v", i, s.WCET, want)
 		}
 	}
 }

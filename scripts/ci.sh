@@ -56,6 +56,16 @@ go run ./cmd/ablate -workers 1 -quiet -lock-ms 100 -sweep-workloads 2 -json-out 
 go run ./cmd/ablate -workers 8 -quiet -lock-ms 100 -sweep-workloads 2 -json-out "$tmp/abl8.json" >/dev/null
 go run ./scripts/artifactdiff "$tmp/abl1.json" "$tmp/abl8.json"
 
+echo "== fuzz smoke (fixed seed, zero violations) =="
+# A deterministic slice of the emfuzz campaign: 50 scenarios sweep all
+# four policies, both semaphore schemes, and every archetype; one run
+# pinned single-CPU, one pinned quad-core. Any oracle violation exits 1.
+go run ./cmd/emfuzz -scenarios 50 -seed 1 -cpus 1 -quiet -json-out "$tmp/fuzz1.json" >/dev/null
+go run ./cmd/emfuzz -scenarios 50 -seed 1 -cpus 4 -quiet -json-out "$tmp/fuzz4.json" >/dev/null
+grep -q '"schema": "emeralds.fuzz/v1"' "$tmp/fuzz1.json"
+go run ./cmd/emfuzz -scenarios 50 -seed 1 -cpus 4 -workers 1 -quiet -json-out "$tmp/fuzz4w1.json" >/dev/null
+go run ./scripts/artifactdiff "$tmp/fuzz4.json" "$tmp/fuzz4w1.json"
+
 echo "== benchmark smoke (one iteration each) =="
 BENCHTIME=1x ./scripts/bench.sh "$tmp/bench.json" >/dev/null
 grep -q '"schema": "emeralds.bench/v1"' "$tmp/bench.json"
