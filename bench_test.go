@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"emeralds/internal/analysis"
+	"emeralds/internal/core"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/experiments"
 	"emeralds/internal/ipc"
@@ -21,6 +22,7 @@ import (
 	"emeralds/internal/scenario"
 	"emeralds/internal/schedq"
 	"emeralds/internal/task"
+	"emeralds/internal/telemetry"
 	"emeralds/internal/vtime"
 	"emeralds/internal/workload"
 )
@@ -262,6 +264,43 @@ func BenchmarkKernelSimulationM4(b *testing.B) {
 	}
 	b.ReportMetric(float64(p.Completions), "completions")
 	b.ReportMetric(p.Overhead.Micros(), "model-overhead-µs")
+}
+
+// BenchmarkSamplerOverhead prices the flight recorder against the same
+// 3-task EDF system it ships in emsim: "off" is the plain simulation,
+// "on" adds a telemetry.Recorder at the emsim default cadence
+// (horizon/512). The off/on ns/op ratio bounds the sampling tax;
+// BENCH_pr8.json records both so regressions show up in benchdiff.
+func BenchmarkSamplerOverhead(b *testing.B) {
+	const horizon = 100 * vtime.Millisecond
+	run := func(b *testing.B, sample bool) {
+		for i := 0; i < b.N; i++ {
+			sys := core.New(core.Config{Policy: core.PolicyEDF})
+			sys.AddTask(task.Spec{Name: "a", Period: 10 * vtime.Millisecond, WCET: 2 * vtime.Millisecond})
+			sys.AddTask(task.Spec{Name: "b", Period: 25 * vtime.Millisecond, WCET: 5 * vtime.Millisecond})
+			sys.AddTask(task.Spec{Name: "c", Period: 50 * vtime.Millisecond, WCET: 8 * vtime.Millisecond})
+			var rec *telemetry.Recorder
+			if sample {
+				var err error
+				rec, err = telemetry.Attach(sys.Kernel(), telemetry.Config{Interval: horizon / 512, Capacity: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sys.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			sys.Run(horizon)
+			if sys.Stats().Completions == 0 {
+				b.Fatal("degenerate scenario")
+			}
+			if sample && rec.Ticks() == 0 {
+				b.Fatal("recorder never ticked")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkMigrationOp prices one predictable migration: a task bounced

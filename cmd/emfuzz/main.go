@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,6 +31,7 @@ func main() {
 	scenarios := flag.Int("scenarios", 200, "number of scenarios to generate and run")
 	minimize := flag.Bool("minimize", true, "delta-debug each violation into a minimal repro")
 	reproDir := flag.String("repro-dir", "results/repros", "directory for violation repro files")
+	metricsAddr := flag.String("metrics-addr", "", "serve live OpenMetrics on this address (/metrics, /debug/pprof) while the campaign runs")
 	start := time.Now()
 	c.Parse()
 	if *scenarios < 1 {
@@ -42,6 +44,19 @@ func main() {
 		cpus = c.CPUs
 	}
 
+	var scrape *harness.Scrape
+	if *metricsAddr != "" {
+		var err error
+		scrape, err = harness.NewScrape(*metricsAddr)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		defer scrape.Close()
+		if !c.Quiet {
+			fmt.Fprintf(os.Stderr, "emfuzz: serving OpenMetrics on http://%s/metrics (pprof under /debug/pprof/)\n", scrape.Addr())
+		}
+	}
+
 	rep, err := scenario.RunCampaign(context.Background(), scenario.CampaignConfig{
 		Scenarios: *scenarios,
 		BaseSeed:  c.Seed,
@@ -49,6 +64,7 @@ func main() {
 		Workers:   c.Workers,
 		Minimize:  *minimize,
 		Progress:  c.Progress(),
+		Scrape:    scrape,
 	})
 	if err != nil {
 		c.Fatalf("campaign: %v", err)
@@ -117,6 +133,11 @@ func render(out *strings.Builder, c *cli.Common, rep *scenario.CampaignReport, c
 		for _, o := range rep.OracleOrder() {
 			rows = append(rows, []string{"oracle:" + o, fmt.Sprint(rep.PerOracle[o])})
 		}
+		rows = append(rows, []string{"anomalous", fmt.Sprint(rep.Anomalous)})
+		classes := rep.AnomalyClasses()
+		for _, cl := range sortedKeys(classes) {
+			rows = append(rows, []string{"anomaly:" + cl, fmt.Sprint(classes[cl])})
+		}
 		cli.WriteCSV(out, []string{"metric", "value"}, rows)
 		return
 	}
@@ -136,11 +157,39 @@ func render(out *strings.Builder, c *cli.Common, rep *scenario.CampaignReport, c
 	fmt.Fprintf(out, "%d completions, %d deadline misses across the campaign\n",
 		rep.Completions, rep.Misses)
 
+	// Per-oracle violation summary — always printed, so a failing
+	// campaign leads with the breakdown instead of a bare exit 1.
+	fmt.Fprintf(out, "\noracle summary:\n")
+	var sum [][]string
+	for _, o := range []string{
+		scenario.OracleFeasibleMiss, scenario.OracleResidual, scenario.OracleInversion,
+		scenario.OracleInvariant, scenario.OracleTruncated, scenario.OraclePanic,
+	} {
+		sum = append(sum, []string{o, fmt.Sprint(rep.PerOracle[o])})
+	}
+	cli.Table(out, []string{"oracle", "violations"}, sum)
+
+	if rep.Anomalous > 0 {
+		fmt.Fprintf(out, "\ntelemetry annotations (advisory): %d scenarios anomalous\n", rep.Anomalous)
+		classes := rep.AnomalyClasses()
+		var rows [][]string
+		for _, cl := range sortedKeys(classes) {
+			rows = append(rows, []string{cl, fmt.Sprint(classes[cl])})
+		}
+		cli.Table(out, []string{"anomaly", "count"}, rows)
+	}
+
 	if len(rep.Violations) == 0 {
 		fmt.Fprintf(out, "\nno oracle violations\n")
 		return
 	}
 	fmt.Fprintf(out, "\n%d ORACLE VIOLATIONS\n", len(rep.Violations))
+	anomalous := map[int]string{}
+	for _, a := range rep.Anomalies {
+		if _, ok := anomalous[a.Index]; !ok {
+			anomalous[a.Index] = a.Detail
+		}
+	}
 	for i, v := range rep.Violations {
 		min := ""
 		if v.Minimized != nil {
@@ -150,8 +199,22 @@ func render(out *strings.Builder, c *cli.Common, rep *scenario.CampaignReport, c
 		fmt.Fprintf(out, "  scenario %d [%s, %s, M=%d]: %s: %s%s\n",
 			v.Scenario.Index, v.Scenario.Name, v.Scenario.Policy, max(1, v.Scenario.CPUs),
 			v.Finding.Oracle, v.Finding.Detail, min)
+		if a, ok := anomalous[v.Scenario.Index]; ok {
+			fmt.Fprintf(out, "    telemetry: %s\n", a)
+		}
 		if i < len(repros) {
 			fmt.Fprintf(out, "    repro: %s\n", repros[i])
 		}
 	}
+}
+
+// sortedKeys returns a map's keys in lexical order for deterministic
+// rendering.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -20,6 +20,7 @@ import (
 	"emeralds/internal/core"
 	"emeralds/internal/kernel"
 	"emeralds/internal/task"
+	"emeralds/internal/telemetry"
 	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
 	"emeralds/internal/workload"
@@ -38,7 +39,14 @@ func main() {
 	gantt := flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N virtual milliseconds")
 	attribFlag := flag.Bool("attrib", false, "print the latency-attribution report and embed it in the -json artifact")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
+	sampleUs := flag.Float64("sample-us", 0, "flight-recorder sampling cadence in virtual microseconds (0 = off)")
+	sampleCap := flag.Int("sample-cap", 0, "flight-recorder ring capacity in samples (0 = 4096)")
+	teleFlag := flag.Bool("telemetry", false, "print the telemetry summary (sparklines, SLO verdicts, change points); implies a default -sample-us")
 	c.Parse()
+	if *teleFlag && *sampleUs == 0 {
+		// Default cadence: 512 samples across the run.
+		*sampleUs = *ms * 1000 / 512
+	}
 
 	traceCap := max(*traceN, 1)
 	if *gantt > 0 {
@@ -68,11 +76,32 @@ func main() {
 	for _, s := range specs {
 		sys.AddTask(s)
 	}
+	var rec *telemetry.Recorder
+	if *sampleUs > 0 {
+		var err error
+		rec, err = telemetry.Attach(sys.Kernel(), telemetry.Config{
+			Interval: vtime.Duration(*sampleUs * 1000),
+			Capacity: *sampleCap,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "emsim:", err)
+			os.Exit(1)
+		}
+	}
 	if err := sys.Boot(); err != nil {
 		fmt.Fprintln(os.Stderr, "emsim:", err)
 		os.Exit(1)
 	}
 	sys.Run(vtime.Millis(*ms))
+
+	if rec != nil {
+		c.Timeseries = rec.Series()
+		if *teleFlag {
+			telemetry.Analyze(c.Timeseries, telemetry.SLO{}).
+				RenderText(os.Stdout, c.Timeseries, "emsim")
+			fmt.Println()
+		}
+	}
 
 	if *traceN > 0 {
 		evs := sys.Trace().Events()

@@ -1,0 +1,114 @@
+// Command emstat renders flight-recorder telemetry from a results/
+// artifact: channel sparklines, the sliding-window table, SLO verdicts
+// with burn-rate alerts, and CUSUM change points. It is the reader for
+// the emeralds.timeseries/v1 block that emsim -sample-us (and the fuzz
+// harness) embed in their artifacts.
+//
+//	emsim -json -sample-us 500          # produce results/emsim.json with telemetry
+//	emstat results/emsim.json           # render it
+//	emstat -windows 16 results/emsim.json
+//	emstat -csv results/emsim.json      # window table, machine-readable
+//	emstat -slo-miss 0.05 results/emsim.json
+//
+// Output is deterministic: the same artifact always renders the same
+// bytes (locked by a golden test).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"emeralds/internal/cli"
+	"emeralds/internal/harness"
+	"emeralds/internal/telemetry"
+)
+
+func main() {
+	windows := flag.Int("windows", 8, "number of aggregation windows in the table")
+	sloMiss := flag.Float64("slo-miss", 0, "deadline-miss rate objective (0 = default 0.01)")
+	sloP99 := flag.Float64("slo-p99us", 0, "p99 response-time objective in µs (0 = default 10000)")
+	sloHead := flag.Float64("slo-headroom", 0, "utilization headroom objective (0 = default 0.10)")
+	csv := flag.Bool("csv", false, "emit the window table as CSV instead of the full report")
+	txtOut := flag.String("txt-out", "", "also write the rendered text output to this file")
+	flag.Parse()
+
+	path := "results/emsim.json"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	s, err := loadSeries(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emstat:", err)
+		os.Exit(1)
+	}
+	slo := telemetry.SLO{MissRate: *sloMiss, P99Us: *sloP99, MinHeadroom: *sloHead}
+
+	if *csv {
+		writeCSV(os.Stdout, s, *windows)
+		return
+	}
+	var sb strings.Builder
+	render(&sb, s, slo, *windows, path)
+	fmt.Print(sb.String())
+	if *txtOut != "" {
+		if err := os.WriteFile(*txtOut, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "emstat:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// loadSeries pulls the timeseries block out of an artifact, accepting
+// both experiment and fuzz artifacts.
+func loadSeries(path string) (*telemetry.Series, error) {
+	a, err := harness.ReadArtifactSchema(path, harness.ArtifactSchema)
+	if err != nil {
+		if a2, err2 := harness.ReadArtifactSchema(path, harness.FuzzSchema); err2 == nil {
+			a, err = a2, nil
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if a.Timeseries == nil {
+		return nil, fmt.Errorf("%s has no timeseries block (rerun the tool with sampling enabled, e.g. emsim -json -sample-us 500)", path)
+	}
+	if a.Timeseries.Schema != telemetry.Schema {
+		return nil, fmt.Errorf("%s timeseries schema is %q, want %q", path, a.Timeseries.Schema, telemetry.Schema)
+	}
+	return a.Timeseries, nil
+}
+
+// render produces the full human-readable report.
+func render(w io.Writer, s *telemetry.Series, slo telemetry.SLO, windows int, title string) {
+	rep := telemetry.Analyze(s, slo)
+	if windows != 8 {
+		rep.Windows = s.Windows(windows)
+	}
+	rep.RenderText(w, s, title)
+}
+
+// writeCSV emits the window table machine-readably.
+func writeCSV(w io.Writer, s *telemetry.Series, windows int) {
+	var rows [][]string
+	for _, win := range s.Windows(windows) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", float64(win.From)/1e3),
+			fmt.Sprintf("%.1f", float64(win.To)/1e3),
+			fmt.Sprint(win.Releases),
+			fmt.Sprint(win.Completions),
+			fmt.Sprint(win.Misses),
+			fmt.Sprintf("%.4f", win.MissRate),
+			fmt.Sprintf("%.4f", win.Util),
+			fmt.Sprintf("%.4f", win.Headroom),
+			fmt.Sprintf("%.1f", win.P99Us),
+		})
+	}
+	cli.WriteCSV(w, []string{
+		"from_us", "to_us", "releases", "completions", "misses",
+		"miss_rate", "util", "headroom", "p99_us",
+	}, rows)
+}

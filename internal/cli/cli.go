@@ -21,6 +21,7 @@ import (
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
+	"emeralds/internal/telemetry"
 )
 
 // Common holds the flags shared by every experiment command.
@@ -46,6 +47,11 @@ type Common struct {
 	// in the artifact's "attribution" block (response decomposition,
 	// miss root causes, inversion windows).
 	Attribution *attrib.Report
+
+	// Timeseries, when set by the tool before EmitArtifact, is embedded
+	// in the artifact's "timeseries" block (the flight-recorder series
+	// rendered by cmd/emstat).
+	Timeseries *telemetry.Series
 
 	start time.Time
 }
@@ -150,6 +156,7 @@ func (c *Common) EmitArtifact(config, series any) {
 	a := harness.NewArtifact(c.Tool, config, series, c.EffectiveWorkers(), time.Since(c.start))
 	a.Diagnostics = c.Diagnostics
 	a.Attribution = c.Attribution
+	a.Timeseries = c.Timeseries
 	path := c.ArtifactPath()
 	if err := a.WriteFile(path); err != nil {
 		c.Fatalf("writing artifact: %v", err)

@@ -12,6 +12,7 @@ import (
 
 	"emeralds/internal/attrib"
 	"emeralds/internal/metrics"
+	"emeralds/internal/telemetry"
 )
 
 // ArtifactSchema versions the results/*.json layout. Bump it whenever
@@ -44,7 +45,11 @@ type Artifact struct {
 	// windows replayed from the run's trace. Deterministic; omitted by
 	// tools that do not capture a trace.
 	Attribution *attrib.Report `json:"attribution,omitempty"`
-	Run         RunInfo
+	// Timeseries is the flight-recorder block: the sampled kernel
+	// series emitted when telemetry is enabled, consumed by cmd/emstat.
+	// Deterministic like the rest; omitted when sampling is off.
+	Timeseries *telemetry.Series `json:"timeseries,omitempty"`
+	Run        RunInfo
 }
 
 // RunInfo is the volatile part of an artifact.
@@ -64,6 +69,7 @@ type artifactJSON struct {
 	Series      any                  `json:"series"`
 	Diagnostics *metrics.Diagnostics `json:"diagnostics,omitempty"`
 	Attribution *attrib.Report       `json:"attribution,omitempty"`
+	Timeseries  *telemetry.Series    `json:"timeseries,omitempty"`
 	Run         RunInfo              `json:"run"`
 }
 

@@ -35,6 +35,11 @@ type Options struct {
 	// updates (typically os.Stderr). Output is advisory and rate-
 	// limited; it never affects results.
 	Progress io.Writer
+	// Scrape, when non-nil, exposes this run's per-worker job
+	// throughput on the scrape server's /metrics endpoint. Like
+	// Progress it is advisory wall-clock observability and never
+	// affects results.
+	Scrape *Scrape
 }
 
 // Job identifies one unit of work handed to the run function.
@@ -113,7 +118,10 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		cancel()
 	}
 
-	runJob := func(i int) {
+	if opts.Scrape != nil {
+		opts.Scrape.beginRun(opts.Label, n, workers)
+	}
+	runJob := func(w, i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				buf := make([]byte, 8192)
@@ -128,21 +136,24 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		}
 		results[i] = res
 		done.Add(1)
+		if opts.Scrape != nil {
+			opts.Scrape.noteJob(w)
+		}
 	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				runJob(i)
+				runJob(w, i)
 			}
-		}()
+		}(w)
 	}
 
 	if opts.Progress != nil {

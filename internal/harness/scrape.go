@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"emeralds/internal/metrics"
+)
+
+// Scrape is the harness's live observability surface: a local HTTP
+// listener serving hand-rolled OpenMetrics text on /metrics and the
+// standard pprof handlers under /debug/pprof/, so multi-minute sweeps
+// and fuzz campaigns can be watched (and profiled) while they run.
+//
+// It is strictly wall-clock-side: the scrape server observes job
+// completions and whatever kernel counters tools feed it, and never
+// influences results — the determinism contract of Run is untouched
+// whether a scrape is attached or not.
+type Scrape struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	label   string
+	total   int      // jobs expected in the current run
+	workers []uint64 // completed jobs per worker slot
+	kernel  *metrics.Set
+	started time.Time
+}
+
+// NewScrape starts serving on addr (e.g. "localhost:9464"; ":0" picks
+// a free port, reported by Addr).
+func NewScrape(addr string) (*Scrape, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("harness: scrape listen %s: %w", addr, err)
+	}
+	s := &Scrape{ln: ln, kernel: &metrics.Set{}, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		w.Write(s.OpenMetrics())
+	})
+	// Explicit pprof routes: the blank net/http/pprof import would only
+	// register on DefaultServeMux, which this server does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Scrape) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Scrape) Close() error { return s.srv.Close() }
+
+// beginRun resets the per-run throughput state; Run calls it when a
+// scrape is attached.
+func (s *Scrape) beginRun(label string, jobs, workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if label == "" {
+		label = "harness"
+	}
+	s.label = label
+	s.total = jobs
+	s.workers = make([]uint64, workers)
+}
+
+// noteJob records one completed job on a worker slot.
+func (s *Scrape) noteJob(worker int) {
+	s.mu.Lock()
+	if worker >= 0 && worker < len(s.workers) {
+		s.workers[worker]++
+	}
+	s.mu.Unlock()
+}
+
+// MergeCounters folds one kernel's counter set into the scrape's
+// cumulative view; tools call it as each job's kernel retires. Safe
+// for concurrent use from worker goroutines.
+func (s *Scrape) MergeCounters(set *metrics.Set) {
+	s.mu.Lock()
+	s.kernel.Merge(set)
+	s.mu.Unlock()
+}
+
+// OpenMetrics renders the current state as OpenMetrics 1.0 text:
+// per-worker job throughput, run progress, uptime, and the merged
+// kernel counters — each family typed, counters with the mandated
+// _total sample suffix, terminated by # EOF.
+func (s *Scrape) OpenMetrics() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("# TYPE emeralds_jobs counter\n")
+	b.WriteString("# HELP emeralds_jobs Jobs completed, by harness worker slot.\n")
+	var done uint64
+	for w, n := range s.workers {
+		fmt.Fprintf(&b, "emeralds_jobs_total{label=%q,worker=\"%d\"} %d\n", s.label, w, n)
+		done += n
+	}
+	b.WriteString("# TYPE emeralds_jobs_expected gauge\n")
+	fmt.Fprintf(&b, "emeralds_jobs_expected{label=%q} %d\n", s.label, s.total)
+	b.WriteString("# TYPE emeralds_jobs_done gauge\n")
+	fmt.Fprintf(&b, "emeralds_jobs_done{label=%q} %d\n", s.label, done)
+	b.WriteString("# TYPE emeralds_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "emeralds_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+	snap := s.kernel.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "# TYPE emeralds_kernel_%s counter\n", name)
+		fmt.Fprintf(&b, "emeralds_kernel_%s_total %d\n", name, snap[name])
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}
+
+// CheckOpenMetrics validates an exposition against the slice of the
+// OpenMetrics 1.0 grammar this package emits: every sample must belong
+// to a family declared by a preceding # TYPE line (counters sampled
+// with the _total suffix), values must parse as numbers, and the
+// exposition must end with exactly one # EOF. It is the well-formedness
+// gate scripts/omlint applies to live scrapes in CI.
+func CheckOpenMetrics(text []byte) error {
+	lines := strings.Split(string(text), "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" || lines[len(lines)-2] != "# EOF" {
+		return fmt.Errorf("exposition must end with \"# EOF\\n\"")
+	}
+	types := map[string]string{} // family -> counter|gauge
+	for no, line := range lines[:len(lines)-2] {
+		if line == "" {
+			return fmt.Errorf("line %d: blank line inside exposition", no+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				if f[3] != "counter" && f[3] != "gauge" {
+					return fmt.Errorf("line %d: unsupported type %q", no+1, f[3])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value: %q", no+1, line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[sp+1:], "%g", &v); err != nil {
+			return fmt.Errorf("line %d: bad value %q", no+1, line[sp+1:])
+		}
+		family := name
+		if strings.HasSuffix(name, "_total") {
+			family = strings.TrimSuffix(name, "_total")
+		}
+		kind, ok := types[family]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", no+1, name)
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("line %d: counter sample %q lacks _total suffix", no+1, name)
+		}
+		if kind == "counter" && v < 0 {
+			return fmt.Errorf("line %d: negative counter %q", no+1, name)
+		}
+	}
+	return nil
+}

@@ -76,6 +76,7 @@ func (k *Kernel) doMigrate(th *Thread, target int) {
 		// preemption so replay can partition the span.
 		k.trAddDur(traceKindMigrate, tcb.Name, fmt.Sprintf("to=cpu%d", target), src.ovAcc)
 		src.ovAcc = 0
+		src.noteIdle(k.eng.Now())
 		src.current = nil
 	} else {
 		k.trAdd(traceKindMigrate, tcb.Name, fmt.Sprintf("to=cpu%d", target))

@@ -307,6 +307,7 @@ func (k *Kernel) resched() {
 		c.ovAcc = 0
 	}
 	if next == nil {
+		c.noteIdle(k.eng.Now())
 		c.current = nil
 		k.trAdd(traceKindIdle, "-", "")
 		return
@@ -317,6 +318,7 @@ func (k *Kernel) resched() {
 		c.met.Inc(metrics.ContextSwitches)
 	}
 	k.charge(k.prof.ContextSwitch, &k.stats.SwitchCharge)
+	c.noteBusy(k.eng.Now())
 	c.current = k.byTCB[next]
 	k.trAdd(traceKindDispatch, next.Name, "")
 	k.continueThread(c.current)

@@ -243,6 +243,29 @@ type cpu struct {
 	reschedPending bool           // reschedule deferred past a non-preemptible segment
 	needResched    bool           // cross-CPU wakeup pending; served by an IPI
 	met            *metrics.Set   // this CPU's counter shard
+
+	// Busy-time accounting for the telemetry sampler: busyAcc is the
+	// wall span this CPU spent non-idle (current != nil) over closed
+	// occupancies, busyAt the instant the open one started. Updated only
+	// at dispatch/idle transitions, so the cost is per context switch,
+	// not per event.
+	busyAcc vtime.Duration
+	busyAt  vtime.Time
+}
+
+// noteIdle closes the CPU's open busy span at instant now. Callers flip
+// current to nil right after.
+func (c *cpu) noteIdle(now vtime.Time) {
+	if c.current != nil {
+		c.busyAcc += now.Sub(c.busyAt)
+	}
+}
+
+// noteBusy opens a busy span at instant now if the CPU was idle.
+func (c *cpu) noteBusy(now vtime.Time) {
+	if c.current == nil {
+		c.busyAt = now
+	}
 }
 
 // lockDomain is the busy window of one simulated kernel lock.
@@ -474,6 +497,45 @@ func (k *Kernel) Current() *Thread { return k.cpus[0].current }
 
 // CurrentOn returns the thread running on CPU c (nil when idle).
 func (k *Kernel) CurrentOn(c int) *Thread { return k.cpus[c].current }
+
+// BusyOn reports the cumulative wall span CPU c has spent non-idle
+// (some thread current), including the open span of a thread running
+// right now. It is exact: spans are closed at every dispatch/idle
+// transition. The telemetry sampler diffs it per tick for utilization.
+func (k *Kernel) BusyOn(c int) vtime.Duration {
+	cp := k.cpus[c]
+	if cp.current != nil {
+		return cp.busyAcc + k.eng.Now().Sub(cp.busyAt)
+	}
+	return cp.busyAcc
+}
+
+// ReadyCountOn reports CPU c's run-queue depth: admitted threads in the
+// Ready state owned by that CPU, excluding the one currently running
+// and any task in migration transit. O(threads); the telemetry sampler
+// calls it once per tick, never from a kernel hot path.
+func (k *Kernel) ReadyCountOn(c int) int {
+	n := 0
+	for _, th := range k.threads {
+		if th.TCB.CPU == c && th.TCB.State == task.Ready && !th.migrating && th != k.cpus[c].current {
+			n++
+		}
+	}
+	return n
+}
+
+// NumMailboxes reports how many mailboxes exist on the node.
+func (k *Kernel) NumMailboxes() int { return len(k.mboxes) }
+
+// QueuedMessages reports the instantaneous total of messages sitting in
+// all mailboxes — the occupancy gauge the telemetry sampler records.
+func (k *Kernel) QueuedMessages() int {
+	n := 0
+	for _, mb := range k.mboxes {
+		n += mb.box.Len()
+	}
+	return n
+}
 
 // NewProcess creates an address space and returns its id.
 func (k *Kernel) NewProcess() int { return k.memsys.NewSpace() }

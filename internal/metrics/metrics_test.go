@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"emeralds/internal/stats"
@@ -97,6 +98,104 @@ func TestMergeShards(t *testing.T) {
 	}
 	if a.Get(Dispatches) != 1 {
 		t.Error("MergeShards mutated an input shard")
+	}
+}
+
+// TestMergeShardsDegenerate: the fold must behave on the shapes the
+// kernel can actually hand it — no shards, all-nil shards, and a single
+// empty shard all merge to a usable zero Set.
+func TestMergeShardsDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shards []*Set
+	}{
+		{"no-shards", nil},
+		{"empty-slice", []*Set{}},
+		{"all-nil", []*Set{nil, nil, nil}},
+		{"one-zero", []*Set{{}}},
+	} {
+		m := MergeShards(tc.shards)
+		if m == nil {
+			t.Fatalf("%s: MergeShards returned nil", tc.name)
+		}
+		for id := ID(0); id < NumIDs; id++ {
+			if m.Get(id) != 0 {
+				t.Errorf("%s: counter %s = %d, want 0", tc.name, id, m.Get(id))
+			}
+		}
+		// The result must be writable, not a shared sentinel.
+		m.Inc(Dispatches)
+		if m.Get(Dispatches) != 1 {
+			t.Errorf("%s: merged set not writable", tc.name)
+		}
+	}
+}
+
+// TestSnapshotStability: Snapshot is a pure read — repeated calls on an
+// unchanged Set agree, and the zero-omission rule for multicore
+// counters flips per counter, not per set.
+func TestSnapshotStability(t *testing.T) {
+	var s Set
+	s.Add(Dispatches, 5)
+	s.Inc(IPIs) // one multicore counter non-zero, the rest zero
+	a, b := s.Snapshot(), s.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshots differ in size: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("snapshot key %s: %d vs %d", k, v, b[k])
+		}
+	}
+	if _, ok := a["ipis"]; !ok {
+		t.Error("non-zero multicore counter omitted")
+	}
+	for _, k := range []string{"migrations", "lock_contentions", "lock_wait_ns"} {
+		if _, ok := a[k]; ok {
+			t.Errorf("zero multicore counter %s serialized", k)
+		}
+	}
+	// Mutating the returned map must not write through to the Set.
+	a["dispatches"] = 999
+	if s.Get(Dispatches) != 5 || s.Snapshot()["dispatches"] != 5 {
+		t.Error("snapshot aliases the live counters")
+	}
+}
+
+// TestConcurrentShardedInc is the -race proof of the multicore counter
+// discipline: Set.Inc is deliberately not atomic (one add, zero sync in
+// the hot path), so concurrent writers must use disjoint shards and
+// fold them afterwards with MergeShards — exactly what the per-CPU
+// kernel does.
+func TestConcurrentShardedInc(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 10000
+	)
+	shards := make([]*Set, writers)
+	for i := range shards {
+		shards[i] = &Set{}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(s *Set) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Inc(Dispatches)
+				if i%10 == 0 {
+					s.Add(SemAcquires, 2)
+				}
+			}
+		}(shards[w])
+	}
+	wg.Wait()
+	m := MergeShards(shards)
+	if got := m.Get(Dispatches); got != writers*perW {
+		t.Errorf("dispatches = %d, want %d", got, writers*perW)
+	}
+	if got := m.Get(SemAcquires); got != writers*perW/10*2 {
+		t.Errorf("sem_acquires = %d, want %d", got, writers*perW/10*2)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"sort"
+	"strings"
 
 	"emeralds/internal/harness"
 )
@@ -16,6 +17,10 @@ type CampaignConfig struct {
 	Workers   int   // harness fan-out; 0 = all host CPUs
 	Minimize  bool  // delta-debug each violating scenario into a repro
 	Progress  io.Writer
+	// Scrape, when non-nil, feeds the live OpenMetrics surface:
+	// per-worker job throughput from the harness plus each scenario's
+	// merged kernel counters. Advisory; never affects the report.
+	Scrape *harness.Scrape
 }
 
 // Violation pairs a finding with the scenario that produced it and,
@@ -24,6 +29,14 @@ type Violation struct {
 	Scenario  *Scenario `json:"scenario"`
 	Finding   Finding   `json:"finding"`
 	Minimized *Scenario `json:"minimized,omitempty"`
+}
+
+// Anomaly is one compact telemetry annotation: which scenario, what the
+// flight recorder saw. Advisory — anomalies never fail a campaign.
+type Anomaly struct {
+	Index  int    `json:"index"` // scenario index
+	Kind   string `json:"kind"`  // scenario archetype
+	Detail string `json:"detail"`
 }
 
 // CampaignReport is the deterministic result of a campaign: identical
@@ -38,6 +51,10 @@ type CampaignReport struct {
 	PerOracle   map[string]int `json:"per_oracle,omitempty"`
 	PerKind     map[string]int `json:"per_kind"` // scenarios per archetype
 	Violations  []Violation    `json:"violations,omitempty"`
+	// Anomalous counts scenarios with at least one telemetry
+	// annotation; Anomalies lists them all (advisory).
+	Anomalous int       `json:"anomalous,omitempty"`
+	Anomalies []Anomaly `json:"anomalies,omitempty"`
 }
 
 type campaignJob struct {
@@ -55,9 +72,14 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, erro
 		BaseSeed: cfg.BaseSeed,
 		Label:    "emfuzz",
 		Progress: cfg.Progress,
+		Scrape:   cfg.Scrape,
 	}, func(ctx context.Context, job harness.Job) (campaignJob, error) {
 		s := Gen(cfg.BaseSeed, job.Index, cfg.CPUs)
-		return campaignJob{scenario: s, result: Run(s)}, nil
+		res := Run(s)
+		if cfg.Scrape != nil {
+			cfg.Scrape.MergeCounters(res.Counters())
+		}
+		return campaignJob{scenario: s, result: res}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -86,11 +108,35 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, erro
 			}
 			rep.Violations = append(rep.Violations, v)
 		}
+		if len(j.result.Anomalies) > 0 {
+			rep.Anomalous++
+			for _, f := range j.result.Anomalies {
+				rep.Anomalies = append(rep.Anomalies,
+					Anomaly{Index: j.scenario.Index, Kind: j.scenario.Name, Detail: f.Detail})
+			}
+		}
 	}
 	if len(rep.PerOracle) == 0 {
 		rep.PerOracle = nil
 	}
 	return rep, nil
+}
+
+// AnomalyClasses buckets the telemetry annotations by their leading
+// class token ("slo", "burn-rate", "change-point") for summary tables.
+func (r *CampaignReport) AnomalyClasses() map[string]int {
+	if len(r.Anomalies) == 0 {
+		return nil
+	}
+	out := map[string]int{}
+	for _, a := range r.Anomalies {
+		class := a.Detail
+		if i := strings.IndexByte(class, ' '); i >= 0 {
+			class = class[:i]
+		}
+		out[class]++
+	}
+	return out
 }
 
 // OracleOrder returns the report's violated-oracle names sorted, for

@@ -7,8 +7,11 @@ import (
 	"emeralds/internal/attrib"
 	"emeralds/internal/core"
 	"emeralds/internal/costmodel"
+	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
+	"emeralds/internal/telemetry"
+	"emeralds/internal/vtime"
 )
 
 // Oracle kinds, in the order the findings report groups them.
@@ -20,6 +23,14 @@ const (
 	OracleTruncated    = "truncated"       // trace ring overflowed despite horizon sizing
 	OraclePanic        = "panic"           // the simulation itself panicked
 )
+
+// AnnoTelemetry is the fifth, advisory channel: flight-recorder SLO
+// failures, burn-rate alerts, and change points. Telemetry anomalies
+// annotate findings — they localize *when* a run went wrong — but are
+// not oracle violations: an anomalous-but-correct run (an infeasible
+// set missing deadlines, exactly as analysis predicts) must not fail
+// the campaign.
+const AnnoTelemetry = "telemetry-anomaly"
 
 // Finding is one oracle violation.
 type Finding struct {
@@ -35,7 +46,17 @@ type Result struct {
 	// Feasible is the analysis verdict; meaningful only when the
 	// scenario is analysis-clean.
 	Feasible bool `json:"feasible"`
+	// Anomalies are AnnoTelemetry annotations from the flight recorder:
+	// advisory, never counted as violations.
+	Anomalies []Finding `json:"anomalies,omitempty"`
+
+	// counters is the merged per-CPU kernel counter set, fed to the live
+	// scrape surface during campaigns.
+	counters *metrics.Set
 }
+
+// Counters returns the run's merged kernel counters (nil before Run).
+func (r *Result) Counters() *metrics.Set { return r.counters }
 
 // Run executes the scenario and checks every applicable oracle. It
 // never panics: a panic anywhere in build/boot/simulate surfaces as an
@@ -52,6 +73,18 @@ func Run(s *Scenario) (res *Result) {
 	sys, aper, err := Build(s)
 	if err != nil {
 		res.Findings = append(res.Findings, Finding{OraclePanic, "build: " + err.Error()})
+		return res
+	}
+	// Flight recorder: ~256 samples across the horizon. The sampler
+	// only reads kernel state, so the simulation (and every other
+	// oracle) is unaffected by its presence.
+	interval := s.Horizon / 256
+	if interval <= 0 {
+		interval = vtime.Microsecond
+	}
+	rec, err := telemetry.Attach(sys.Kernel(), telemetry.Config{Interval: interval, Capacity: 512})
+	if err != nil {
+		res.Findings = append(res.Findings, Finding{OraclePanic, "telemetry: " + err.Error()})
 		return res
 	}
 	if err := sys.Boot(); err != nil {
@@ -75,6 +108,28 @@ func Run(s *Scenario) (res *Result) {
 
 	st := sys.Stats()
 	res.Misses, res.Completions = st.Misses, st.Completions
+
+	shards := make([]*metrics.Set, sys.Kernel().NumCPUs())
+	for c := range shards {
+		shards[c] = sys.Kernel().MetricsOn(c)
+	}
+	res.counters = metrics.MergeShards(shards)
+
+	// (e) telemetry annotations: SLO failures, burn-rate alerts, and
+	// change points over the sampled series. The p99 objective scales
+	// with the task set — a response beyond the longest period is
+	// pathological for any workload, while judging a 500 ms-period set
+	// against the stock 10 ms target would flag every slow-but-healthy
+	// scenario.
+	slo := telemetry.SLO{}
+	for _, t := range s.Tasks {
+		if p := t.Spec.Period.Micros(); p > slo.P99Us {
+			slo.P99Us = p
+		}
+	}
+	for _, msg := range telemetry.Analyze(rec.Series(), slo).Anomalies() {
+		res.Anomalies = append(res.Anomalies, Finding{AnnoTelemetry, msg})
+	}
 
 	// (d) kernel invariants.
 	for _, msg := range sys.Kernel().CheckInvariants() {

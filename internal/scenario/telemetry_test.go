@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"emeralds/internal/metrics"
+)
+
+// TestOverrunScenarioFlagsTelemetryAnomaly is the acceptance regression
+// for the flight-recorder wiring: a seeded WCET-overrun scenario — one
+// whose "liar" task executes past its declared budget — must carry at
+// least one telemetry annotation localizing the misbehavior.
+func TestOverrunScenarioFlagsTelemetryAnomaly(t *testing.T) {
+	// Overrun is archetype index%7 == 4; scan the first few seeds of
+	// that lane for one where the lie actually produces misses or
+	// overruns (some draws stay schedulable despite lying).
+	for idx := 4; idx < 4+7*10; idx += 7 {
+		s := Gen(1, idx, 1)
+		if s.Name != "overrun" {
+			t.Fatalf("index %d generated archetype %q, want overrun", idx, s.Name)
+		}
+		res := Run(s)
+		if res.Misses == 0 {
+			continue
+		}
+		if len(res.Anomalies) == 0 {
+			t.Fatalf("overrun scenario %d missed %d deadlines but carries no telemetry anomaly", idx, res.Misses)
+		}
+		for _, a := range res.Anomalies {
+			if a.Oracle != AnnoTelemetry {
+				t.Errorf("anomaly carries oracle %q, want %q", a.Oracle, AnnoTelemetry)
+			}
+		}
+		return
+	}
+	t.Fatal("no overrun scenario with misses in the first 10 seeds — generator changed?")
+}
+
+// TestAnomaliesAreNotViolations: telemetry annotations must never leak
+// into Findings (which gate exit status and CI).
+func TestAnomaliesAreNotViolations(t *testing.T) {
+	s := Gen(1, 4, 1) // overrun archetype
+	res := Run(s)
+	for _, f := range res.Findings {
+		if f.Oracle == AnnoTelemetry {
+			t.Errorf("telemetry anomaly appeared among oracle findings: %s", f.Detail)
+		}
+		if strings.HasPrefix(f.Detail, "slo ") || strings.HasPrefix(f.Detail, "burn-rate ") {
+			t.Errorf("telemetry-shaped detail in findings: %s", f.Detail)
+		}
+	}
+}
+
+// TestCampaignAggregatesAnomalies: the campaign report counts anomalous
+// scenarios and buckets annotations by class without inflating the
+// violation list.
+func TestCampaignAggregatesAnomalies(t *testing.T) {
+	rep, err := RunCampaign(context.Background(), CampaignConfig{
+		Scenarios: 21, // three full archetype cycles, incl. 3 overruns
+		BaseSeed:  1,
+		CPUs:      1,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Anomalous == 0 || len(rep.Anomalies) == 0 {
+		t.Fatal("21-scenario campaign produced no telemetry annotations")
+	}
+	if rep.Anomalous > rep.Scenarios {
+		t.Errorf("anomalous %d > scenarios %d", rep.Anomalous, rep.Scenarios)
+	}
+	classes := rep.AnomalyClasses()
+	total := 0
+	for cl, n := range classes {
+		switch cl {
+		case "slo", "burn-rate", "change-point":
+		default:
+			t.Errorf("unexpected anomaly class %q", cl)
+		}
+		total += n
+	}
+	if total != len(rep.Anomalies) {
+		t.Errorf("class buckets sum to %d, %d anomalies", total, len(rep.Anomalies))
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("anomalies inflated violations: %+v", rep.Violations)
+	}
+}
+
+// TestResultCounters: Run exposes the merged kernel counters for the
+// live scrape surface.
+func TestResultCounters(t *testing.T) {
+	res := Run(Gen(1, 0, 1))
+	if res.Counters() == nil {
+		t.Fatal("no counters on a completed run")
+	}
+	if res.Counters().Get(metrics.Dispatches) == 0 {
+		t.Error("dispatch counter is zero after a full scenario")
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"emeralds/internal/vtime"
+)
+
+// sparkBars mirrors internal/stats: eight levels plus space for zero.
+var sparkBars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a unicode bar strip of at most width
+// cells, bucket-averaging when the series is longer than the strip.
+// Scaling is relative to the series maximum; an all-zero series renders
+// as spaces so quiet channels read as silence.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(vals) {
+		width = len(vals)
+	}
+	cells := make([]float64, width)
+	max := 0.0
+	for c := 0; c < width; c++ {
+		a := c * len(vals) / width
+		b := (c + 1) * len(vals) / width
+		if b == a {
+			b = a + 1
+		}
+		sum := 0.0
+		for i := a; i < b; i++ {
+			sum += vals[i]
+		}
+		cells[c] = sum / float64(b-a)
+		if cells[c] > max {
+			max = cells[c]
+		}
+	}
+	var sb strings.Builder
+	for _, v := range cells {
+		if max == 0 || v <= 0 {
+			sb.WriteRune(' ')
+			continue
+		}
+		lvl := int(v / max * float64(len(sparkBars)))
+		if lvl >= len(sparkBars) {
+			lvl = len(sparkBars) - 1
+		}
+		sb.WriteRune(sparkBars[lvl])
+	}
+	return sb.String()
+}
+
+// sparkWidth is the strip width RenderText uses for every channel.
+const sparkWidth = 48
+
+// RenderText prints the flight-recorder summary: channel sparklines,
+// the window table, SLO verdicts, burn-rate alerts, and change points.
+// Output is deterministic — the same series and objectives always
+// render the same bytes (cmd/emstat locks this with a golden test).
+func (r *Report) RenderText(w io.Writer, s *Series, title string) {
+	fmt.Fprintf(w, "flight recorder: %s\n", title)
+	fmt.Fprintf(w, "  %d samples @ %v, span %v, %d cpu(s)",
+		s.Samples, vtime.Duration(s.IntervalNs), s.Span(), s.CPUs)
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "  [ring dropped %d samples; series starts at %v]", s.Dropped, vtime.Time(s.StartNs))
+	}
+	fmt.Fprintln(w)
+	if s.Samples == 0 {
+		fmt.Fprintln(w, "  (empty series)")
+		return
+	}
+	fmt.Fprintln(w)
+
+	util := s.utilSeries()
+	sum := func(vals []float64) float64 {
+		t := 0.0
+		for _, v := range vals {
+			t += v
+		}
+		return t
+	}
+	maxOf := func(vals []float64) float64 {
+		m := 0.0
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	channel := func(name, col string) {
+		d := s.Deltas(col)
+		if d == nil {
+			return
+		}
+		c := s.Col(col)
+		note := fmt.Sprintf("total %.0f", sum(d))
+		if c.Kind == KindGauge {
+			note = fmt.Sprintf("max %.0f", maxOf(d))
+		}
+		fmt.Fprintf(w, "  %-14s %-*s %s\n", name, sparkWidth, Sparkline(d, sparkWidth), note)
+	}
+	channel("releases", "releases")
+	channel("completions", "completions")
+	channel("misses", "misses")
+	channel("preemptions", "preemptions")
+	fmt.Fprintf(w, "  %-14s %-*s avg %.1f%%\n", "utilization",
+		sparkWidth, Sparkline(util, sparkWidth), sum(util)/float64(len(util))*100)
+	channel("ready", "ready")
+	channel("migrations", "migrations")
+	channel("mailboxes", "mailbox_queued")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "  windows:")
+	fmt.Fprintf(w, "  %-24s %9s %7s %7s %7s %9s\n", "window", "releases", "misses", "miss%", "util%", "p99us")
+	for _, win := range r.Windows {
+		fmt.Fprintf(w, "  %-24s %9d %7d %6.2f%% %6.1f%% %9.1f\n",
+			fmt.Sprintf("(%v, %v]", win.From, win.To),
+			win.Releases, win.Misses, win.MissRate*100, win.Util*100, win.P99Us)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "  slo verdicts:")
+	for _, v := range r.Verdicts {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s  %-13s observed %-22s target %s\n", mark, v.Name, v.Observed, v.Target)
+	}
+	fmt.Fprintln(w)
+
+	if len(r.Alerts) == 0 {
+		fmt.Fprintln(w, "  burn-rate alerts: none")
+	} else {
+		fmt.Fprintln(w, "  burn-rate alerts:")
+		for _, a := range r.Alerts {
+			fmt.Fprintf(w, "    (%v, %v]  burn %.1fx budget (short-window %.1fx)\n", a.From, a.To, a.PeakBurn, a.ShortBurn)
+		}
+	}
+	if len(r.Changes) == 0 {
+		fmt.Fprintln(w, "  change points: none")
+	} else {
+		fmt.Fprintln(w, "  change points:")
+		for _, c := range r.Changes {
+			fmt.Fprintf(w, "    %-12s %-4s onset %v (detected %v)\n", c.Series, c.Direction, c.Onset, c.Detected)
+		}
+	}
+}
+
+// utilSeries derives per-tick utilization (0..1) from the busy_ns
+// deltas.
+func (s *Series) utilSeries() []float64 {
+	util := s.Deltas("busy_ns")
+	denom := float64(s.IntervalNs) * float64(s.CPUs)
+	for i := range util {
+		util[i] /= denom
+	}
+	return util
+}

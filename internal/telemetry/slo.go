@@ -1,0 +1,380 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"emeralds/internal/vtime"
+)
+
+// SLO analysis over a flight-recorder series.
+//
+// Three objectives, borrowed from the SRE playbook but evaluated over
+// simulated time: deadline-miss rate (the real-time error budget), p99
+// response time, and utilization headroom. On top of the whole-run
+// verdicts, two localizers say *when* behavior went wrong:
+//
+//   - multi-window burn-rate alerts: the miss budget is burning at
+//     BurnThreshold× the sustainable rate over BOTH a long and a short
+//     sliding window. The long window filters blips, the short one
+//     confirms the burn is still live — the standard two-window trick
+//     to get fast detection without flappy alerts.
+//   - CUSUM change points: a two-sided cumulative-sum detector (slack
+//     k=σ/2, decision h=5σ) over per-tick miss increments, utilization,
+//     and run-queue depth, reporting the onset of each sustained mean
+//     shift — e.g. the overload instant in a WCET-overrun scenario.
+
+// SLO holds the objectives. Zero values mean "use the default".
+type SLO struct {
+	MissRate    float64 // max fraction of releases that miss (default 0.01)
+	P99Us       float64 // max p99 response time in µs (default 10 000)
+	MinHeadroom float64 // min 1-utilization (default 0.10)
+}
+
+// DefaultSLO returns the stock objectives.
+func DefaultSLO() SLO {
+	return SLO{MissRate: 0.01, P99Us: 10_000, MinHeadroom: 0.10}
+}
+
+func (o SLO) withDefaults() SLO {
+	d := DefaultSLO()
+	if o.MissRate == 0 {
+		o.MissRate = d.MissRate
+	}
+	if o.P99Us == 0 {
+		o.P99Us = d.P99Us
+	}
+	if o.MinHeadroom == 0 {
+		o.MinHeadroom = d.MinHeadroom
+	}
+	return o
+}
+
+// BurnThreshold is the burn-rate multiple that fires an alert: the miss
+// budget is being consumed at ≥2× the rate that would exactly exhaust
+// it over the run.
+const BurnThreshold = 2.0
+
+// Window aggregates one contiguous sample range (From, To].
+type Window struct {
+	From, To    vtime.Time
+	Releases    uint64
+	Completions uint64
+	Misses      uint64
+	MissRate    float64 // misses / releases, 0 when no releases
+	Util        float64 // Δbusy / (span × cpus)
+	Headroom    float64 // 1 − Util
+	P99Us       float64 // from response-bucket deltas, 0 when idle
+}
+
+// Verdict is one objective's whole-run outcome.
+type Verdict struct {
+	Name     string
+	Target   string
+	Observed string
+	Pass     bool
+}
+
+// BurnAlert is a merged interval of samples where both burn windows
+// exceeded BurnThreshold.
+type BurnAlert struct {
+	From, To  vtime.Time
+	PeakBurn  float64 // max long-window burn inside the interval
+	ShortBurn float64 // short-window burn at the peak
+}
+
+// ChangePoint is one sustained mean shift found by CUSUM.
+type ChangePoint struct {
+	Series    string
+	Direction string     // "up" or "down"
+	Onset     vtime.Time // where the excursion started
+	Detected  vtime.Time // where it crossed the decision threshold
+}
+
+// Report bundles the full analysis of one series.
+type Report struct {
+	SLO      SLO
+	Windows  []Window
+	Verdicts []Verdict
+	Alerts   []BurnAlert
+	Changes  []ChangePoint
+}
+
+// cumAt reads cumulative counter c at sample i; i == -1 addresses the
+// window baseline before the first retained sample — zero for a
+// complete series, the first retained value when the ring dropped the
+// prefix (so deltas never go negative, at the cost of an empty first
+// tick).
+func (s *Series) cumAt(c *Column, i int) uint64 {
+	if i < 0 {
+		if s.Dropped > 0 && len(c.Vals) > 0 {
+			return c.Vals[0]
+		}
+		return 0
+	}
+	return c.Vals[i]
+}
+
+// delta is the counter increment over samples (a, b].
+func (s *Series) delta(name string, a, b int) uint64 {
+	c := s.Col(name)
+	if c == nil {
+		return 0
+	}
+	return s.cumAt(c, b) - s.cumAt(c, a)
+}
+
+// window aggregates samples (a, b].
+func (s *Series) window(a, b int) Window {
+	w := Window{
+		From:     s.TimeAt(a),
+		To:       s.TimeAt(b),
+		Releases: s.delta("releases", a, b),
+		Misses:   s.delta("misses", a, b),
+	}
+	w.Completions = s.delta("completions", a, b)
+	if w.Releases > 0 {
+		w.MissRate = float64(w.Misses) / float64(w.Releases)
+	}
+	span := float64(int64(b-a) * s.IntervalNs)
+	if span > 0 && s.CPUs > 0 {
+		w.Util = float64(s.delta("busy_ns", a, b)) / (span * float64(s.CPUs))
+	}
+	w.Headroom = 1 - w.Util
+	w.P99Us = s.p99Us(a, b)
+	return w
+}
+
+// p99Us computes the 99th-percentile response over samples (a, b] from
+// the log-bucket deltas, reported as the matched bucket's upper bound.
+func (s *Series) p99Us(a, b int) float64 {
+	var counts [RespBuckets]uint64
+	var total uint64
+	for i := 0; i < RespBuckets; i++ {
+		counts[i] = s.delta(RespColName(i), a, b)
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(0.99 * float64(total)))
+	var seen uint64
+	for i := 0; i < RespBuckets; i++ {
+		seen += counts[i]
+		if seen >= rank {
+			return RespBoundUs(i)
+		}
+	}
+	return RespBoundUs(RespBuckets - 1)
+}
+
+// Windows splits the retained samples into n equal aggregation windows.
+func (s *Series) Windows(n int) []Window {
+	if n <= 0 {
+		n = 8
+	}
+	if n > s.Samples {
+		n = s.Samples
+	}
+	out := make([]Window, 0, n)
+	for w := 0; w < n; w++ {
+		a := w*s.Samples/n - 1
+		b := (w+1)*s.Samples/n - 1
+		out = append(out, s.window(a, b))
+	}
+	return out
+}
+
+// Analyze runs the full pipeline: whole-run verdicts, burn-rate alerts,
+// and change points.
+func Analyze(s *Series, slo SLO) *Report {
+	slo = slo.withDefaults()
+	r := &Report{SLO: slo}
+	if s.Samples == 0 {
+		return r
+	}
+	r.Windows = s.Windows(8)
+
+	whole := s.window(-1, s.Samples-1)
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+	r.Verdicts = []Verdict{
+		{
+			Name:     "miss-rate",
+			Target:   "<= " + pct(slo.MissRate),
+			Observed: fmt.Sprintf("%s (%d/%d)", pct(whole.MissRate), whole.Misses, whole.Releases),
+			Pass:     whole.MissRate <= slo.MissRate,
+		},
+		{
+			Name:     "p99-response",
+			Target:   fmt.Sprintf("<= %.0fus", slo.P99Us),
+			Observed: fmt.Sprintf("%.1fus", whole.P99Us),
+			Pass:     whole.P99Us <= slo.P99Us,
+		},
+		{
+			Name:     "headroom",
+			Target:   ">= " + pct(slo.MinHeadroom),
+			Observed: pct(whole.Headroom),
+			Pass:     whole.Headroom >= slo.MinHeadroom,
+		},
+	}
+
+	r.Alerts = s.burnAlerts(slo)
+	r.Changes = s.ChangePoints()
+	return r
+}
+
+// burnAlerts slides the two burn windows across the series and merges
+// consecutive firing samples into intervals.
+func (s *Series) burnAlerts(slo SLO) []BurnAlert {
+	long := s.Samples / 8
+	if long < 4 {
+		long = 4
+	}
+	short := s.Samples / 32
+	if short < 2 {
+		short = 2
+	}
+	if long > s.Samples {
+		long = s.Samples
+	}
+	if short > long {
+		short = long
+	}
+	burn := func(i, w int) float64 {
+		a := i - w
+		if a < -1 {
+			a = -1
+		}
+		rel := s.delta("releases", a, i)
+		if rel == 0 {
+			return 0
+		}
+		rate := float64(s.delta("misses", a, i)) / float64(rel)
+		return rate / slo.MissRate
+	}
+	var alerts []BurnAlert
+	open := false
+	for i := 0; i < s.Samples; i++ {
+		lb, sb := burn(i, long), burn(i, short)
+		firing := lb >= BurnThreshold && sb >= BurnThreshold
+		switch {
+		case firing && !open:
+			alerts = append(alerts, BurnAlert{From: s.TimeAt(i), To: s.TimeAt(i), PeakBurn: lb, ShortBurn: sb})
+			open = true
+		case firing:
+			a := &alerts[len(alerts)-1]
+			a.To = s.TimeAt(i)
+			if lb > a.PeakBurn {
+				a.PeakBurn, a.ShortBurn = lb, sb
+			}
+		default:
+			open = false
+		}
+	}
+	return alerts
+}
+
+// cusumSeries lists the derived series the change-point detector
+// watches, in report order.
+func (s *Series) cusumSeries() []struct {
+	name string
+	vals []float64
+} {
+	return []struct {
+		name string
+		vals []float64
+	}{
+		{"miss-rate", s.Deltas("misses")},
+		{"utilization", s.utilSeries()},
+		{"ready-depth", s.Deltas("ready")},
+	}
+}
+
+// ChangePoints runs the two-sided CUSUM detector over the watched
+// series.
+func (s *Series) ChangePoints() []ChangePoint {
+	var out []ChangePoint
+	for _, d := range s.cusumSeries() {
+		out = append(out, s.cusum(d.name, d.vals)...)
+	}
+	return out
+}
+
+// cusum is the textbook two-sided detector: accumulate deviations from
+// the series mean beyond a slack of k=σ/2; when either side's sum
+// crosses h=5σ, report a change with onset at the start of that
+// excursion, then reset both sides.
+func (s *Series) cusum(name string, vals []float64) []ChangePoint {
+	n := len(vals)
+	if n < 8 {
+		return nil
+	}
+	var sum, sq float64
+	for _, v := range vals {
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sigma := math.Sqrt(variance)
+	if sigma == 0 {
+		return nil // flat series: nothing can shift
+	}
+	k, h := 0.5*sigma, 5*sigma
+	var hi, lo float64
+	hiStart, loStart := 0, 0
+	var out []ChangePoint
+	// One report per direction: a sustained shift keeps the sum above
+	// threshold against the global mean, so without this the same
+	// regime change would be re-detected every few samples.
+	seenUp, seenDown := false, false
+	for i, v := range vals {
+		hi += v - mean - k
+		if hi <= 0 {
+			hi, hiStart = 0, i+1
+		}
+		lo += mean - v - k
+		if lo <= 0 {
+			lo, loStart = 0, i+1
+		}
+		switch {
+		case hi > h:
+			if !seenUp {
+				out = append(out, ChangePoint{Series: name, Direction: "up", Onset: s.TimeAt(hiStart), Detected: s.TimeAt(i)})
+				seenUp = true
+			}
+			hi, lo = 0, 0
+			hiStart, loStart = i+1, i+1
+		case lo > h:
+			if !seenDown {
+				out = append(out, ChangePoint{Series: name, Direction: "down", Onset: s.TimeAt(loStart), Detected: s.TimeAt(i)})
+				seenDown = true
+			}
+			hi, lo = 0, 0
+			hiStart, loStart = i+1, i+1
+		}
+	}
+	return out
+}
+
+// Anomalies flattens a report into human-readable annotation strings —
+// the emfuzz "telemetry anomaly" feed. SLO misses, live burn alerts,
+// and change points each contribute one line.
+func (r *Report) Anomalies() []string {
+	var out []string
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			out = append(out, fmt.Sprintf("slo %s: observed %s vs target %s", v.Name, v.Observed, v.Target))
+		}
+	}
+	for _, a := range r.Alerts {
+		out = append(out, fmt.Sprintf("burn-rate %.1fx over budget in [%v, %v]", a.PeakBurn, a.From, a.To))
+	}
+	for _, c := range r.Changes {
+		out = append(out, fmt.Sprintf("change-point %s %s at %v (detected %v)", c.Series, c.Direction, c.Onset, c.Detected))
+	}
+	return out
+}

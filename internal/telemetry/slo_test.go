@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"testing"
+
+	"emeralds/internal/vtime"
+)
+
+// synth builds a hand-rolled series with the named counter/gauge
+// columns, one value per sample; omitted columns read as zero.
+func synth(interval vtime.Duration, cols map[string][]uint64, gauges map[string]bool) *Series {
+	s := &Series{
+		Schema:     Schema,
+		IntervalNs: int64(interval),
+		StartNs:    int64(interval),
+		CPUs:       1,
+	}
+	for name, vals := range cols {
+		kind := KindCounter
+		if gauges[name] {
+			kind = KindGauge
+		}
+		s.Columns = append(s.Columns, Column{Name: name, Kind: kind, Vals: vals})
+		s.Samples = len(vals)
+	}
+	return s
+}
+
+// cum converts per-tick increments into a cumulative counter column.
+func cum(deltas []uint64) []uint64 {
+	out := make([]uint64, len(deltas))
+	var acc uint64
+	for i, d := range deltas {
+		acc += d
+		out[i] = acc
+	}
+	return out
+}
+
+func TestWindows(t *testing.T) {
+	// 8 samples, 10 releases/tick; misses only in the second half.
+	rel := make([]uint64, 8)
+	mis := make([]uint64, 8)
+	busy := make([]uint64, 8)
+	for i := range rel {
+		rel[i] = 10
+		busy[i] = uint64(vtime.Millisecond) / 2 // 50% utilization
+		if i >= 4 {
+			mis[i] = 5
+		}
+	}
+	s := synth(vtime.Millisecond, map[string][]uint64{
+		"releases": cum(rel),
+		"misses":   cum(mis),
+		"busy_ns":  cum(busy),
+	}, nil)
+	ws := s.Windows(2)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].MissRate != 0 {
+		t.Errorf("first half miss rate = %v", ws[0].MissRate)
+	}
+	if ws[1].MissRate != 0.5 {
+		t.Errorf("second half miss rate = %v, want 0.5", ws[1].MissRate)
+	}
+	for i, w := range ws {
+		if w.Util < 0.49 || w.Util > 0.51 {
+			t.Errorf("window %d util = %v, want 0.5", i, w.Util)
+		}
+		if w.Releases != 40 {
+			t.Errorf("window %d releases = %d", i, w.Releases)
+		}
+	}
+	if ws[0].From != 0 || ws[0].To != vtime.Time(4*vtime.Millisecond) {
+		t.Errorf("window 0 spans [%v, %v]", ws[0].From, ws[0].To)
+	}
+}
+
+func TestP99FromBuckets(t *testing.T) {
+	// 99 responses in bucket 2 (≤10 µs), 1 in bucket 6 (≤1 ms): p99
+	// lands exactly on the 99th value, still in bucket 2.
+	cols := map[string][]uint64{
+		RespColName(2): {99},
+		RespColName(6): {1},
+		"releases":     {100},
+	}
+	s := synth(vtime.Millisecond, cols, nil)
+	w := s.window(-1, 0)
+	if w.P99Us != 10 {
+		t.Errorf("p99 = %vus, want 10", w.P99Us)
+	}
+	// Tip the tail over 1%: p99 moves to the slow bucket.
+	cols[RespColName(6)] = []uint64{2}
+	s = synth(vtime.Millisecond, cols, nil)
+	if w := s.window(-1, 0); w.P99Us != 1000 {
+		t.Errorf("p99 = %vus, want 1000", w.P99Us)
+	}
+}
+
+func TestAnalyzeVerdicts(t *testing.T) {
+	// Clean series: no misses, light load → all objectives pass.
+	n := 32
+	rel := make([]uint64, n)
+	busy := make([]uint64, n)
+	resp := make([]uint64, n)
+	for i := range rel {
+		rel[i] = 10
+		busy[i] = uint64(vtime.Millisecond) / 4
+		resp[i] = 10
+	}
+	s := synth(vtime.Millisecond, map[string][]uint64{
+		"releases":     cum(rel),
+		"completions":  cum(rel),
+		"busy_ns":      cum(busy),
+		RespColName(2): cum(resp),
+	}, nil)
+	r := Analyze(s, SLO{})
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			t.Errorf("objective %s failed on a clean series: %s vs %s", v.Name, v.Observed, v.Target)
+		}
+	}
+	if len(r.Alerts) != 0 {
+		t.Errorf("burn alerts on a clean series: %+v", r.Alerts)
+	}
+}
+
+func TestBurnAlertLocalizesOverload(t *testing.T) {
+	// 64 quiet samples, then sustained 20% miss rate from sample 32 on.
+	n := 64
+	rel := make([]uint64, n)
+	mis := make([]uint64, n)
+	for i := range rel {
+		rel[i] = 10
+		if i >= 32 {
+			mis[i] = 2
+		}
+	}
+	s := synth(vtime.Millisecond, map[string][]uint64{
+		"releases": cum(rel),
+		"misses":   cum(mis),
+	}, nil)
+	r := Analyze(s, SLO{})
+	if len(r.Alerts) == 0 {
+		t.Fatal("no burn alert on a 20x burn")
+	}
+	a := r.Alerts[0]
+	// The alert must start at or shortly after the overload onset
+	// (sample 32 → 33 ms) and extend to the end of the series.
+	onset := vtime.Time(33 * vtime.Millisecond)
+	if a.From < onset || a.From > onset.Add(8*vtime.Millisecond) {
+		t.Errorf("alert from %v, overload began at %v", a.From, onset)
+	}
+	if a.To != s.TimeAt(n-1) {
+		t.Errorf("alert ends %v, want %v", a.To, s.TimeAt(n-1))
+	}
+	if a.PeakBurn < BurnThreshold {
+		t.Errorf("peak burn %v below threshold", a.PeakBurn)
+	}
+	// Miss-rate verdict fails too: 64 misses / 640 releases = 10%.
+	if r.Verdicts[0].Pass {
+		t.Error("miss-rate verdict passed under overload")
+	}
+}
+
+func TestCUSUMFindsStep(t *testing.T) {
+	// Utilization steps from 25% to 90% at sample 40 of 80.
+	n := 80
+	busy := make([]uint64, n)
+	for i := range busy {
+		q := uint64(vtime.Millisecond) / 4
+		if i >= 40 {
+			q = uint64(vtime.Millisecond) * 9 / 10
+		}
+		busy[i] = q
+	}
+	s := synth(vtime.Millisecond, map[string][]uint64{"busy_ns": cum(busy)}, nil)
+	cps := s.ChangePoints()
+	var hit *ChangePoint
+	for i := range cps {
+		if cps[i].Series == "utilization" && cps[i].Direction == "up" {
+			hit = &cps[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no upward utilization change point: %+v", cps)
+	}
+	onset := vtime.Time(41 * vtime.Millisecond) // sample 40 is at 41 ms
+	if hit.Onset < onset-vtime.Time(2*vtime.Millisecond) || hit.Onset > onset+vtime.Time(5*vtime.Millisecond) {
+		t.Errorf("onset %v, step occurred at %v", hit.Onset, onset)
+	}
+}
+
+func TestCUSUMQuietOnFlatSeries(t *testing.T) {
+	n := 64
+	busy := make([]uint64, n)
+	for i := range busy {
+		busy[i] = uint64(vtime.Millisecond) / 2
+	}
+	s := synth(vtime.Millisecond, map[string][]uint64{"busy_ns": cum(busy)}, nil)
+	if cps := s.ChangePoints(); len(cps) != 0 {
+		t.Errorf("change points on a flat series: %+v", cps)
+	}
+}
+
+func TestAnomalies(t *testing.T) {
+	r := &Report{
+		Verdicts: []Verdict{{Name: "miss-rate", Target: "<= 1.00%", Observed: "10.00%", Pass: false}},
+		Alerts:   []BurnAlert{{From: 0, To: vtime.Time(vtime.Millisecond), PeakBurn: 20}},
+		Changes:  []ChangePoint{{Series: "utilization", Direction: "up"}},
+	}
+	if got := len(r.Anomalies()); got != 3 {
+		t.Errorf("anomaly count = %d, want 3", got)
+	}
+	if got := len((&Report{Verdicts: []Verdict{{Pass: true}}}).Anomalies()); got != 0 {
+		t.Errorf("clean report produced %d anomalies", got)
+	}
+}

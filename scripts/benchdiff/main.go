@@ -1,0 +1,117 @@
+// Command benchdiff compares two emeralds.bench/v1 documents (see
+// scripts/benchjson) and fails when any benchmark shared by both got
+// slower than the tolerance, so a committed BENCH_pr*.json from the
+// previous PR doubles as a performance regression gate in CI.
+//
+//	benchdiff BENCH_pr7.json BENCH_pr8.json             # 10% tolerance
+//	benchdiff -tolerance 25 old.json new.json           # looser gate
+//
+// Only ns/op is compared: custom metrics (model-µs, saving-pct, ...)
+// are simulated quantities that scripts/ci.sh locks elsewhere, and
+// iteration counts vary with benchtime. Benchmarks present in only one
+// document are reported but never fail the gate — the suite is allowed
+// to grow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type doc struct {
+	Schema     string            `json:"schema"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+func load(path string) (*doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if d.Schema != "emeralds.bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want emeralds.bench/v1", path, d.Schema)
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &d, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 10, "max allowed ns/op regression, percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tolerance pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions, compared int
+	for _, name := range names {
+		o := old.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  gone      %-52s %12.1f ns/op\n", name, o.NsPerOp)
+			continue
+		}
+		compared++
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (c.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := "  ok"
+		if pct > *tolerance {
+			mark = "REGRESSED"
+			regressions++
+		}
+		fmt.Printf("  %-9s %-52s %12.1f -> %12.1f ns/op  %+7.1f%%\n",
+			mark, name, o.NsPerOp, c.NsPerOp, pct)
+	}
+	var added []string
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("  new       %-52s %12.1f ns/op\n", name, cur.Benchmarks[name].NsPerOp)
+	}
+
+	fmt.Printf("benchdiff: %d compared, %d new, %d regressions beyond %.0f%%\n",
+		compared, len(added), regressions, *tolerance)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -66,8 +66,42 @@ grep -q '"schema": "emeralds.fuzz/v1"' "$tmp/fuzz1.json"
 go run ./cmd/emfuzz -scenarios 50 -seed 1 -cpus 4 -workers 1 -quiet -json-out "$tmp/fuzz4w1.json" >/dev/null
 go run ./scripts/artifactdiff "$tmp/fuzz4.json" "$tmp/fuzz4w1.json"
 
+echo "== telemetry determinism gate =="
+# The flight recorder is a pure observer: a sampled emsim artifact's
+# timeseries block must be byte-identical across harness fan-out and
+# host parallelism (artifactdiff ignores only the volatile "run" key),
+# and emstat must be able to replay it into an SLO report.
+GOMAXPROCS=1 go run ./cmd/emsim -ms 200 -sample-us 500 -workers 1 -quiet -json-out "$tmp/ts1.json" >/dev/null
+GOMAXPROCS=8 go run ./cmd/emsim -ms 200 -sample-us 500 -workers 8 -quiet -json-out "$tmp/ts8.json" >/dev/null
+go run ./scripts/artifactdiff "$tmp/ts1.json" "$tmp/ts8.json"
+grep -q '"schema": "emeralds.timeseries/v1"' "$tmp/ts1.json"
+go run ./cmd/emstat "$tmp/ts1.json" >/dev/null
+
+echo "== live scrape gate (OpenMetrics well-formedness) =="
+# Start a long campaign with the scrape surface up, lint one /metrics
+# exposition against the OpenMetrics grammar, then tear the campaign
+# down (its correctness is gated by the fuzz smoke above).
+go build -o "$tmp/emfuzz" ./cmd/emfuzz
+"$tmp/emfuzz" -scenarios 5000 -seed 1 -cpus 1 -metrics-addr localhost:19418 -quiet >/dev/null &
+fuzz_pid=$!
+go run ./scripts/omlint -retry 30s http://localhost:19418/metrics
+kill "$fuzz_pid" 2>/dev/null || true
+wait "$fuzz_pid" 2>/dev/null || true
+
 echo "== benchmark smoke (one iteration each) =="
 BENCHTIME=1x ./scripts/bench.sh "$tmp/bench.json" >/dev/null
 grep -q '"schema": "emeralds.bench/v1"' "$tmp/bench.json"
+
+echo "== bench regression gate =="
+# Committed full-run numbers: this PR's BENCH file vs the previous
+# PR's. benchdiff's default 10% is right for same-machine comparisons;
+# across PRs the files come from different (shared, noisy) hosts where
+# repeated identical runs already scatter ±12%, so the cross-PR gate
+# allows 25% before failing.
+if [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
+    go run ./scripts/benchdiff -tolerance 25 BENCH_pr7.json BENCH_pr8.json
+else
+    echo "bench files missing; skipping"
+fi
 
 echo "ci: all green"

@@ -1,0 +1,88 @@
+// Command omlint checks an OpenMetrics exposition for well-formedness
+// using the same validator the harness tests use
+// (harness.CheckOpenMetrics): TYPE declarations, counter _total
+// suffixes, parseable sample values, and the mandatory # EOF
+// terminator.
+//
+//	omlint http://localhost:9100/metrics      # scrape a live endpoint
+//	omlint -retry 5s http://localhost:9100/metrics
+//	omlint scrape.txt                         # lint a saved exposition
+//	emfuzz ... | omlint -                     # lint stdin
+//
+// With -retry, a URL target is polled until it answers or the window
+// expires, so CI can start a server in the background and lint its
+// first scrape without racing the listener.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"emeralds/internal/harness"
+)
+
+func main() {
+	retry := flag.Duration("retry", 0, "keep polling a URL target for this long before giving up")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: omlint [-retry d] URL|FILE|-\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := flag.Arg(0)
+
+	text, err := read(target, *retry)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omlint:", err)
+		os.Exit(2)
+	}
+	if err := harness.CheckOpenMetrics(text); err != nil {
+		fmt.Fprintf(os.Stderr, "omlint: %s: %v\n", target, err)
+		os.Exit(1)
+	}
+	fmt.Printf("omlint: %s: %d lines well-formed\n", target, strings.Count(string(text), "\n"))
+}
+
+func read(target string, retry time.Duration) ([]byte, error) {
+	switch {
+	case target == "-":
+		return io.ReadAll(os.Stdin)
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+		return fetch(target, retry)
+	default:
+		return os.ReadFile(target)
+	}
+}
+
+// fetch GETs the URL, retrying connection failures until the window
+// expires. A response with a non-200 status is a hard failure — the
+// server is up but the path is wrong.
+func fetch(url string, retry time.Duration) ([]byte, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(retry)
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics-text") {
+				return nil, fmt.Errorf("%s: content-type %q is not openmetrics-text", url, ct)
+			}
+			return io.ReadAll(resp.Body)
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -40,6 +40,10 @@ echo "== Deadline-miss root-cause report (RM overload on Table 2) =="
 go run ./cmd/emreport -policy rm -ms 500 -quiet -json -json-out results/emreport.json \
     -txt-out results/emreport.txt
 
+echo "== Flight recorder: sampled artifact + SLO report =="
+go run ./cmd/emsim -ms 500 -sample-us 500 -attrib -quiet -json-out results/telemetry.json >/dev/null
+go run ./cmd/emstat results/telemetry.json | tee results/emstat.txt
+
 echo "== Section 5.5.3 (partition search) =="
 go run ./cmd/csdsearch -n 100 -u 0.7 -json | tee results/csdsearch.txt
 
