@@ -13,11 +13,13 @@ import (
 
 	"emeralds/internal/cli"
 	"emeralds/internal/experiments"
+	"emeralds/internal/kernel"
 	"emeralds/internal/vtime"
 )
 
 func main() {
 	c := cli.Register("ablate")
+	f := c.SimFlags()
 	lens := flag.String("len", "5,10,15,20,25,30", "queue lengths for the semaphore ablation (minimum 3)")
 	sweepN := flag.Int("sweep-n", 30, "task count for the queue-count sweep")
 	sweepCount := flag.Int("sweep-workloads", 20, "workloads per queue-count point")
@@ -27,6 +29,20 @@ func main() {
 	ls := c.Ints("len", *lens, 3)
 	lockMs64 := vtime.Millis(*lockMs)
 	lcs := c.Ints("lock-cpus", *lockCPUs, 1)
+	// The shared -cpus/-lock flags pin the lock-granularity grid to one
+	// row/regime, matching their meaning in emsim/emreport/emfuzz. The
+	// defaults leave the full grid.
+	if cli.Explicit("cpus") {
+		lcs = []int{c.CPUs}
+	}
+	var regimes []kernel.LockRegime
+	if cli.Explicit("lock") {
+		r, err := kernel.ParseLockRegime(c.Lock)
+		if err != nil {
+			c.Fatalf("%v", err)
+		}
+		regimes = []kernel.LockRegime{r}
+	}
 	par := experiments.Par{Workers: c.Workers, Progress: c.Progress()}
 
 	semSeries := map[string][]experiments.SemAblationPoint{}
@@ -55,10 +71,24 @@ func main() {
 		fmt.Println()
 	}
 
-	lockPts := experiments.LockGranularity(lcs, nil, lockMs64, par)
+	lockPts := experiments.LockGrid(lcs, regimes, nil, lockMs64, par)
 	if !c.CSV {
 		fmt.Print(experiments.RenderLockGranularity(lockMs64, lockPts))
 		fmt.Println()
+	}
+
+	// -trace-out/-sample-us observe one demonstrative lock cell — the
+	// -cpus/-lock configuration — rerun with the flight recorder and
+	// trace ring attached; the sampled series lands in the artifact's
+	// timeseries block and the trace in the Perfetto export.
+	if f.Observing() {
+		_, n, err := experiments.LockCellObserved(f.Config(), lockMs64, f.Observe)
+		if err != nil {
+			c.Fatalf("observed lock cell: %v", err)
+		}
+		if err := f.Finish(n); err != nil {
+			c.Fatalf("observed lock cell: %v", err)
+		}
 	}
 
 	xs := []int{1, 2, 3, 4, 6, 8, 12, 20, 29}

@@ -28,6 +28,7 @@ import (
 
 func main() {
 	c := cli.Register("emfuzz")
+	f := c.SimFlags()
 	scenarios := flag.Int("scenarios", 200, "number of scenarios to generate and run")
 	minimize := flag.Bool("minimize", true, "delta-debug each violation into a minimal repro")
 	reproDir := flag.String("repro-dir", "results/repros", "directory for violation repro files")
@@ -42,6 +43,12 @@ func main() {
 	cpus := 0
 	if cli.Explicit("cpus") {
 		cpus = c.CPUs
+	}
+	// Likewise -lock: the campaign's default mixes every regime on
+	// multicore scenarios; an explicit -lock pins them all to one.
+	lock := ""
+	if cli.Explicit("lock") {
+		lock = c.Lock
 	}
 
 	var scrape *harness.Scrape
@@ -61,8 +68,10 @@ func main() {
 		Scenarios: *scenarios,
 		BaseSeed:  c.Seed,
 		CPUs:      cpus,
+		Lock:      lock,
 		Workers:   c.Workers,
 		Minimize:  *minimize,
+		SampleUs:  f.SampleUs,
 		Progress:  c.Progress(),
 		Scrape:    scrape,
 	})
@@ -87,20 +96,52 @@ func main() {
 		repros = append(repros, path)
 	}
 
+	// -trace-out exports the first violation's replay for visual triage;
+	// a clean campaign has no schedule worth exporting.
+	if f.TraceOut != "" {
+		if len(rep.Violations) == 0 {
+			if !c.Quiet {
+				fmt.Fprintln(os.Stderr, "emfuzz: -trace-out: no oracle violations; nothing exported")
+			}
+		} else {
+			v := rep.Violations[0]
+			s := v.Minimized
+			if s == nil {
+				s = v.Scenario
+			}
+			w, err := os.Create(f.TraceOut)
+			if err != nil {
+				c.Fatalf("-trace-out: %v", err)
+			}
+			if err := scenario.ExportTrace(s, w); err != nil {
+				w.Close()
+				c.Fatalf("-trace-out: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				c.Fatalf("-trace-out: %v", err)
+			}
+			if !c.Quiet {
+				fmt.Fprintf(os.Stderr, "emfuzz: wrote %s (scenario %d replay)\n", f.TraceOut, v.Scenario.Index)
+			}
+		}
+	}
+
 	var out strings.Builder
 	render(&out, c, rep, cpus, repros)
 	fmt.Print(out.String())
 	c.EmitText(out.String())
 
 	type config struct {
-		Scenarios int    `json:"scenarios"`
-		Seed      int64  `json:"seed"`
-		CPUs      int    `json:"cpus"` // 0 = mixed M ∈ {1,2,4}
-		Minimize  bool   `json:"minimize"`
-		ReproDir  string `json:"repro_dir,omitempty"`
+		Scenarios int     `json:"scenarios"`
+		Seed      int64   `json:"seed"`
+		CPUs      int     `json:"cpus"` // 0 = mixed M ∈ {1,2,4}
+		Lock      string  `json:"lock,omitempty"`
+		SampleUs  float64 `json:"sample_us,omitempty"`
+		Minimize  bool    `json:"minimize"`
+		ReproDir  string  `json:"repro_dir,omitempty"`
 	}
 	if c.JSON {
-		a := harness.NewArtifact(c.Tool, config{*scenarios, c.Seed, cpus, *minimize, *reproDir},
+		a := harness.NewArtifact(c.Tool, config{*scenarios, c.Seed, cpus, lock, f.SampleUs, *minimize, *reproDir},
 			rep, c.EffectiveWorkers(), time.Since(start))
 		a.Schema = harness.FuzzSchema
 		path := c.ArtifactPath()

@@ -25,8 +25,8 @@ import (
 
 	"emeralds/internal/attrib"
 	"emeralds/internal/cli"
-	"emeralds/internal/core"
 	"emeralds/internal/kernel"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
@@ -35,7 +35,8 @@ import (
 
 func main() {
 	c := cli.Register("emreport")
-	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
+	f := c.SimFlags()
+	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap, fp")
 	queues := flag.Int("queues", 3, "CSD queue count")
 	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
 	u := flag.Float64("u", 0.7, "random workload utilization")
@@ -57,9 +58,9 @@ func main() {
 		cfg := scenario{
 			Policy: *policy, Queues: *queues, N: *n, U: *u, Div: *div,
 			Seed: c.Seed, Millis: *ms, StandardSem: *standard,
-			CPUs: c.CPUs, Lock: c.LockRegime(),
+			CPUs: c.CPUs, Lock: c.Lock,
 		}
-		rep, err = runScenario(cfg, c)
+		rep, err = runScenario(cfg, c, f)
 		source = cfg.String()
 	}
 	if err != nil {
@@ -121,7 +122,7 @@ type scenario struct {
 	Millis      float64
 	StandardSem bool
 	CPUs        int
-	Lock        kernel.LockRegime
+	Lock        string
 }
 
 func (s scenario) String() string {
@@ -137,16 +138,9 @@ func (s scenario) String() string {
 }
 
 // buildSystem boots the configured workload and runs it to the
-// configured horizon. Deterministic for a given config.
-func buildSystem(cfg scenario) (*core.System, error) {
-	sys := core.New(core.Config{
-		Policy:        core.Policy(cfg.Policy),
-		Queues:        cfg.Queues,
-		CPUs:          cfg.CPUs,
-		LockRegime:    cfg.Lock,
-		StandardSem:   cfg.StandardSem,
-		TraceCapacity: 1 << 20,
-	})
+// configured horizon. Deterministic for a given config; f (optional)
+// attaches the flight recorder before Boot.
+func buildSystem(cfg scenario, f *cli.SimFlags) (*kernel.Node, error) {
 	var specs []task.Spec
 	if cfg.N > 0 {
 		specs = workload.Generate(workload.Config{
@@ -155,10 +149,23 @@ func buildSystem(cfg scenario) (*core.System, error) {
 	} else {
 		specs = workload.Table2()
 	}
-	for _, s := range specs {
-		sys.AddTask(s)
-	}
-	if err := sys.Boot(); err != nil {
+	sys, err := kernel.Boot(sim.Config{
+		Policy:        cfg.Policy,
+		Queues:        cfg.Queues,
+		CPUs:          cfg.CPUs,
+		Lock:          cfg.Lock,
+		StandardSem:   cfg.StandardSem,
+		TraceCapacity: 1 << 20,
+	}, func(sys *kernel.Node) error {
+		for _, s := range specs {
+			sys.AddTask(s)
+		}
+		if f != nil {
+			return f.Observe(sys)
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	sys.Run(vtime.Millis(cfg.Millis))
@@ -166,13 +173,18 @@ func buildSystem(cfg scenario) (*core.System, error) {
 }
 
 // runScenario replays the scenario's trace into a report.
-func runScenario(cfg scenario, c *cli.Common) (*attrib.Report, error) {
-	sys, err := buildSystem(cfg)
+func runScenario(cfg scenario, c *cli.Common, f *cli.SimFlags) (*attrib.Report, error) {
+	sys, err := buildSystem(cfg, f)
 	if err != nil {
 		return nil, err
 	}
 	if c != nil {
 		c.Diagnostics = sys.Kernel().Diagnostics()
+	}
+	if f != nil {
+		if err := f.Finish(sys); err != nil {
+			return nil, err
+		}
 	}
 	an, err := attrib.Analyze(sys.Trace().Events(), sys.Trace().Dropped())
 	if err != nil {

@@ -20,7 +20,7 @@ func goldenScenario() scenario {
 
 func renderScenario(t *testing.T, cfg scenario) string {
 	t.Helper()
-	rep, err := runScenario(cfg, nil)
+	rep, err := runScenario(cfg, nil, nil)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -70,7 +70,7 @@ func TestWorkerIndependence(t *testing.T) {
 // produce exactly the report of the live in-process replay.
 func TestTraceFileRoundTrip(t *testing.T) {
 	cfg := goldenScenario()
-	sys, err := buildSystem(cfg)
+	sys, err := buildSystem(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 
 // TestCSVOutput sanity-checks the machine-readable mode.
 func TestCSVOutput(t *testing.T) {
-	rep, err := runScenario(goldenScenario(), nil)
+	rep, err := runScenario(goldenScenario(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,6 @@ import (
 
 	"emeralds/internal/attrib"
 	"emeralds/internal/cli"
-	"emeralds/internal/core"
 	"emeralds/internal/kernel"
 	"emeralds/internal/task"
 	"emeralds/internal/telemetry"
@@ -28,44 +27,38 @@ import (
 
 func main() {
 	c := cli.Register("emsim")
-	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
+	f := c.SimFlags()
+	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap, fp")
 	queues := flag.Int("queues", 3, "CSD queue count")
 	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
 	u := flag.Float64("u", 0.7, "random workload utilization")
 	div := flag.Int("div", 1, "period divisor")
 	ms := flag.Float64("ms", 1000, "virtual milliseconds to run")
 	traceN := flag.Int("trace", 0, "print the last N trace events")
-	traceOut := flag.String("trace-out", "", "write the full trace as Chrome/Perfetto trace-event JSON")
 	gantt := flag.Float64("gantt", 0, "render an ASCII Gantt chart of the first N virtual milliseconds")
 	attribFlag := flag.Bool("attrib", false, "print the latency-attribution report and embed it in the -json artifact")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
-	sampleUs := flag.Float64("sample-us", 0, "flight-recorder sampling cadence in virtual microseconds (0 = off)")
-	sampleCap := flag.Int("sample-cap", 0, "flight-recorder ring capacity in samples (0 = 4096)")
 	teleFlag := flag.Bool("telemetry", false, "print the telemetry summary (sparklines, SLO verdicts, change points); implies a default -sample-us")
 	c.Parse()
-	if *teleFlag && *sampleUs == 0 {
+	if *teleFlag && f.SampleUs == 0 {
 		// Default cadence: 512 samples across the run.
-		*sampleUs = *ms * 1000 / 512
+		f.SampleUs = *ms * 1000 / 512
 	}
 
-	traceCap := max(*traceN, 1)
+	cfg := f.Config()
+	cfg.Policy = *policy
+	cfg.Queues = *queues
+	cfg.StandardSem = *standard
+	cfg.RecordResponses = true
+	cfg.TraceCapacity = max(cfg.TraceCapacity, *traceN, 1)
 	if *gantt > 0 {
-		traceCap = max(traceCap, 1<<16)
+		cfg.TraceCapacity = max(cfg.TraceCapacity, 1<<16)
 	}
-	if *traceOut != "" || *attribFlag {
-		// The exporter and the attribution replay want the whole run,
-		// not the tail of a small ring.
-		traceCap = max(traceCap, 1<<20)
+	if *attribFlag {
+		// The attribution replay wants the whole run, not the tail of a
+		// small ring.
+		cfg.TraceCapacity = max(cfg.TraceCapacity, 1<<20)
 	}
-	sys := core.New(core.Config{
-		Policy:          core.Policy(*policy),
-		Queues:          *queues,
-		CPUs:            c.CPUs,
-		LockRegime:      c.LockRegime(),
-		StandardSem:     *standard,
-		TraceCapacity:   traceCap,
-		RecordResponses: true,
-	})
 
 	var specs []task.Spec
 	if *n > 0 {
@@ -73,34 +66,26 @@ func main() {
 	} else {
 		specs = workload.Table2()
 	}
-	for _, s := range specs {
-		sys.AddTask(s)
-	}
-	var rec *telemetry.Recorder
-	if *sampleUs > 0 {
-		var err error
-		rec, err = telemetry.Attach(sys.Kernel(), telemetry.Config{
-			Interval: vtime.Duration(*sampleUs * 1000),
-			Capacity: *sampleCap,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "emsim:", err)
-			os.Exit(1)
+	sys, err := kernel.Boot(cfg, func(sys *kernel.Node) error {
+		for _, s := range specs {
+			sys.AddTask(s)
 		}
-	}
-	if err := sys.Boot(); err != nil {
+		return f.Observe(sys)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "emsim:", err)
 		os.Exit(1)
 	}
 	sys.Run(vtime.Millis(*ms))
 
-	if rec != nil {
-		c.Timeseries = rec.Series()
-		if *teleFlag {
-			telemetry.Analyze(c.Timeseries, telemetry.SLO{}).
-				RenderText(os.Stdout, c.Timeseries, "emsim")
-			fmt.Println()
-		}
+	if err := f.Finish(sys); err != nil {
+		fmt.Fprintln(os.Stderr, "emsim:", err)
+		os.Exit(1)
+	}
+	if rec := f.Recorder(); rec != nil && *teleFlag {
+		telemetry.Analyze(c.Timeseries, telemetry.SLO{}).
+			RenderText(os.Stdout, c.Timeseries, "emsim")
+		fmt.Println()
 	}
 
 	if *traceN > 0 {
@@ -112,27 +97,6 @@ func main() {
 			fmt.Println(e)
 		}
 		fmt.Println()
-	}
-	if *traceOut != "" {
-		if d := sys.Trace().Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "emsim: WARNING: trace ring dropped %d events; the export is truncated\n", d)
-		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "emsim:", err)
-			os.Exit(1)
-		}
-		if err := sys.Trace().ExportPerfetto(f); err != nil {
-			fmt.Fprintln(os.Stderr, "emsim:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "emsim:", err)
-			os.Exit(1)
-		}
-		if !c.Quiet {
-			fmt.Fprintf(os.Stderr, "emsim: wrote %s (%d events)\n", *traceOut, sys.Trace().Total())
-		}
 	}
 	if *gantt > 0 {
 		fmt.Println("Gantt (█ running, ░ ready, · blocked):")

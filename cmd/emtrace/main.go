@@ -21,16 +21,17 @@ import (
 	"io"
 	"os"
 
-	"emeralds/internal/core"
 	"emeralds/internal/harness"
+	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 	"emeralds/internal/workload"
 )
 
 func main() {
-	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap")
+	policy := flag.String("policy", "csd", "scheduler: csd, edf, rm, rm-heap, fp")
 	queues := flag.Int("queues", 3, "CSD queue count")
 	n := flag.Int("n", 0, "random workload size (0 = use the Table 2 workload)")
 	u := flag.Float64("u", 0.7, "random workload utilization")
@@ -95,12 +96,6 @@ type exportConfig struct {
 // writes the Perfetto export. Fully deterministic: the same config
 // always produces the same bytes.
 func runExport(cfg exportConfig, w io.Writer) error {
-	sys := core.New(core.Config{
-		Policy:        core.Policy(cfg.Policy),
-		Queues:        cfg.Queues,
-		StandardSem:   cfg.StandardSem,
-		TraceCapacity: 1 << 20,
-	})
 	var specs []task.Spec
 	if cfg.N > 0 {
 		specs = workload.Generate(workload.Config{
@@ -109,10 +104,18 @@ func runExport(cfg exportConfig, w io.Writer) error {
 	} else {
 		specs = workload.Table2()
 	}
-	for _, s := range specs {
-		sys.AddTask(s)
-	}
-	if err := sys.Boot(); err != nil {
+	sys, err := kernel.Boot(sim.Config{
+		Policy:        cfg.Policy,
+		Queues:        cfg.Queues,
+		StandardSem:   cfg.StandardSem,
+		TraceCapacity: 1 << 20,
+	}, func(sys *kernel.Node) error {
+		for _, s := range specs {
+			sys.AddTask(s)
+		}
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	sys.Run(vtime.Millis(cfg.Millis))

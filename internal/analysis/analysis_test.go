@@ -1,8 +1,9 @@
-package analysis
+package analysis_test
 
 import (
 	"testing"
 
+	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
@@ -23,7 +24,7 @@ func specsOf(pc ...float64) []task.Spec {
 
 func TestSortRM(t *testing.T) {
 	s := specsOf(30, 1, 10, 1, 20, 1)
-	sorted := SortRM(s)
+	sorted := analysis.SortRM(s)
 	if sorted[0].Period != 10*vtime.Millisecond || sorted[2].Period != 30*vtime.Millisecond {
 		t.Errorf("sorted = %v", sorted)
 	}
@@ -35,14 +36,14 @@ func TestSortRM(t *testing.T) {
 func TestEDFUtilizationBound(t *testing.T) {
 	zero := costmodel.Zero()
 	// Exactly U = 1 is feasible under ideal EDF.
-	if !FeasibleEDF(zero, specsOf(10, 5, 20, 10)) {
+	if !analysis.FeasibleEDF(zero, specsOf(10, 5, 20, 10)) {
 		t.Error("U=1 must be EDF-feasible with zero overhead")
 	}
-	if FeasibleEDF(zero, specsOf(10, 5, 20, 11)) {
+	if analysis.FeasibleEDF(zero, specsOf(10, 5, 20, 11)) {
 		t.Error("U>1 must be infeasible")
 	}
 	// With real overhead, U = 1 no longer fits.
-	if FeasibleEDF(costmodel.M68040(), specsOf(10, 5, 20, 10)) {
+	if analysis.FeasibleEDF(costmodel.M68040(), specsOf(10, 5, 20, 10)) {
 		t.Error("U=1 must be infeasible once overhead is charged")
 	}
 }
@@ -50,15 +51,15 @@ func TestEDFUtilizationBound(t *testing.T) {
 func TestRMResponseTimeAnalysis(t *testing.T) {
 	zero := costmodel.Zero()
 	// The classic Liu & Layland example: U = 0.753 ≤ bound, feasible.
-	if !FeasibleRM(zero, specsOf(4, 1, 5, 1, 10, 3)) {
+	if !analysis.FeasibleRM(zero, specsOf(4, 1, 5, 1, 10, 3)) {
 		t.Error("known-feasible RM set rejected")
 	}
 	// τ2's response exceeds its period.
-	if FeasibleRM(zero, specsOf(4, 2, 6, 3.5)) {
+	if analysis.FeasibleRM(zero, specsOf(4, 2, 6, 3.5)) {
 		t.Error("known-infeasible RM set accepted")
 	}
 	// Exact boundary: τ2 completes exactly at its deadline.
-	if !FeasibleRM(zero, specsOf(4, 2, 8, 4)) {
+	if !analysis.FeasibleRM(zero, specsOf(4, 2, 8, 4)) {
 		t.Error("response exactly at deadline must be feasible")
 	}
 }
@@ -70,10 +71,10 @@ func TestTable2Properties(t *testing.T) {
 	if u < 0.86 || u > 0.90 {
 		t.Errorf("Table 2 utilization = %.3f, want ≈0.88", u)
 	}
-	if !FeasibleEDF(p, w) {
+	if !analysis.FeasibleEDF(p, w) {
 		t.Error("Table 2 must be EDF-feasible")
 	}
-	if FeasibleRM(p, w) {
+	if analysis.FeasibleRM(p, w) {
 		t.Error("Table 2 must be RM-infeasible")
 	}
 	// And the troublesome task is τ5: dropping it leaves a set that is
@@ -81,15 +82,15 @@ func TestTable2Properties(t *testing.T) {
 	// so this only holds with zero run-time overhead — the same reason
 	// Figure 2 is drawn ignoring overhead).
 	without5 := append(append([]task.Spec{}, w[:4]...), w[5:]...)
-	if !FeasibleRM(costmodel.Zero(), without5) {
+	if !analysis.FeasibleRM(costmodel.Zero(), without5) {
 		t.Error("without τ5 the set should be RM-feasible ideally")
 	}
 }
 
 func TestCSDCoversTable2(t *testing.T) {
 	p := costmodel.M68040()
-	rm := SortRM(workload.Table2())
-	part, ok := FindPartition(p, rm, 2, nil)
+	rm := analysis.SortRM(workload.Table2())
+	part, ok := analysis.FindPartition(p, rm, 2, nil)
 	if !ok {
 		t.Fatal("no CSD-2 partition found for Table 2")
 	}
@@ -104,33 +105,33 @@ func TestCSDPartitionSplitMattersForSchedulability(t *testing.T) {
 	// results by putting tasks 1–4 in DP1 and the rest of the DP tasks
 	// in DP2, but this will cause τ5 to miss its deadline."
 	zero := costmodel.Zero()
-	rm := SortRM(workload.Table2())
+	rm := analysis.SortRM(workload.Table2())
 	bad := sched.Partition{DPSizes: []int{4, 1}} // τ5 alone under τ1–τ4's static priority
-	if FeasibleCSD(zero, rm, bad) {
+	if analysis.FeasibleCSD(zero, rm, bad) {
 		t.Error("partition {4,1} must be infeasible (τ5 starves behind DP1)")
 	}
 	good := sched.Partition{DPSizes: []int{5, 1}}
-	if !FeasibleCSD(zero, rm, good) {
+	if !analysis.FeasibleCSD(zero, rm, good) {
 		t.Error("partition {5,1} must be feasible")
 	}
 }
 
 func TestCSDReducesToEDFAndRM(t *testing.T) {
 	zero := costmodel.Zero()
-	w := SortRM(workload.Table2())
+	w := analysis.SortRM(workload.Table2())
 	// All tasks in one DP queue = EDF: feasible.
-	if !FeasibleCSD(zero, w, sched.Partition{DPSizes: []int{len(w)}}) {
+	if !analysis.FeasibleCSD(zero, w, sched.Partition{DPSizes: []int{len(w)}}) {
 		t.Error("all-DP CSD must behave like EDF")
 	}
 	// Empty DP = RM: infeasible for Table 2.
-	if FeasibleCSD(zero, w, sched.Partition{DPSizes: []int{0}}) {
+	if analysis.FeasibleCSD(zero, w, sched.Partition{DPSizes: []int{0}}) {
 		t.Error("no-DP CSD must behave like RM")
 	}
 }
 
 func TestFeasibleCSDRejectsBadPartition(t *testing.T) {
-	w := SortRM(specsOf(10, 1, 20, 1))
-	if FeasibleCSD(costmodel.Zero(), w, sched.Partition{DPSizes: []int{3}}) {
+	w := analysis.SortRM(specsOf(10, 1, 20, 1))
+	if analysis.FeasibleCSD(costmodel.Zero(), w, sched.Partition{DPSizes: []int{3}}) {
 		t.Error("partition larger than the task set accepted")
 	}
 }
@@ -139,9 +140,9 @@ func TestBreakdownOrdering(t *testing.T) {
 	p := costmodel.M68040()
 	for _, n := range []int{10, 25} {
 		specs := workload.Generate(workload.Config{N: n, Seed: 99, Utilization: 0.5})
-		edf := BreakdownEDF(p, specs)
-		rm := BreakdownRM(p, specs)
-		csd3 := BreakdownCSD(p, specs, 3)
+		edf := analysis.BreakdownEDF(p, specs)
+		rm := analysis.BreakdownRM(p, specs)
+		csd3 := analysis.BreakdownCSD(p, specs, 3)
 		if edf <= 0 || rm <= 0 || csd3 <= 0 {
 			t.Fatalf("n=%d: degenerate breakdowns %v %v %v", n, edf, rm, csd3)
 		}
@@ -159,7 +160,7 @@ func TestBreakdownOrdering(t *testing.T) {
 func TestBreakdownZeroOverheadHitsOne(t *testing.T) {
 	zero := costmodel.Zero()
 	specs := workload.Generate(workload.Config{N: 10, Seed: 3, Utilization: 0.5})
-	got := BreakdownEDF(zero, specs)
+	got := analysis.BreakdownEDF(zero, specs)
 	if got < 0.995 || got > 1.001 {
 		t.Errorf("ideal EDF breakdown = %.4f, want ≈1", got)
 	}
@@ -167,37 +168,37 @@ func TestBreakdownZeroOverheadHitsOne(t *testing.T) {
 
 func TestBreakdownMonotoneInOverhead(t *testing.T) {
 	specs := workload.Generate(workload.Config{N: 20, Seed: 5, Utilization: 0.5})
-	real := BreakdownEDF(costmodel.M68040(), specs)
-	ideal := BreakdownEDF(costmodel.Zero(), specs)
+	real := analysis.BreakdownEDF(costmodel.M68040(), specs)
+	ideal := analysis.BreakdownEDF(costmodel.Zero(), specs)
 	if real >= ideal {
 		t.Errorf("charged overhead must lower breakdown: %.4f vs %.4f", real, ideal)
 	}
 }
 
 func TestCandidatesCounts(t *testing.T) {
-	if got := len(Candidates(2, 10)); got != 10 {
+	if got := len(analysis.Candidates(2, 10)); got != 10 {
 		t.Errorf("CSD-2 candidates = %d", got)
 	}
-	if got := len(Candidates(3, 10)); got != 45 { // C(10,2) pairs q<r
+	if got := len(analysis.Candidates(3, 10)); got != 45 { // C(10,2) pairs q<r
 		t.Errorf("CSD-3 candidates = %d", got)
 	}
-	if got := len(Candidates(1, 10)); got != 1 {
+	if got := len(analysis.Candidates(1, 10)); got != 1 {
 		t.Errorf("CSD-1 candidates = %d", got)
 	}
-	if len(Candidates(4, 20)) == 0 {
+	if len(analysis.Candidates(4, 20)) == 0 {
 		t.Error("CSD-4 candidates empty")
 	}
 }
 
 func TestFindPartitionUsesHint(t *testing.T) {
 	p := costmodel.M68040()
-	rm := SortRM(workload.Table2())
-	first, ok := FindPartition(p, rm, 2, nil)
+	rm := analysis.SortRM(workload.Table2())
+	first, ok := analysis.FindPartition(p, rm, 2, nil)
 	if !ok {
 		t.Fatal("no partition")
 	}
 	// With the hint, the same partition must come straight back.
-	again, ok := FindPartition(p, rm, 2, &first)
+	again, ok := analysis.FindPartition(p, rm, 2, &first)
 	if !ok || again.DPSizes[0] != first.DPSizes[0] {
 		t.Errorf("hint path returned %v, want %v", again, first)
 	}
@@ -206,17 +207,17 @@ func TestFindPartitionUsesHint(t *testing.T) {
 func TestBestPartitionMinimizesOverhead(t *testing.T) {
 	p := costmodel.M68040()
 	specs := workload.Generate(workload.Config{N: 15, Seed: 11, Utilization: 0.4})
-	rm := SortRM(specs)
-	best, score, ok := BestPartition(p, rm, 2)
+	rm := analysis.SortRM(specs)
+	best, score, ok := analysis.BestPartition(p, rm, 2)
 	if !ok {
 		t.Fatal("no feasible partition at U=0.4")
 	}
 	// Every other feasible candidate must score no better.
-	for _, cand := range Candidates(2, len(rm)) {
-		if !FeasibleCSD(p, rm, cand) {
+	for _, cand := range analysis.Candidates(2, len(rm)) {
+		if !analysis.FeasibleCSD(p, rm, cand) {
 			continue
 		}
-		if s := OverheadFraction(p, rm, cand); s < score-1e-12 {
+		if s := analysis.OverheadFraction(p, rm, cand); s < score-1e-12 {
 			t.Errorf("candidate %v scores %.6f < best %v %.6f", cand, s, best, score)
 		}
 	}
@@ -224,10 +225,10 @@ func TestBestPartitionMinimizesOverhead(t *testing.T) {
 
 func TestOverheadFractionIncreasesWithShortPeriods(t *testing.T) {
 	p := costmodel.M68040()
-	long := SortRM(specsOf(100, 1, 200, 1, 400, 1))
-	short := SortRM(specsOf(1, 0.01, 2, 0.01, 4, 0.01))
+	long := analysis.SortRM(specsOf(100, 1, 200, 1, 400, 1))
+	short := analysis.SortRM(specsOf(1, 0.01, 2, 0.01, 4, 0.01))
 	part := sched.Partition{DPSizes: []int{2}}
-	if OverheadFraction(p, short, part) <= OverheadFraction(p, long, part) {
+	if analysis.OverheadFraction(p, short, part) <= analysis.OverheadFraction(p, long, part) {
 		t.Error("shorter periods must pay a larger scheduler share (§5.5.1)")
 	}
 }
@@ -235,9 +236,9 @@ func TestOverheadFractionIncreasesWithShortPeriods(t *testing.T) {
 func TestCSDOverheadsTableThreeShape(t *testing.T) {
 	p := costmodel.M68040()
 	sizes := []int{5, 10, 15} // q=5, r=15, n=30
-	dp1 := CSDOverheads(p, sizes, 0)
-	dp2 := CSDOverheads(p, sizes, 1)
-	fp := CSDOverheads(p, sizes, 2)
+	dp1 := analysis.CSDOverheads(p, sizes, 0)
+	dp2 := analysis.CSDOverheads(p, sizes, 1)
+	fp := analysis.CSDOverheads(p, sizes, 2)
 	// DP tasks have O(1) block/unblock.
 	if dp1.Block != p.EDFBlock() || dp1.Unblock != p.EDFUnblock() {
 		t.Error("DP1 t_b/t_u should be the O(1) EDF entries")
@@ -257,7 +258,7 @@ func TestCSDOverheadsTableThreeShape(t *testing.T) {
 }
 
 func TestOverheadsPerPeriodFactor(t *testing.T) {
-	o := Overheads{Block: 10, Unblock: 20, SelectBlock: 30, SelectUnblock: 40}
+	o := analysis.Overheads{Block: 10, Unblock: 20, SelectBlock: 30, SelectUnblock: 40}
 	if got := o.PerPeriod(); got != 150 {
 		t.Errorf("PerPeriod = %v, want 1.5·(10+20+30+40)", got)
 	}

@@ -1,8 +1,9 @@
-package analysis
+package analysis_test
 
 import (
 	"testing"
 
+	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -14,7 +15,7 @@ func TestSortDM(t *testing.T) {
 		{Period: 20 * vtime.Millisecond, Deadline: 4 * vtime.Millisecond},
 		{Period: 5 * vtime.Millisecond},
 	}
-	sorted := SortDM(specs)
+	sorted := analysis.SortDM(specs)
 	if sorted[0].RelDeadline() != 4*vtime.Millisecond ||
 		sorted[1].RelDeadline() != 5*vtime.Millisecond ||
 		sorted[2].RelDeadline() != 9*vtime.Millisecond {
@@ -35,10 +36,10 @@ func TestDMBeatsRMOnConstrainedDeadlines(t *testing.T) {
 	// RM ranks the 10 ms task higher: the 50 ms task's response is
 	// 3 + 5 = 8 > 4. DM ranks the tight-deadline task higher: its
 	// response is 3 ≤ 4, and the 10 ms task still fits (5 + 3 = 8 ≤ 10).
-	if FeasibleRM(zero, specs) {
+	if analysis.FeasibleRM(zero, specs) {
 		t.Error("RM should reject this set")
 	}
-	if !FeasibleDM(zero, specs) {
+	if !analysis.FeasibleDM(zero, specs) {
 		t.Error("DM should accept this set")
 	}
 }
@@ -46,30 +47,30 @@ func TestDMBeatsRMOnConstrainedDeadlines(t *testing.T) {
 func TestDMEqualsRMForImplicitDeadlines(t *testing.T) {
 	p := costmodel.M68040()
 	specs := specsOf(4, 1, 5, 1, 10, 3)
-	if FeasibleDM(p, specs) != FeasibleRM(p, specs) {
+	if analysis.FeasibleDM(p, specs) != analysis.FeasibleRM(p, specs) {
 		t.Error("DM and RM must agree on implicit deadlines")
 	}
 }
 
 func TestFeasibleFPWithBlocking(t *testing.T) {
 	zero := costmodel.Zero()
-	sorted := SortRM(specsOf(10, 4, 20, 5))
+	sorted := analysis.SortRM(specsOf(10, 4, 20, 5))
 	// Without blocking: R1 = 4, R2 = 5 + 2·4 = 13 ≤ 20: feasible.
-	if !FeasibleFPWithBlocking(zero, sorted, nil) {
+	if !analysis.FeasibleFPWithBlocking(zero, sorted, nil) {
 		t.Error("unblocked set rejected")
 	}
 	// 7 ms of blocking on the top task: R1 = 11 > 10: infeasible.
-	if FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{7 * vtime.Millisecond, 0}) {
+	if analysis.FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{7 * vtime.Millisecond, 0}) {
 		t.Error("heavily blocked set accepted")
 	}
 	// 5 ms of blocking: R1 = 9 ≤ 10, R2 unchanged: feasible.
-	if !FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{5 * vtime.Millisecond, 0}) {
+	if !analysis.FeasibleFPWithBlocking(zero, sorted, []vtime.Duration{5 * vtime.Millisecond, 0}) {
 		t.Error("moderately blocked set rejected")
 	}
 }
 
 func TestPIBlockingBounds(t *testing.T) {
-	sorted := SortRM(specsOf(5, 1, 10, 1, 20, 1, 40, 1))
+	sorted := analysis.SortRM(specsOf(5, 1, 10, 1, 20, 1, 40, 1))
 	// Semaphore 0 shared by tasks 0 and 3; semaphore 1 by tasks 1 and 2.
 	shares := [][]int{{0}, {1}, {1}, {0}}
 	cs := []vtime.Duration{
@@ -78,7 +79,7 @@ func TestPIBlockingBounds(t *testing.T) {
 		300 * vtime.Microsecond,
 		900 * vtime.Microsecond,
 	}
-	b := PIBlockingBounds(sorted, shares, cs)
+	b := analysis.PIBlockingBounds(sorted, shares, cs)
 	// Task 0 shares sem 0 with lower-priority task 3: B₀ = 900 µs.
 	if b[0] != 900*vtime.Microsecond {
 		t.Errorf("B0 = %v", b[0])
@@ -111,7 +112,7 @@ func TestBlockingBoundMatchesSimulation(t *testing.T) {
 		{Period: 100 * vtime.Millisecond, WCET: 5 * vtime.Millisecond},
 	}
 	blocking := []vtime.Duration{5 * vtime.Millisecond, 5 * vtime.Millisecond, 0}
-	if !FeasibleFPWithBlocking(zero, sorted, blocking) {
+	if !analysis.FeasibleFPWithBlocking(zero, sorted, blocking) {
 		t.Error("PI-bounded set rejected")
 	}
 	// The corresponding simulation (TestPriorityInheritanceBoundsInversion

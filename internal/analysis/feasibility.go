@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"math"
 	"sort"
+	"sync"
 
 	"emeralds/internal/costmodel"
 	"emeralds/internal/sched"
@@ -139,71 +141,192 @@ func FeasibleCSD(p *costmodel.Profile, rmSorted []task.Spec, part sched.Partitio
 	sizes := queueSizes(part, n)
 	numDP := len(sizes) - 1
 
-	// Inflate per queue assignment.
-	assign := make([]int, n)
-	idx := 0
-	for k := 0; k < numDP; k++ {
-		for j := 0; j < sizes[k]; j++ {
-			assign[idx] = k
-			idx++
-		}
+	// The partition assigns RM-priority *prefixes*, so queue k owns the
+	// contiguous range ts[starts[k]:starts[k+1]] and the "all higher
+	// queues" interference set is always the prefix ts[:starts[k]] —
+	// no per-queue copies, no assignment table. This function runs
+	// O(candidates × probes) times inside every breakdown bisection, so
+	// every slice it needs comes from a pooled scratch.
+	bufs := csdScratch.Get().(*csdBufs)
+	defer csdScratch.Put(bufs)
+	starts := append(bufs.starts[:0], 0)
+	for _, s := range sizes {
+		starts = append(starts, starts[len(starts)-1]+s)
 	}
-	for ; idx < n; idx++ {
-		assign[idx] = numDP
-	}
-	perQueue := make([]vtime.Duration, len(sizes))
+	perQueue := bufs.perQueue[:0]
 	for k := range sizes {
-		perQueue[k] = CSDOverheads(p, sizes, k).PerPeriod()
+		perQueue = append(perQueue, CSDOverheads(p, sizes, k).PerPeriod())
 	}
-	ts := inflate(rmSorted, func(i int) vtime.Duration { return perQueue[assign[i]] })
-
-	// Partition the inflated tasks by queue.
-	groups := make([][]inflated, len(sizes))
-	for i, t := range ts {
-		groups[assign[i]] = append(groups[assign[i]], t)
+	ts := bufs.ts
+	if cap(ts) < n {
+		ts = make([]inflated, n)
+	} else {
+		ts = ts[:n]
 	}
-
-	// DP queues, top down, each under interference from higher queues.
-	var higher []inflated
-	for k := 0; k < numDP; k++ {
-		if len(groups[k]) == 0 {
-			continue
-		}
-		if len(higher) == 0 && implicitDeadlines(groups[k]) {
-			if utilization(groups[k]) > 1.0 {
-				return false
+	bufs.starts, bufs.perQueue, bufs.ts = starts, perQueue, ts
+	for k := range sizes {
+		for i := starts[k]; i < starts[k+1]; i++ {
+			s := rmSorted[i]
+			ts[i] = inflated{
+				period:   s.Period,
+				deadline: s.RelDeadline(),
+				wcet:     s.WCET + perQueue[k],
 			}
-		} else if !edfDemandFeasible(groups[k], higher) {
+		}
+	}
+
+	// A cheap exact cut for far-overloaded probes (the bisection's first
+	// upper bound doubles the workload well past saturation): when the
+	// FP queue is non-empty and the inflated utilization of everything
+	// *except the last task* exceeds 1 beyond float-summation error,
+	// the last FP task's response-time iteration provably diverges —
+	// its interference set is the entire rest of the set — so some test
+	// below must return false. Borderline sums fall through to the
+	// exact tests.
+	if sizes[numDP] > 0 {
+		last := ts[n-1]
+		if utilization(ts)-float64(last.wcet)/float64(last.period) > 1+1e-9 {
 			return false
 		}
-		higher = append(higher, groups[k]...)
 	}
 
 	// FP tasks: RTA with all DP tasks plus higher-priority FP tasks.
-	fp := groups[numDP]
+	// This runs *before* the DP queue tests: the per-queue checks are
+	// independent and conjunctive, so order changes only speed, and in
+	// an infeasible probe's candidate sweep the RTA rejects the large
+	// majority of candidates at a fraction of a demand walk's cost.
+	// Two exactness-preserving accelerations:
+	//
+	//   - warm start: task i's climb begins at R_{i−1} + cᵢ. The
+	//     interference sets are nested and the iteration map monotone,
+	//     so the smallest fixed point satisfies Rᵢ ≥ R_{i−1} + cᵢ and
+	//     the climb reaches the *same* fixed point — n independent
+	//     climbs from cᵢ become one shared climb across the queue.
+	//   - incremental ceilings: the response-time candidates queried are
+	//     globally nondecreasing (within a climb, and across tasks via
+	//     the warm start), so each interferer's ⌈r/Pⱼ⌉·cⱼ term is kept
+	//     as a running sum advanced past thresholds — the iterates are
+	//     computed bit-for-bit as before, with adds and compares in
+	//     place of a division per term per iteration.
+	higher := ts[:starts[numDP]]
+	fp := ts[starts[numDP]:]
+	if len(fp) > 0 && !csdFPFeasible(bufs, higher, fp) {
+		return false
+	}
+
+	// DP queues, top down, each under interference from higher queues.
+	for k := 0; k < numDP; k++ {
+		own := ts[starts[k]:starts[k+1]]
+		if len(own) == 0 {
+			continue
+		}
+		higher := ts[:starts[k]]
+		if len(higher) == 0 && implicitDeadlines(own) {
+			if utilization(own) > 1.0 {
+				return false
+			}
+		} else if !edfDemandFeasible(own, higher) {
+			return false
+		}
+	}
+	return true
+}
+
+// csdFPFeasible runs the FP response-time pass of FeasibleCSD: each FP
+// task against the interference of all DP tasks (higher) plus its
+// higher-priority FP predecessors.
+func csdFPFeasible(bufs *csdBufs, higher, fp []inflated) bool {
+	terms := bufs.terms[:0]
+	var interf int64               // Σ ⌈r/Pⱼ⌉·cⱼ over the active interferers
+	minThr := int64(math.MaxInt64) // smallest threshold at which any ⌈r/Pⱼ⌉ bumps
+	var prev int64
 	for i := range fp {
-		r := fp[i].wcet
+		ci := int64(fp[i].wcet)
+		r := prev + ci
+		// Activate this task's newly visible interferers at the current
+		// candidate r: one seed division each, increments afterwards.
+		// Non-positive periods contribute nothing, exactly like ceilDiv.
+		newcomers := higher
+		if i > 0 {
+			newcomers = fp[i-1 : i]
+		}
+		for _, t := range newcomers {
+			p, c := int64(t.period), int64(t.wcet)
+			if p <= 0 {
+				continue
+			}
+			k := ceilDiv(r, p)
+			interf += k * c
+			nt := k * p
+			terms = append(terms, ceilTerm{p, c, nt})
+			if nt < minThr {
+				minThr = nt
+			}
+		}
 		for iter := 0; ; iter++ {
-			w := fp[i].wcet
-			for _, h := range higher {
-				w += vtime.Duration(ceilDiv(int64(r), int64(h.period))) * h.wcet
+			// Bring interf up to r. The watermark makes the no-crossing
+			// case (most iterations once the climb is warm) a single
+			// comparison; a real crossing rescans the terms, advancing a
+			// far-behind threshold with one division instead of a walk.
+			if r > minThr {
+				minThr = int64(math.MaxInt64)
+				for j := range terms {
+					t := terms[j].thr
+					if t < r {
+						p := terms[j].p
+						if r-t > p<<6 {
+							nt := ceilDiv(r, p) * p
+							interf += (nt - t) / p * terms[j].c
+							t = nt
+						} else {
+							for t < r {
+								t += p
+								interf += terms[j].c
+							}
+						}
+						terms[j].thr = t
+					}
+					if t < minThr {
+						minThr = t
+					}
+				}
 			}
-			for j := 0; j < i; j++ {
-				w += vtime.Duration(ceilDiv(int64(r), int64(fp[j].period))) * fp[j].wcet
-			}
-			if w > fp[i].deadline {
+			w := ci + interf
+			if w > int64(fp[i].deadline) {
+				bufs.terms = terms
 				return false
 			}
 			if w == r {
+				prev = r
 				break
 			}
 			r = w
 			if iter > 10000 {
+				bufs.terms = terms
 				return false
 			}
 		}
 	}
+	bufs.terms = terms
 	return true
+}
+
+// ceilTerm carries one interferer's ⌈x/p⌉·c term through a fixed-point
+// climb: thr is the next multiple of p at which the ceiling bumps, so
+// advancing a nondecreasing query point costs adds and compares, not a
+// division per term per iteration.
+type ceilTerm struct{ p, c, thr int64 }
+
+// csdScratch recycles every per-call slice of FeasibleCSD — the prefix
+// table, per-queue overheads, inflated task array, and the RTA
+// interference terms.
+var csdScratch = sync.Pool{New: func() any { return new(csdBufs) }}
+
+type csdBufs struct {
+	starts   []int
+	perQueue []vtime.Duration
+	ts       []inflated
+	terms    []ceilTerm
 }
 
 func implicitDeadlines(ts []inflated) bool {
@@ -215,6 +338,41 @@ func implicitDeadlines(ts []inflated) bool {
 	return true
 }
 
+// demandStream is one task's arithmetic progression of absolute
+// deadlines inside the processor-demand walk: d is the next unvisited
+// deadline, p the period (the progression's stride), c the WCET that
+// becomes due at each point.
+type demandStream struct{ d, p, c int64 }
+
+// demandScratch recycles the merge-heap and interference buffers across
+// edfDemandFeasible calls: the test runs millions of times inside a
+// breakdown bisection (once per candidate partition per probe).
+var demandScratch = sync.Pool{New: func() any { return new(demandBufs) }}
+
+type demandBufs struct {
+	streams []demandStream
+	hp, hc  []int64
+	busy    []ceilTerm
+}
+
+// siftDown restores the min-by-deadline heap property from index i.
+func siftDown(h []demandStream, i int) {
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < len(h) && h[l].d < h[min].d {
+			min = l
+		}
+		if r < len(h) && h[r].d < h[min].d {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
 // edfDemandFeasible runs the processor-demand test for `own` tasks
 // scheduled EDF under ceiling interference from `higher` tasks:
 //
@@ -222,6 +380,17 @@ func implicitDeadlines(ts []inflated) bool {
 //
 // where L is the level-(own ∪ higher) busy period. Exceeding the
 // checkpoint budget counts as infeasible (conservative).
+//
+// The checkpoints are enumerated per task (each an arithmetic
+// progression of deadlines), then merged into one sorted walk: since
+// dbf_own(d) = Σ {cₒ · jobs} counts exactly the own-task deadlines at
+// or before d, the demand at each checkpoint is a running sum — O(1)
+// per point — instead of an O(|own|) recomputation with two integer
+// divisions per task. Only the ceiling interference still costs
+// O(|higher|) divisions per point. The verdict is identical to the
+// naive per-point recomputation: the same checkpoint set is tested
+// against the same integer demand, and the checkpoint budget counts
+// the same per-task points.
 func edfDemandFeasible(own, higher []inflated) bool {
 	if len(own) == 0 {
 		return true
@@ -237,7 +406,14 @@ func edfDemandFeasible(own, higher []inflated) bool {
 		return false
 	}
 
-	// Busy period: L = Σ ⌈L/Pᵢ⌉·cᵢ over own ∪ higher.
+	// Busy period: L = Σ ⌈L/Pᵢ⌉·cᵢ over own ∪ higher. The fixed-point
+	// iterates l₀ = ΣC < l₁ < … are computed bit-for-bit as the classic
+	// recomputation — each w is the exact Σ ⌈l/Pᵢ⌉·cᵢ — but the
+	// ceilings are carried incrementally: near saturation the climb
+	// creeps in steps far smaller than any period, so most iterations
+	// touch no threshold at all; a jump past many periods reseeds with
+	// one division. Tasks with non-positive periods contribute nothing,
+	// exactly like ceilDiv.
 	var sumC vtime.Duration
 	for _, t := range own {
 		sumC += t.wcet
@@ -245,44 +421,135 @@ func edfDemandFeasible(own, higher []inflated) bool {
 	for _, t := range higher {
 		sumC += t.wcet
 	}
+	bufs := demandScratch.Get().(*demandBufs)
+	defer demandScratch.Put(bufs)
 	l := int64(sumC)
+	busy := bufs.busy[:0]
+	var busyW int64 // Σ ⌈l/Pᵢ⌉·cᵢ at the current l
+	seed := func(ts []inflated) {
+		for _, t := range ts {
+			p, c := int64(t.period), int64(t.wcet)
+			if p <= 0 {
+				continue
+			}
+			k := ceilDiv(l, p)
+			busyW += k * c
+			busy = append(busy, ceilTerm{p, c, k * p})
+		}
+	}
+	seed(own)
+	seed(higher)
+	bufs.busy = busy
 	for iter := 0; iter < 1000; iter++ {
-		var w int64
-		for _, t := range own {
-			w += ceilDiv(l, int64(t.period)) * int64(t.wcet)
-		}
-		for _, t := range higher {
-			w += ceilDiv(l, int64(t.period)) * int64(t.wcet)
-		}
-		if w == l {
+		if busyW == l {
 			break
 		}
-		l = w
+		l = busyW
 		if iter == 999 {
 			return false // busy period did not converge: treat as infeasible
 		}
+		for j := range busy {
+			if t := busy[j].thr; t < l {
+				p := busy[j].p
+				if l-t > p<<6 {
+					nt := ceilDiv(l, p) * p
+					busyW += (nt - t) / p * busy[j].c
+					t = nt
+				} else {
+					for t < l {
+						t += p
+						busyW += busy[j].c
+					}
+				}
+				busy[j].thr = t
+			}
+		}
 	}
 
-	checkpoints := 0
+	// Checkpoint budget, in closed form: the count of per-task deadline
+	// points in [0, L] is known without enumerating them.
+	var nPts int64
 	for _, t := range own {
-		for d := int64(t.deadline); d <= l; d += int64(t.period) {
-			checkpoints++
-			if checkpoints > maxCheckpoints {
+		if d0 := int64(t.deadline); d0 <= l {
+			nPts += (l-d0)/int64(t.period) + 1
+			if nPts > maxCheckpoints {
 				return false
 			}
-			var demand int64
-			for _, o := range own {
-				if d >= int64(o.deadline) {
-					jobs := (d-int64(o.deadline))/int64(o.period) + 1
-					demand += jobs * int64(o.wcet)
-				}
+		}
+	}
+	if nPts == 0 {
+		return true
+	}
+
+	// Exact truncation of the walk (never of the budget above): the
+	// ceilings and floors bound demand(d) + I(d) ≤ U_total·d + B with
+	// B = Σₕ cₕ + Σₒ (Pₒ−Dₒ)·cₒ/Pₒ, so every checkpoint at
+	// d ≥ B/(1−U_total) passes by algebra and needs no test. The float
+	// cap is rounded *up* (relative and absolute margins dominate the
+	// ~1e-14 summation error), so skipped points are always provably
+	// clean; near-saturated probes shrink from the full busy period to
+	// a few multiples of the interference backlog.
+	walkL := l
+	var slack float64
+	for _, t := range own {
+		slack += float64(int64(t.period)-int64(t.deadline)) * float64(t.wcet) / float64(t.period)
+	}
+	for _, t := range higher {
+		slack += float64(t.wcet)
+	}
+	slackUp := slack + 1e-9*math.Abs(slack) + 1
+	if denom := 1 - (total + 1e-9); denom > 0 {
+		if cap := slackUp / denom; cap < float64(walkL) {
+			walkL = int64(cap) + 1
+		}
+	}
+
+	// One stream per own task, merged by a small min-heap: the next
+	// checkpoint is always the heap root, advanced in place by its
+	// period. O(log |own|) per point, no materialized point list, no
+	// comparison-function sort.
+	streams := bufs.streams[:0]
+	for _, t := range own {
+		if d0 := int64(t.deadline); d0 <= walkL {
+			streams = append(streams, demandStream{d0, int64(t.period), int64(t.wcet)})
+		}
+	}
+	bufs.streams = streams
+	for i := len(streams)/2 - 1; i >= 0; i-- {
+		siftDown(streams, i)
+	}
+
+	hp, hc := bufs.hp[:0], bufs.hc[:0]
+	for _, h := range higher {
+		hp = append(hp, int64(h.period))
+		hc = append(hc, int64(h.wcet))
+	}
+	bufs.hp, bufs.hc = hp, hc
+
+	var demand int64
+	for len(streams) > 0 {
+		d := streams[0].d
+		// Fold in every stream whose next deadline is exactly d before
+		// checking, so each unique time is tested once with the full
+		// demand due at it.
+		for len(streams) > 0 && streams[0].d == d {
+			demand += streams[0].c
+			if nd := d + streams[0].p; nd <= walkL {
+				streams[0].d = nd
+			} else {
+				streams[0] = streams[len(streams)-1]
+				streams = streams[:len(streams)-1]
 			}
-			for _, h := range higher {
-				demand += ceilDiv(d, int64(h.period)) * int64(h.wcet)
-			}
-			if demand > d {
-				return false
-			}
+			siftDown(streams, 0)
+		}
+		// demand + Σ ⌈d/Pₕ⌉·cₕ > d, rearranged to keep `demand` a pure
+		// running sum across checkpoints.
+		supply := d
+		for j, p := range hp {
+			supply -= ceilDiv(d, p) * hc[j]
+		}
+		if demand > supply {
+			return false
 		}
 	}
 	return true

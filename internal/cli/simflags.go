@@ -1,0 +1,118 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emeralds/internal/kernel"
+	"emeralds/internal/sim"
+	"emeralds/internal/telemetry"
+	"emeralds/internal/vtime"
+)
+
+// SimFlags is the unified simulator flag surface of the kernel-booting
+// tools: the observability knobs (-trace-out, -sample-us, -sample-cap)
+// layered over Common's -cpus/-lock, declared once so they behave
+// identically across emsim, emreport, ablate, and emfuzz instead of
+// each cmd re-declaring an overlapping subset.
+//
+// Lifecycle: register with Common.SimFlags before Parse; seed the
+// tool's sim.Config from Config; pass Observe as (or inside) the
+// kernel.Boot setup callback so the flight recorder attaches before
+// the system boots; call Finish after the run to embed the sampled
+// series in the artifact and write the -trace-out export.
+type SimFlags struct {
+	TraceOut  string  // -trace-out: Perfetto trace-event JSON path
+	SampleUs  float64 // -sample-us: flight-recorder cadence in virtual µs (0 = off)
+	SampleCap int     // -sample-cap: recorder ring capacity (0 = 4096)
+
+	c   *Common
+	rec *telemetry.Recorder
+}
+
+// SimFlags registers the shared simulator flags on the default FlagSet.
+// Call before Parse.
+func (c *Common) SimFlags() *SimFlags {
+	f := &SimFlags{c: c}
+	flag.StringVar(&f.TraceOut, "trace-out", "", "write the run's full trace as Chrome/Perfetto trace-event JSON")
+	flag.Float64Var(&f.SampleUs, "sample-us", 0, "flight-recorder sampling cadence in virtual microseconds (0 = off)")
+	flag.IntVar(&f.SampleCap, "sample-cap", 0, "flight-recorder ring capacity in samples (0 = 4096)")
+	return f
+}
+
+// Config yields the base sim.Config these flags select: the CPU
+// topology from -cpus/-lock, and a trace ring large enough for a full
+// export when -trace-out is set. Tools fill in policy and workload.
+func (f *SimFlags) Config() sim.Config {
+	cfg := sim.Config{CPUs: f.c.CPUs, Lock: f.c.Lock}
+	if f.TraceOut != "" {
+		cfg.TraceCapacity = 1 << 20
+	}
+	return cfg
+}
+
+// Observing reports whether any observability flag asks for work.
+func (f *SimFlags) Observing() bool { return f.TraceOut != "" || f.SampleUs > 0 }
+
+// Observe attaches the flight recorder to the node when -sample-us is
+// set. Call before Boot (telemetry imports kernel, so the builder
+// cannot attach recorders itself — this is where that wiring lives).
+func (f *SimFlags) Observe(n *kernel.Node) error {
+	if f.SampleUs <= 0 {
+		return nil
+	}
+	rec, err := telemetry.Attach(n.Kernel(), telemetry.Config{
+		Interval: vtime.Duration(f.SampleUs * 1000),
+		Capacity: f.SampleCap,
+	})
+	if err != nil {
+		return err
+	}
+	f.rec = rec
+	return nil
+}
+
+// Recorder returns the flight recorder Observe attached, nil when off.
+func (f *SimFlags) Recorder() *telemetry.Recorder { return f.rec }
+
+// Finish harvests observability after the run: the recorder's series
+// goes into the artifact's timeseries block and the trace ring is
+// exported to -trace-out. Safe to call unconditionally.
+func (f *SimFlags) Finish(n *kernel.Node) error {
+	if f.rec != nil {
+		f.c.Timeseries = f.rec.Series()
+	}
+	if f.TraceOut == "" {
+		return nil
+	}
+	return f.ExportTrace(n)
+}
+
+// ExportTrace writes the node's trace ring as Perfetto trace-event
+// JSON to the -trace-out path, warning on stderr when the ring dropped
+// events (the export is then truncated).
+func (f *SimFlags) ExportTrace(n *kernel.Node) error {
+	log := n.Trace()
+	if log == nil {
+		return fmt.Errorf("-trace-out: node has no trace ring (TraceCapacity 0)")
+	}
+	if d := log.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "%s: WARNING: trace ring dropped %d events; the export is truncated\n", f.c.Tool, d)
+	}
+	w, err := os.Create(f.TraceOut)
+	if err != nil {
+		return err
+	}
+	if err := log.ExportPerfetto(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if !f.c.Quiet {
+		fmt.Fprintf(os.Stderr, "%s: wrote %s (%d events)\n", f.c.Tool, f.TraceOut, log.Total())
+	}
+	return nil
+}

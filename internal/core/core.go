@@ -1,10 +1,10 @@
-// Package core is the public façade of the EMERALDS library: it
-// assembles the paper's three contributions — the CSD scheduler (§5),
-// the optimized semaphore implementation (§6), and state-message IPC
-// (§7) — plus all the substrate services into a bootable system with
-// one call.
+// Package core is the legacy façade of the EMERALDS library. It
+// predates the sim.Config → kernel.Boot builder API and now survives
+// as a thin shim over kernel.Node so existing examples and tests keep
+// compiling; new code should build systems with kernel.NewNode /
+// kernel.Boot directly.
 //
-// Typical use:
+// Typical use (legacy):
 //
 //	sys := core.New(core.Config{})            // CSD-3, optimized sems
 //	sem := sys.NewSemaphore("obj")
@@ -13,335 +13,109 @@
 //	sys.Run(2 * vtime.Second)
 //	fmt.Println(sys.Report())
 //
-// Boot runs the §6.2.1 code parser over every task program (inserting
-// semaphore hints) and, for CSD, the §5.5.3 off-line partition search
-// over the admitted workload.
+// Deprecated: use sim.Config with kernel.NewNode or kernel.Boot.
 package core
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
-	"emeralds/internal/analysis"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/kernel"
-	"emeralds/internal/mem"
-	"emeralds/internal/parser"
 	"emeralds/internal/sched"
 	"emeralds/internal/sim"
-	"emeralds/internal/task"
-	"emeralds/internal/trace"
-	"emeralds/internal/vtime"
 )
 
 // Policy names a scheduling policy.
+//
+// Deprecated: use the sim.Policy* string constants.
 type Policy string
 
 // Available policies.
 const (
-	PolicyCSD    Policy = "csd" // combined static/dynamic (default)
-	PolicyEDF    Policy = "edf"
-	PolicyRM     Policy = "rm"
-	PolicyRMHeap Policy = "rm-heap"
+	PolicyCSD    Policy = sim.PolicyCSD // combined static/dynamic (default)
+	PolicyEDF    Policy = sim.PolicyEDF
+	PolicyRM     Policy = sim.PolicyRM
+	PolicyRMHeap Policy = sim.PolicyRMHeap
+	PolicyFP     Policy = sim.PolicyFP // fixed-priority on the O(1) bitmap queue
 )
 
 // Config configures a System. The zero value is the paper's
 // recommended build: CSD-3 with the optimized semaphore scheme on the
 // 68040 cost profile.
+//
+// Deprecated: use sim.Config.
 type Config struct {
 	// Policy selects the scheduler; default PolicyCSD.
 	Policy Policy
-	// Queues is the CSD queue count x (default 3, the paper's sweet
-	// spot: "CSD-3 delivers consistently good performance over a wide
-	// range of task workload characteristics").
+	// Queues is the CSD queue count x (default 3).
 	Queues int
 	// Partition fixes the CSD queue split; nil runs the §5.5.3 search
 	// at Boot.
 	Partition *sched.Partition
 	// Profile is the cost model; nil = costmodel.M68040().
 	Profile *costmodel.Profile
-	// StandardSem selects the §6.1 standard semaphore implementation
-	// instead of the §6.2 optimized scheme (for comparisons).
+	// StandardSem selects the §6.1 standard semaphore implementation.
 	StandardSem bool
-	// NoParser skips the §6.2.1 hint-insertion pass (for comparisons;
-	// without hints the optimized scheme cannot save switches).
+	// NoParser skips the §6.2.1 hint-insertion pass.
 	NoParser bool
-	// DeadlineMonotonic assigns fixed priorities by relative deadline
-	// instead of period.
+	// DeadlineMonotonic assigns fixed priorities by relative deadline.
 	DeadlineMonotonic bool
-	// PriorityCeiling swaps the §6 priority-inheritance mutexes for the
-	// immediate priority ceiling protocol: deadlock freedom and a
-	// single-blocking bound, at the cost of a boost on every acquire.
+	// PriorityCeiling swaps priority inheritance for the immediate
+	// priority ceiling protocol.
 	PriorityCeiling bool
-	// CPUs is the number of processors; 0 and 1 both build the classic
-	// single-CPU system. On a multicore build tasks are partitioned
-	// across CPUs at Boot (honoring task.Spec.Affinity) and each CPU
-	// runs its own instance of the selected policy.
+	// CPUs is the number of processors (0 and 1 = single-CPU).
 	CPUs int
-	// LockRegime selects the simulated kernel-lock granularity charged
-	// on a multicore build (per-CPU lock-free run queues, per-queue
-	// locks, or a big kernel lock); ignored when CPUs ≤ 1.
+	// LockRegime selects the simulated lock granularity on multicore.
 	LockRegime kernel.LockRegime
-	// RAMBudget bounds the kernel's accounted dynamic memory in bytes
-	// (§2's 32–128 KB on-chip constraint); 0 = unlimited.
+	// RAMBudget bounds accounted dynamic memory in bytes; 0 = unlimited.
 	RAMBudget int
-	// RecordResponses keeps per-task latency histograms; Report then
-	// shows p50/p95/p99 alongside avg/max.
+	// RecordResponses keeps per-task latency histograms.
 	RecordResponses bool
 	// TraceCapacity > 0 enables execution tracing with that ring size.
 	TraceCapacity int
-	// Engine shares a discrete-event engine across nodes; nil creates
-	// a private one.
+	// Engine shares a discrete-event engine across nodes.
 	Engine *sim.Engine
 	// Name labels the node.
 	Name string
 }
 
-// System is a configured EMERALDS node.
+// sim converts the legacy Config into the canonical sim.Config.
+func (cfg Config) sim() sim.Config {
+	sc := sim.Config{
+		Policy:            string(cfg.Policy),
+		Queues:            cfg.Queues,
+		Profile:           cfg.Profile,
+		StandardSem:       cfg.StandardSem,
+		NoParser:          cfg.NoParser,
+		DeadlineMonotonic: cfg.DeadlineMonotonic,
+		PriorityCeiling:   cfg.PriorityCeiling,
+		CPUs:              cfg.CPUs,
+		Lock:              cfg.LockRegime.String(),
+		RAMBudget:         cfg.RAMBudget,
+		RecordResponses:   cfg.RecordResponses,
+		TraceCapacity:     cfg.TraceCapacity,
+		Engine:            cfg.Engine,
+		Name:              cfg.Name,
+	}
+	if cfg.Partition != nil {
+		sc.DPSizes = cfg.Partition.DPSizes
+		if sc.DPSizes == nil {
+			sc.DPSizes = []int{} // non-nil: "fixed", not "search"
+		}
+	}
+	return sc
+}
+
+// System is a configured EMERALDS node. All behavior lives in the
+// embedded kernel.Node; System only adapts the legacy Config.
+//
+// Deprecated: use kernel.Node.
 type System struct {
-	cfg  Config
-	kern *kernel.Kernel
-	tr   *trace.Log
-	part sched.Partition
-	prof *costmodel.Profile
+	*kernel.Node
 }
 
 // New creates a System. Tasks and kernel objects are added before
 // Boot.
+//
+// Deprecated: use kernel.NewNode(sim.Config{...}).
 func New(cfg Config) *System {
-	if cfg.Policy == "" {
-		cfg.Policy = PolicyCSD
-	}
-	if cfg.Queues <= 1 {
-		cfg.Queues = 3
-	}
-	prof := cfg.Profile
-	if prof == nil {
-		prof = costmodel.M68040()
-	}
-	var tr *trace.Log
-	if cfg.TraceCapacity > 0 {
-		tr = trace.New(cfg.TraceCapacity)
-	}
-	k, err := kernel.New(cfg.Engine, kernel.Options{
-		Profile:           prof,
-		CPUs:              cfg.CPUs,
-		LockRegime:        cfg.LockRegime,
-		OptimizedSem:      !cfg.StandardSem,
-		Trace:             tr,
-		DeadlineMonotonic: cfg.DeadlineMonotonic,
-		PriorityCeiling:   cfg.PriorityCeiling,
-		RecordResponses:   cfg.RecordResponses,
-		RAMBudget:         cfg.RAMBudget,
-		Name:              cfg.Name,
-	})
-	if err != nil {
-		panic(err) // only reachable on programmer error
-	}
-	return &System{cfg: cfg, kern: k, tr: tr, prof: prof}
-}
-
-// Kernel exposes the underlying kernel for object creation and
-// advanced wiring (ISRs, devices, bus ports).
-func (s *System) Kernel() *kernel.Kernel { return s.kern }
-
-// AddTask admits a periodic task (aperiodic when Period is 0),
-// running the §6.2.1 parser over its program unless disabled.
-func (s *System) AddTask(spec task.Spec) *kernel.Thread {
-	if !s.cfg.NoParser && spec.Prog != nil {
-		spec.Prog = parser.InsertHints(spec.Prog)
-	}
-	return s.kern.AddTask(spec)
-}
-
-// AddTaskIn is AddTask into a specific process.
-func (s *System) AddTaskIn(proc int, spec task.Spec) *kernel.Thread {
-	if !s.cfg.NoParser && spec.Prog != nil {
-		spec.Prog = parser.InsertHints(spec.Prog)
-	}
-	return s.kern.AddTaskIn(proc, spec)
-}
-
-// Convenience delegates for kernel object creation.
-
-// NewSemaphore creates a mutex with priority inheritance.
-func (s *System) NewSemaphore(name string) int { return s.kern.NewSemaphore(name) }
-
-// NewCountingSemaphore creates a counting semaphore.
-func (s *System) NewCountingSemaphore(name string, n int) int {
-	return s.kern.NewCountingSemaphore(name, n)
-}
-
-// NewEvent creates an event object.
-func (s *System) NewEvent(name string) int { return s.kern.NewEvent(name) }
-
-// NewCondVar creates a condition variable.
-func (s *System) NewCondVar(name string) int { return s.kern.NewCondVar(name) }
-
-// NewMailbox creates a mailbox.
-func (s *System) NewMailbox(name string, capacity int) int {
-	return s.kern.NewMailbox(name, capacity)
-}
-
-// NewStateMessage creates a §7 state message.
-func (s *System) NewStateMessage(name string, depth, size int) int {
-	return s.kern.NewStateMessage(name, depth, size)
-}
-
-// NewProcess creates an address space.
-func (s *System) NewProcess() int { return s.kern.NewProcess() }
-
-// Boot selects the scheduler (running the CSD partition search when
-// needed), binds it — one instance per CPU on a multicore build — and
-// starts the system at virtual time zero.
-func (s *System) Boot() error {
-	m := s.kern.NumCPUs()
-	if m > 1 {
-		return s.bootMulti(m)
-	}
-	switch s.cfg.Policy {
-	case PolicyEDF:
-		s.kern.SetScheduler(sched.NewEDF(s.prof))
-	case PolicyRM:
-		s.kern.SetScheduler(sched.NewRM(s.prof))
-	case PolicyRMHeap:
-		s.kern.SetScheduler(sched.NewRMHeap(s.prof))
-	case PolicyCSD:
-		part, err := s.choosePartition(s.periodicSpecs())
-		if err != nil {
-			return err
-		}
-		s.part = part
-		s.kern.SetScheduler(sched.NewCSD(s.prof, part))
-	default:
-		return fmt.Errorf("core: unknown policy %q", s.cfg.Policy)
-	}
-	return s.kern.Boot()
-}
-
-// bootMulti binds one scheduler instance per CPU (instances hold queue
-// state and cannot be shared). For CSD the §5.5.3 partition search runs
-// per CPU over that CPU's share of the task set, previewed with the
-// same deterministic sched.AssignCPUs split Boot will use.
-func (s *System) bootMulti(m int) error {
-	ss := make([]sched.Scheduler, m)
-	switch s.cfg.Policy {
-	case PolicyEDF:
-		for i := range ss {
-			ss[i] = sched.NewEDF(s.prof)
-		}
-	case PolicyRM:
-		for i := range ss {
-			ss[i] = sched.NewRM(s.prof)
-		}
-	case PolicyRMHeap:
-		for i := range ss {
-			ss[i] = sched.NewRMHeap(s.prof)
-		}
-	case PolicyCSD:
-		var tcbs []*task.TCB
-		for _, th := range s.kern.Threads() {
-			tcbs = append(tcbs, th.TCB)
-		}
-		perCPU := sched.AssignCPUs(tcbs, m)
-		for i := range ss {
-			var specs []task.Spec
-			for _, t := range perCPU[i] {
-				if t.Spec.Period > 0 {
-					specs = append(specs, t.Spec)
-				}
-			}
-			part, err := s.choosePartition(specs)
-			if err != nil {
-				return err
-			}
-			if i == 0 {
-				s.part = part
-			}
-			ss[i] = sched.NewCSD(s.prof, part)
-		}
-	default:
-		return fmt.Errorf("core: unknown policy %q", s.cfg.Policy)
-	}
-	s.kern.SetSchedulers(ss)
-	return s.kern.Boot()
-}
-
-func (s *System) periodicSpecs() []task.Spec {
-	var specs []task.Spec
-	for _, th := range s.kern.Threads() {
-		if th.TCB.Spec.Period > 0 {
-			specs = append(specs, th.TCB.Spec)
-		}
-	}
-	return specs
-}
-
-func (s *System) choosePartition(specs []task.Spec) (sched.Partition, error) {
-	if s.cfg.Partition != nil {
-		return *s.cfg.Partition, nil
-	}
-	n := len(specs)
-	if n == 0 {
-		return sched.Partition{DPSizes: make([]int, s.cfg.Queues-1)}, nil
-	}
-	rmSorted := analysis.SortRM(specs)
-	if part, _, ok := analysis.BestPartition(s.prof, rmSorted, s.cfg.Queues); ok {
-		return part, nil
-	}
-	// No partition passes the schedulability test (overload): degrade
-	// to the all-DP split, which behaves like EDF — the best a
-	// dynamic-priority scheduler can do under overload.
-	sizes := make([]int, s.cfg.Queues-1)
-	sizes[0] = n
-	return sched.Partition{DPSizes: sizes}, nil
-}
-
-// Partition reports the CSD partition chosen at Boot.
-func (s *System) Partition() sched.Partition { return s.part }
-
-// Run advances virtual time by d.
-func (s *System) Run(d vtime.Duration) { s.kern.Run(d) }
-
-// Now reports the current virtual time.
-func (s *System) Now() vtime.Time { return s.kern.Now() }
-
-// Stats returns kernel-wide accounting.
-func (s *System) Stats() kernel.Stats { return s.kern.Stats() }
-
-// Trace returns the trace log (nil when disabled).
-func (s *System) Trace() *trace.Log { return s.tr }
-
-// Report renders a per-task and system summary.
-func (s *System) Report() string {
-	var b strings.Builder
-	ths := append([]*kernel.Thread(nil), s.kern.Threads()...)
-	sort.Slice(ths, func(i, j int) bool { return ths[i].TCB.BasePrio < ths[j].TCB.BasePrio })
-	fmt.Fprintf(&b, "%s @ %v  scheduler=%s", s.kern.Name(), s.kern.Now(), s.kern.Scheduler().Name())
-	if s.cfg.Policy == PolicyCSD {
-		fmt.Fprintf(&b, " partition=%v", s.part.DPSizes)
-	}
-	if n := s.kern.NumCPUs(); n > 1 {
-		fmt.Fprintf(&b, " cpus=%d lock=%s", n, s.kern.LockRegimeInEffect())
-	}
-	b.WriteString("\n")
-	fmt.Fprintf(&b, "  %-12s %10s %8s %6s %6s %7s %12s %12s\n",
-		"task", "period", "jobs", "done", "miss", "preempt", "avg-resp", "max-resp")
-	for _, th := range ths {
-		t := th.TCB
-		fmt.Fprintf(&b, "  %-12s %10v %8d %6d %6d %7d %12v %12v\n",
-			t.Name, t.Spec.Period, t.Releases, t.Completions, t.Misses, t.Preemptions,
-			t.AvgResp(), t.MaxResp)
-		if h := th.Responses(); h != nil && h.Count() > 0 {
-			fmt.Fprintf(&b, "  %-12s   response %s  %s\n", "", h.Summary(), h.Sparkline(24))
-		}
-	}
-	st := s.kern.Stats()
-	fmt.Fprintf(&b, "  switches=%d saved=%d preempt=%d misses=%d overhead=%v useful=%v\n",
-		st.ContextSwitches, st.SavedSwitches, st.Preemptions, st.Misses,
-		st.TotalOverhead(), st.UsefulCompute)
-	fmt.Fprintf(&b, "  kernel code %d bytes (budget %d); RAM %d bytes\n",
-		s.kern.Footprint().Total(), mem.KernelBudget, s.kern.RAM().Used())
-	return b.String()
+	return &System{Node: kernel.NewNode(cfg.sim())}
 }

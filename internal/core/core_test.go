@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"emeralds/internal/costmodel"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -28,7 +29,7 @@ func TestDefaultBuildIsCSD3Optimized(t *testing.T) {
 }
 
 func TestPolicySelection(t *testing.T) {
-	for _, pol := range []Policy{PolicyEDF, PolicyRM, PolicyRMHeap, PolicyCSD} {
+	for _, pol := range []Policy{PolicyEDF, PolicyRM, PolicyRMHeap, PolicyFP, PolicyCSD} {
 		sys := New(Config{Policy: pol})
 		sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
 		if err := sys.Boot(); err != nil {
@@ -43,6 +44,49 @@ func TestPolicySelection(t *testing.T) {
 	sys.AddTask(task.Spec{Period: 10 * vtime.Millisecond, WCET: vtime.Millisecond})
 	if err := sys.Boot(); err == nil {
 		t.Error("bogus policy accepted")
+	}
+}
+
+// TestFPSchedulesLikeRM runs the Table 2 workload with semaphore
+// contention under RM (§5.1 sorted queue) and FP (bitmap queue) on a
+// zero-cost profile: with no charged overhead the two policies resolve
+// to the same (priority, ID) order, so every per-task outcome must be
+// identical.
+func TestFPSchedulesLikeRM(t *testing.T) {
+	type outcome struct {
+		releases, completions, misses, preemptions uint64
+	}
+	run := func(pol Policy) map[string]outcome {
+		sys := New(Config{Policy: pol, Profile: costmodel.Zero()})
+		sem := sys.NewSemaphore("S")
+		for i, spec := range workload.Table2() {
+			if i%2 == 0 && len(spec.Prog) == 0 && spec.WCET > 2*vtime.Microsecond {
+				spec.Prog = task.Program{
+					task.Acquire(sem),
+					task.Compute(spec.WCET / 2),
+					task.Release(sem),
+					task.Compute(spec.WCET - spec.WCET/2),
+				}
+				spec.WCET = 0
+			}
+			sys.AddTask(spec)
+		}
+		if err := sys.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(500 * vtime.Millisecond)
+		out := map[string]outcome{}
+		for _, th := range sys.Kernel().Threads() {
+			tcb := th.TCB
+			out[tcb.Name] = outcome{tcb.Releases, tcb.Completions, tcb.Misses, tcb.Preemptions}
+		}
+		return out
+	}
+	rm, fp := run(PolicyRM), run(PolicyFP)
+	for name, want := range rm {
+		if got := fp[name]; got != want {
+			t.Errorf("%s: fp outcome %+v, rm outcome %+v", name, got, want)
+		}
 	}
 }
 

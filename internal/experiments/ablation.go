@@ -10,6 +10,7 @@ import (
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -64,7 +65,7 @@ func SemAblationDiag(kind SemQueueKind, lens []int, prof *costmodel.Profile, par
 			out := semAblationJob{met: &metrics.Set{}, block: map[string]*stats.Histogram{}}
 			overheads := make([]vtime.Duration, len(builds))
 			for bi, b := range builds {
-				d, k := semScenarioRun(kind, l, b.optimized, b.disableHints, b.disablePlaceholder, prof)
+				d, k := semScenarioRun(kind, l, b.optimized, b.disableHints, b.disablePlaceholder, prof, true)
 				overheads[bi] = d
 				out.met.Merge(k.Metrics())
 				for _, th := range k.Threads() {
@@ -131,17 +132,15 @@ func RenderSemAblation(kind SemQueueKind, pts []SemAblationPoint) string {
 // The two builds run as a two-job harness sweep.
 func CSDCounterAblation(prof *costmodel.Profile, par Par) (vtime.Duration, vtime.Duration) {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	run := func(disable bool) vtime.Duration {
 		pol := sched.NewCSD(prof, sched.Partition{DPSizes: []int{4, 4}})
 		if disable {
 			pol.DisableReadyCounters()
 		}
-		k, err := kernel.New(nil, kernel.Options{Profile: prof, Scheduler: pol})
-		if err != nil {
-			panic(err)
-		}
+		k := kernel.NewNode(sim.Config{Profile: prof, StandardSem: true, NoParser: true})
+		k.OverrideScheduler(pol)
 		// DP tasks: short jobs, so their queues sit empty most of the
 		// time; FP tasks do the bulk of the running — the regime the
 		// counters are for.

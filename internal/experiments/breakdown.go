@@ -66,7 +66,7 @@ func BreakdownFigure(cfg BreakdownConfig) *BreakdownResult {
 		cfg.Workloads = 100
 	}
 	if cfg.Profile == nil {
-		cfg.Profile = costmodel.M68040()
+		cfg.Profile = m68040
 	}
 	if len(cfg.Schedulers) == 0 {
 		cfg.Schedulers = BreakdownSchedulers

@@ -9,7 +9,7 @@ import (
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
-	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -79,7 +79,7 @@ type ipcJob struct {
 // under each IPC mechanism.
 func IPCComparisonDiag(sizes, readers []int, prof *costmodel.Profile, par Par) ([]IPCPoint, *metrics.Diagnostics) {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	jobs := parRun(par, "ipc", 0, len(readers)*len(sizes),
 		func(j harness.Job) (ipcJob, error) {
@@ -159,15 +159,13 @@ func ipcMessages(readers int) int64 {
 // overhead, context-switch count, and the kernel itself (for counter
 // and histogram harvesting).
 func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime.Duration, float64, *kernel.Kernel) {
-	k, err := kernel.New(nil, kernel.Options{
+	n := kernel.NewNode(sim.Config{
 		Profile:         prof,
-		Scheduler:       sched.NewRM(prof),
-		OptimizedSem:    true,
+		Policy:          sim.PolicyRM,
 		RecordResponses: true,
+		NoParser:        true,
 	})
-	if err != nil {
-		panic(err)
-	}
+	k := n.Kernel()
 
 	var stateID int
 	mboxes := make([]int, readers)
@@ -217,10 +215,10 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 		})
 	}
 
-	if err := k.Boot(); err != nil {
+	if err := n.Boot(); err != nil {
 		panic(err)
 	}
-	k.Run(ipcHorizon)
+	n.Run(ipcHorizon)
 	st := k.Stats()
 	return st.TotalOverhead(), float64(st.ContextSwitches), k
 }

@@ -8,7 +8,7 @@ import (
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
-	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -80,31 +80,54 @@ func lockWorkload(k *kernel.Kernel) {
 
 // lockCell runs one (cpus, regime) cell for the given horizon.
 func lockCell(cpus int, regime kernel.LockRegime, prof *costmodel.Profile, ms vtime.Duration) LockPoint {
-	ss := make([]sched.Scheduler, cpus)
-	for i := range ss {
-		ss[i] = sched.NewEDF(prof)
-	}
-	k, err := kernel.New(nil, kernel.Options{
-		Profile:      prof,
-		CPUs:         cpus,
-		Scheduler:    ss[0],
-		Schedulers:   ss,
-		LockRegime:   regime,
-		OptimizedSem: true,
-	})
+	pt, _, err := LockCellObserved(sim.Config{
+		Profile: prof,
+		CPUs:    cpus,
+		Lock:    regime.String(),
+	}, ms, nil)
 	if err != nil {
 		panic(err)
 	}
-	lockWorkload(k)
-	if err := k.Boot(); err != nil {
-		panic(err)
+	return pt
+}
+
+// LockCellObserved runs the lock-ablation workload on a node built from
+// cfg (Policy and NoParser are forced to the ablation's fixed choices),
+// calling observe — if non-nil — on the assembled node before Boot.
+// This is the hook behind ablate's -trace-out/-sample-us flags: the
+// caller can attach a flight recorder or size a trace ring via cfg and
+// harvest both from the returned node.
+func LockCellObserved(cfg sim.Config, ms vtime.Duration, observe func(*kernel.Node) error) (LockPoint, *kernel.Node, error) {
+	cfg.Policy = sim.PolicyEDF
+	cfg.NoParser = true
+	if cfg.Profile == nil {
+		cfg.Profile = m68040
 	}
-	k.Run(ms)
+	cpus := cfg.CPUs
+	if cpus < 1 {
+		cpus = 1
+	}
+	regime := cfg.Lock
+	if regime == "" {
+		regime = kernel.LockPerCPU.String()
+	}
+	n := kernel.NewNode(cfg)
+	k := n.Kernel()
+	lockWorkload(k)
+	if observe != nil {
+		if err := observe(n); err != nil {
+			return LockPoint{}, nil, err
+		}
+	}
+	if err := n.Boot(); err != nil {
+		return LockPoint{}, nil, err
+	}
+	n.Run(ms)
 	st := k.Stats()
 	m := k.Metrics()
 	return LockPoint{
 		CPUs:        cpus,
-		Regime:      regime.String(),
+		Regime:      regime,
 		LockCharge:  st.LockCharge,
 		Contentions: m.Get(metrics.LockContentions),
 		LockWait:    vtime.Duration(m.Get(metrics.LockWaitNs)),
@@ -112,19 +135,27 @@ func lockCell(cpus int, regime kernel.LockRegime, prof *costmodel.Profile, ms vt
 		Useful:      st.UsefulCompute,
 		Completions: st.Completions,
 		Misses:      st.Misses,
-	}
+	}, n, nil
 }
 
 // LockGranularity runs the full grid (cpus × regime), one harness job
 // per cell, in a fixed deterministic order.
 func LockGranularity(cpuCounts []int, prof *costmodel.Profile, ms vtime.Duration, par Par) []LockPoint {
+	return LockGrid(cpuCounts, nil, prof, ms, par)
+}
+
+// LockGrid is LockGranularity with the regime axis selectable — the
+// explicit -lock flag pins it to one regime; nil runs all three.
+func LockGrid(cpuCounts []int, regimes []kernel.LockRegime, prof *costmodel.Profile, ms vtime.Duration, par Par) []LockPoint {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	if len(cpuCounts) == 0 {
 		cpuCounts = []int{1, 2, 4}
 	}
-	regimes := []kernel.LockRegime{kernel.LockPerCPU, kernel.LockPerQueue, kernel.LockBig}
+	if len(regimes) == 0 {
+		regimes = []kernel.LockRegime{kernel.LockPerCPU, kernel.LockPerQueue, kernel.LockBig}
+	}
 	type cell struct {
 		cpus   int
 		regime kernel.LockRegime

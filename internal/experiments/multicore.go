@@ -4,7 +4,7 @@ import (
 	"emeralds/internal/costmodel"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
-	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -14,7 +14,7 @@ import (
 // BenchmarkKernelSimulationM4 times without paying for the full grid.
 func MulticoreCell(cpus int, regime kernel.LockRegime, prof *costmodel.Profile, ms vtime.Duration) LockPoint {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	return lockCell(cpus, regime, prof, ms)
 }
@@ -27,18 +27,16 @@ func MulticoreCell(cpus int, regime kernel.LockRegime, prof *costmodel.Profile, 
 // BenchmarkMigrationOp.
 func MigrationPingPong(prof *costmodel.Profile, ms vtime.Duration) (migrations uint64, charge vtime.Duration) {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
-	ss := []sched.Scheduler{sched.NewEDF(prof), sched.NewEDF(prof)}
-	k, err := kernel.New(nil, kernel.Options{
-		Profile:    prof,
-		CPUs:       2,
-		Scheduler:  ss[0],
-		Schedulers: ss,
+	n := kernel.NewNode(sim.Config{
+		Profile:     prof,
+		Policy:      sim.PolicyEDF,
+		CPUs:        2,
+		StandardSem: true,
+		NoParser:    true,
 	})
-	if err != nil {
-		panic(err)
-	}
+	k := n.Kernel()
 	// Eight short segments per job so a mid-segment request always finds
 	// a boundary within 100 µs.
 	var prog task.Program
@@ -51,7 +49,7 @@ func MigrationPingPong(prof *costmodel.Profile, ms vtime.Duration) (migrations u
 		WCET:   800 * vtime.Microsecond,
 		Prog:   prog,
 	})
-	if err := k.Boot(); err != nil {
+	if err := n.Boot(); err != nil {
 		panic(err)
 	}
 	th := k.Threads()[0]

@@ -55,7 +55,7 @@ func evenSplit(r, k int) []int {
 // in workload order after the fan-out.
 func QueueCountSweep(prof *costmodel.Profile, n int, xs []int, count int, seed int64, par Par) []QueueSweepPoint {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	cells := parRun(par, "queue-sweep", seed, len(xs)*count,
 		func(j harness.Job) (float64, error) {

@@ -8,12 +8,13 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"emeralds/internal/costmodel"
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
-	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/stats"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
@@ -33,6 +34,11 @@ import (
 // section — the window that contains the whole acquire/release
 // interaction and nothing else (padding tasks never run, and no timer
 // releases land inside the window).
+
+// m68040 is the package's shared default cost model. Profiles are
+// read-only after construction (Scaled returns a copy), so one
+// instance serves every scenario instead of being rebuilt per kernel.
+var m68040 = costmodel.M68040()
 
 // SemQueueKind selects which scheduler queue the scenario exercises.
 type SemQueueKind string
@@ -101,9 +107,9 @@ func SemOverheadCurveDiag(kind SemQueueKind, lens []int, prof *costmodel.Profile
 					}
 				}
 			}
-			std, sk := semScenarioRun(kind, l, false, false, false, prof)
+			std, sk := semScenarioRun(kind, l, false, false, false, prof, true)
 			collect("standard", sk)
-			opt, ok := semScenarioRun(kind, l, true, false, false, prof)
+			opt, ok := semScenarioRun(kind, l, true, false, false, prof, true)
 			collect("optimized", ok)
 			out.point = SemPoint{QueueLen: l, Standard: std, Optimized: opt}
 			return out, nil
@@ -147,33 +153,32 @@ func SemScenario(kind SemQueueKind, queueLen int, optimized bool, prof *costmode
 // priority inheritance. The ablation benchmark uses it to attribute
 // the Figure 11/12 savings to each mechanism.
 func SemScenarioAblated(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile) vtime.Duration {
-	d, _ := semScenarioRun(kind, queueLen, optimized, disableHints, disablePlaceholder, prof)
+	d, _ := semScenarioRun(kind, queueLen, optimized, disableHints, disablePlaceholder, prof, false)
 	return d
 }
 
 // semScenarioRun is the scenario body; it also hands back the kernel
-// so callers can harvest counters and blocking histograms.
-func semScenarioRun(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile) (vtime.Duration, *kernel.Kernel) {
+// so callers can harvest counters and blocking histograms. record
+// enables response/blocking histograms — only the Diag path reads
+// them, and histogram pairs dominate the plain path's allocations.
+func semScenarioRun(kind SemQueueKind, queueLen int, optimized, disableHints, disablePlaceholder bool, prof *costmodel.Profile, record bool) (vtime.Duration, *kernel.Kernel) {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
-	var pol sched.Scheduler
+	policy := sim.PolicyEDF
 	if kind == FPQueue {
-		pol = sched.NewRM(prof)
-	} else {
-		pol = sched.NewEDF(prof)
+		policy = sim.PolicyRM
 	}
-	k, err := kernel.New(nil, kernel.Options{
+	n := kernel.NewNode(sim.Config{
 		Profile:            prof,
-		Scheduler:          pol,
-		OptimizedSem:       optimized,
+		Policy:             policy,
+		StandardSem:        !optimized,
 		DisableHints:       disableHints,
 		DisablePlaceholder: disablePlaceholder,
-		RecordResponses:    true,
+		RecordResponses:    record,
+		NoParser:           true,
 	})
-	if err != nil {
-		panic(err)
-	}
+	k := n.Kernel()
 
 	sem := k.NewSemaphore("S")
 	ev := k.NewEvent("E")
@@ -228,7 +233,7 @@ func semScenarioRun(kind SemQueueKind, queueLen int, optimized, disableHints, di
 	// every O(n) selection scan.
 	for i := 3; i < queueLen; i++ {
 		k.AddTask(task.Spec{
-			Name:   fmt.Sprintf("pad%02d", i),
+			Name:   padName(i),
 			Period: 10*vtime.Millisecond + vtime.Duration(i)*vtime.Microsecond,
 			Phase:  10 * vtime.Second,
 			WCET:   10 * vtime.Microsecond,
@@ -256,12 +261,34 @@ func semScenarioRun(kind SemQueueKind, queueLen int, optimized, disableHints, di
 			endMark = k.Stats().TotalOverhead()
 		}
 	}
-	if err := k.Boot(); err != nil {
+	if err := n.Boot(); err != nil {
 		panic(err)
 	}
-	k.Run(40 * vtime.Millisecond)
+	n.Run(40 * vtime.Millisecond)
 	if !done {
 		panic(fmt.Sprintf("experiments: sem scenario did not complete (kind=%s len=%d opt=%v)", kind, queueLen, optimized))
 	}
 	return endMark - startMark, k
 }
+
+// padName formats "pad%02d" without fmt or, for the common queue
+// lengths, any allocation at all — scenario construction is the
+// dominant cost of the sem benchmarks, and name formatting showed up
+// in its allocation profile.
+func padName(i int) string {
+	if i < len(padNames) {
+		return padNames[i]
+	}
+	return "pad" + strconv.Itoa(i)
+}
+
+var padNames = func() (t [128]string) {
+	for i := range t {
+		if i < 10 {
+			t[i] = "pad0" + strconv.Itoa(i)
+		} else {
+			t[i] = "pad" + strconv.Itoa(i)
+		}
+	}
+	return
+}()

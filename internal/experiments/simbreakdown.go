@@ -8,6 +8,7 @@ import (
 	"emeralds/internal/harness"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 	"emeralds/internal/workload"
@@ -25,14 +26,18 @@ import (
 // SimulateMisses boots the workload under the policy and returns the
 // deadline-miss count over the horizon.
 func SimulateMisses(prof *costmodel.Profile, pol sched.Scheduler, specs []task.Spec, horizon vtime.Duration) uint64 {
-	k, err := kernel.New(nil, kernel.Options{Profile: prof, Scheduler: pol})
+	k, err := kernel.Boot(sim.Config{
+		Profile:     prof,
+		StandardSem: true,
+		NoParser:    true,
+	}, func(n *kernel.Node) error {
+		n.OverrideScheduler(pol)
+		for _, s := range specs {
+			n.AddTask(s)
+		}
+		return nil
+	})
 	if err != nil {
-		panic(err)
-	}
-	for _, s := range specs {
-		k.AddTask(s)
-	}
-	if err := k.Boot(); err != nil {
 		panic(err)
 	}
 	k.Run(horizon)
@@ -46,7 +51,7 @@ func SimulateMisses(prof *costmodel.Profile, pol sched.Scheduler, specs []task.S
 // why validation pairs it with the conservative analytic result.
 func SimBreakdown(prof *costmodel.Profile, specs []task.Spec, policy string, horizon vtime.Duration) float64 {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	mk := func() sched.Scheduler {
 		switch policy {
@@ -74,7 +79,7 @@ type SimVsAnalytic struct {
 // CompareBreakdowns runs both engines for EDF and RM on the workload.
 func CompareBreakdowns(prof *costmodel.Profile, specs []task.Spec, horizon vtime.Duration) []SimVsAnalytic {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	return []SimVsAnalytic{
 		{"EDF", analysis.BreakdownEDF(prof, specs), SimBreakdown(prof, specs, "EDF", horizon)},
@@ -97,7 +102,7 @@ type CompareSweepPoint struct {
 // that analyzed with one profile and simulated with another.
 func CompareSweep(prof *costmodel.Profile, ns []int, div int, seed int64, horizon vtime.Duration, par Par) []CompareSweepPoint {
 	if prof == nil {
-		prof = costmodel.M68040()
+		prof = m68040
 	}
 	return parRun(par, "sim-crosscheck", seed, len(ns),
 		func(j harness.Job) (CompareSweepPoint, error) {

@@ -8,6 +8,7 @@ import (
 	"emeralds/internal/costmodel"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
@@ -183,31 +184,36 @@ func Figure2(p *costmodel.Profile) Figure2Result {
 	// so the demonstrative simulation uses the zero-cost profile, as
 	// the paper's schedulability-overhead discussion does.
 	zero := costmodel.Zero()
-	run := func(pol sched.Scheduler) (uint64, string, vtime.Time) {
-		tr := trace.New(65536) // large enough to retain the first miss over the 2 s run
-		k, err := kernel.New(nil, kernel.Options{Profile: zero, Scheduler: pol, Trace: tr})
+	run := func(policy string, dp []int) (uint64, string, vtime.Time) {
+		k, err := kernel.Boot(sim.Config{
+			Policy:        policy,
+			DPSizes:       dp,
+			Profile:       zero,
+			StandardSem:   true,
+			NoParser:      true,
+			TraceCapacity: 65536, // large enough to retain the first miss over the 2 s run
+		}, func(n *kernel.Node) error {
+			for _, s := range specs {
+				n.AddTask(s)
+			}
+			return nil
+		})
 		if err != nil {
-			panic(err)
-		}
-		for _, s := range specs {
-			k.AddTask(s)
-		}
-		if err := k.Boot(); err != nil {
 			panic(err)
 		}
 		k.Run(2 * vtime.Second)
 		misses := k.Stats().Misses
 		var who string
 		var when vtime.Time
-		for _, e := range tr.Filter(trace.Miss) {
+		for _, e := range k.Trace().Filter(trace.Miss) {
 			who, when = e.Task, e.At
 			break
 		}
 		return misses, who, when
 	}
-	res.EDFMisses, _, _ = run(sched.NewEDF(zero))
-	res.RMMisses, res.RMMissTask, res.RMFirstMissAt = run(sched.NewRM(zero))
-	res.CSD2Misses, _, _ = run(sched.NewCSD(zero, part))
+	res.EDFMisses, _, _ = run(sim.PolicyEDF, nil)
+	res.RMMisses, res.RMMissTask, res.RMFirstMissAt = run(sim.PolicyRM, nil)
+	res.CSD2Misses, _, _ = run(sim.PolicyCSD, part.DPSizes)
 	return res
 }
 

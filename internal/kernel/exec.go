@@ -37,23 +37,51 @@ const (
 	segKernelOp
 )
 
+// segment is one slice of execution on a CPU. Each cpu embeds a single
+// reusable segment (cpu.segStore) — at most one segment is in flight
+// per CPU, so the storage is recycled across ops and the hot loop
+// allocates nothing. The segment itself is the completion event's
+// sim.Target.
 type segment struct {
+	k           *Kernel
+	c           *cpu
 	th          *Thread
 	kind        segKind
 	op          task.Op
 	startedAt   vtime.Time
 	pure        vtime.Duration // useful duration at start
 	injected    vtime.Duration // overhead injected since start
-	ev          *eventRef
+	ev          *sim.Event     // armed completion event
+	label       string
 	preemptible bool
 }
 
-// eventRef lets a segment's completion event be re-armed (cancel and
-// re-schedule) with the same callback when overhead stretches it.
-type eventRef struct {
-	ev    *sim.Event
-	label string
-	fn    func()
+// Fire completes the segment: book its overhead into the occupancy
+// accumulator, apply the op's effect, and continue the thread.
+// Completion runs in the owning CPU's context. Everything needed is
+// copied to locals before c.seg is cleared, because continuing the
+// thread re-arms the same per-CPU segment storage.
+func (s *segment) Fire(*sim.Event) {
+	k, c := s.k, s.c
+	k.exec = c
+	// A compute segment delivers pure useful work and consumes only its
+	// injected stretch; a kernel-op segment is overhead end to end.
+	if s.kind == segCompute {
+		c.ovAcc += s.injected
+	} else {
+		c.ovAcc += s.pure + s.injected
+	}
+	th, kind, op, pure := s.th, s.kind, s.op, s.pure
+	c.seg = nil
+	if kind == segCompute {
+		k.stats.UsefulCompute += pure
+		th.TCB.OpRemaining = 0
+		th.TCB.PC++
+	} else {
+		k.accountOp(op, pure)
+		k.performOp(th, op)
+	}
+	k.afterOp(th)
 }
 
 // trAdd records a trace event on the executing CPU.
@@ -77,7 +105,7 @@ func (k *Kernel) sched(t *task.TCB) sched.Scheduler { return k.cpus[t.CPU].sch }
 // t_b on the executing CPU. A task in migration transit is in no
 // scheduler's queues; its State flip is all that happens.
 func (k *Kernel) blockTask(t *task.TCB) {
-	if k.byTCB[t].migrating {
+	if k.thOf(t).migrating {
 		return
 	}
 	cost := k.sched(t).Block(t)
@@ -89,7 +117,7 @@ func (k *Kernel) blockTask(t *task.TCB) {
 // t_u on the executing CPU, and marks the owning CPU for an
 // IPI-delivered reschedule when it is a different one.
 func (k *Kernel) unblockTask(t *task.TCB) {
-	if k.byTCB[t].migrating {
+	if k.thOf(t).migrating {
 		return
 	}
 	cost := k.sched(t).Unblock(t)
@@ -124,44 +152,28 @@ func (k *Kernel) charge(d vtime.Duration, bucket *vtime.Duration) {
 
 func (k *Kernel) rearmSegment() {
 	s := k.exec.seg
-	k.eng.Cancel(s.ev.ev)
+	k.eng.Cancel(s.ev)
 	end := s.startedAt.Add(s.pure + s.injected)
-	s.ev.ev = k.eng.AtClass(end, sim.ClassCompletion, s.ev.label, s.ev.fn)
+	s.ev = k.eng.Schedule(end, sim.ClassCompletion, s.label, s)
 }
 
 // startSegment begins executing `pure` of work for th on the executing
-// CPU, absorbing any idle debt, and calls done when it completes.
-func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.Duration, preemptible bool, done func()) {
+// CPU, absorbing any idle debt. The op's effect applies at completion
+// (segment.Fire).
+func (k *Kernel) startSegment(th *Thread, kind segKind, op task.Op, pure vtime.Duration, preemptible bool) {
 	c := k.exec
 	extra := c.idleDebt
 	c.idleDebt = 0
-	s := &segment{
-		th:          th,
-		kind:        kind,
-		op:          op,
-		startedAt:   k.eng.Now(),
-		pure:        pure,
-		injected:    extra,
-		preemptible: preemptible,
-	}
-	label := "seg:" + th.TCB.Name
-	fn := func() {
-		// Completion runs in the owning CPU's context.
-		k.exec = c
-		// Book the overhead this segment consumed into the occupancy
-		// accumulator: a compute segment delivers pure useful work and
-		// consumes only its injected stretch; a kernel-op segment is
-		// overhead end to end.
-		if s.kind == segCompute {
-			c.ovAcc += s.injected
-		} else {
-			c.ovAcc += s.pure + s.injected
-		}
-		c.seg = nil
-		done()
-	}
-	s.ev = &eventRef{label: label, fn: fn}
-	s.ev.ev = k.eng.AtClass(s.startedAt.Add(pure+extra), sim.ClassCompletion, label, fn)
+	// Field assignments, not a composite-literal copy: the struct copy
+	// (duffcopy) showed up in the hot-loop profile.
+	s := &c.segStore
+	s.k, s.c, s.th = k, c, th
+	s.kind, s.op = kind, op
+	s.startedAt = k.eng.Now()
+	s.pure, s.injected = pure, extra
+	s.label = th.segLbl
+	s.preemptible = preemptible
+	s.ev = k.eng.Schedule(s.startedAt.Add(pure+extra), sim.ClassCompletion, s.label, s)
 	c.seg = s
 }
 
@@ -207,7 +219,7 @@ func (k *Kernel) preemptSegment(detail string) bool {
 	s.th.TCB.Preemptions++
 	k.stats.Preemptions++
 	k.exec.met.Inc(metrics.Preemptions)
-	k.eng.Cancel(s.ev.ev)
+	k.eng.Cancel(s.ev)
 	c.seg = nil
 	// A preemption always ends the occupancy: attach its consumed
 	// overhead so replay can partition the span exactly.
@@ -281,9 +293,12 @@ func (k *Kernel) resched() {
 	}
 	if c.seg != nil {
 		th := c.seg.th
-		by := "for idle"
-		if next != nil {
-			by = "for " + next.Name
+		by := ""
+		if k.tr != nil { // detail string only feeds the trace
+			by = "for idle"
+			if next != nil {
+				by = "for " + next.Name
+			}
 		}
 		if k.preemptSegment(by) {
 			// The boundary completed the job; completeJob records it at
@@ -299,11 +314,13 @@ func (k *Kernel) resched() {
 		// preemption would, so emit the Preempt with the consumed
 		// overhead attached — otherwise replay cannot close the span
 		// and the leftover ovAcc would pollute the next occupancy.
-		by := "for idle"
-		if next != nil {
-			by = "for " + next.Name
+		if k.tr != nil {
+			by := "for idle"
+			if next != nil {
+				by = "for " + next.Name
+			}
+			k.trAddDur(traceKindPreempt, curTCB.Name, by, c.ovAcc)
 		}
-		k.trAddDur(traceKindPreempt, curTCB.Name, by, c.ovAcc)
 		c.ovAcc = 0
 	}
 	if next == nil {
@@ -319,7 +336,7 @@ func (k *Kernel) resched() {
 	}
 	k.charge(k.prof.ContextSwitch, &k.stats.SwitchCharge)
 	c.noteBusy(k.eng.Now())
-	c.current = k.byTCB[next]
+	c.current = k.thOf(next)
 	k.trAdd(traceKindDispatch, next.Name, "")
 	k.continueThread(c.current)
 }
@@ -339,20 +356,10 @@ func (k *Kernel) continueThread(th *Thread) {
 		if tcb.OpRemaining > 0 {
 			pure = tcb.OpRemaining
 		}
-		k.startSegment(th, segCompute, op, pure, true, func() {
-			k.stats.UsefulCompute += pure
-			tcb.OpRemaining = 0
-			tcb.PC++
-			k.afterOp(th)
-		})
+		k.startSegment(th, segCompute, op, pure, true)
 		return
 	}
-	charge := k.opCharge(op)
-	k.startSegment(th, segKernelOp, op, charge, false, func() {
-		k.accountOp(op, charge)
-		k.performOp(th, op)
-		k.afterOp(th)
-	})
+	k.startSegment(th, segKernelOp, op, k.opCharge(op), false)
 }
 
 // afterOp runs after any op segment completes: honor deferred
@@ -485,7 +492,8 @@ func (k *Kernel) completeJob(th *Thread) {
 	if resp > tcb.MaxResp {
 		tcb.MaxResp = resp
 	}
-	if th.respHist != nil {
+	if k.record {
+		k.ensureHists(th)
 		th.respHist.Add(resp)
 	}
 	k.stats.Completions++

@@ -154,8 +154,8 @@ type Thread struct {
 	preAcq     *semaphore       // §6.3.1 pre-acquire queue membership
 	reacquire  *semaphore       // mutex to re-take after a condvar wait
 	msgVal     int64            // last received mailbox/state value
-	respHist   *stats.Histogram // non-nil when Options.RecordResponses
-	blockHist  *stats.Histogram // semaphore blocking times; non-nil when RecordResponses
+	respHist   *stats.Histogram // lazily allocated under Options.RecordResponses; non-nil once a sample lands
+	blockHist  *stats.Histogram // semaphore blocking times; same lifecycle as respHist
 	semBlockAt vtime.Time       // instant the thread last blocked on a semaphore
 	jobActive  bool
 	suspended  bool
@@ -164,8 +164,24 @@ type Thread struct {
 	delayGen   uint64
 	beforeJob  func() task.Program // rebuilds the job body at release (polling server)
 	releaseLbl string
+	segLbl     string        // precomputed segment label ("seg:" + name)
+	relTgt     releaseTarget // zero-alloc timer target for periodic releases
 	nextRel    vtime.Time
 	aperiodic  bool
+}
+
+// releaseTarget is the sim.Target for a thread's periodic release
+// timer: embedded in the Thread so arming a release allocates nothing.
+type releaseTarget struct {
+	k  *Kernel
+	th *Thread
+}
+
+// Fire is the timer interrupt: pin the owning CPU and release the job.
+func (rt *releaseTarget) Fire(*sim.Event) {
+	k, th := rt.k, rt.th
+	k.exec = k.cpus[th.TCB.CPU]
+	k.onRelease(th)
 }
 
 // Name returns the thread's task name.
@@ -243,6 +259,7 @@ type cpu struct {
 	reschedPending bool           // reschedule deferred past a non-preemptible segment
 	needResched    bool           // cross-CPU wakeup pending; served by an IPI
 	met            *metrics.Set   // this CPU's counter shard
+	segStore       segment        // reusable storage for seg (one in flight per CPU)
 
 	// Busy-time accounting for the telemetry sampler: busyAcc is the
 	// wall span this CPU spent non-idle (current != nil) over closed
@@ -296,7 +313,12 @@ type Kernel struct {
 	draining bool // reschedule is draining cross-CPU marks (re-entrancy guard)
 
 	threads []*Thread
-	byTCB   map[*task.TCB]*Thread
+	// Slab storage behind threads: AddTaskIn carves Thread and TCB
+	// values out of these (replaced, never grown, so pointers stay
+	// valid). One heap object per threadSlabSize tasks instead of two
+	// per task.
+	thSlab  []Thread
+	tcbSlab []task.TCB
 	booted  bool
 
 	sems   []*semaphore
@@ -342,6 +364,12 @@ type BusPort interface {
 
 // New creates a kernel on the given engine (a fresh engine when nil —
 // distributed setups share one engine across kernels).
+//
+// Deprecated: New is the low-level assembly entry point that NewNode
+// uses internally. Build systems from a sim.Config via NewNode or the
+// one-shot Boot, which also own scheduler selection, the CSD partition
+// search, and trace-ring creation; reach for New only when a test
+// needs to wire Options the builder deliberately does not expose.
 func New(eng *sim.Engine, opts Options) (*Kernel, error) {
 	if eng == nil {
 		eng = sim.New()
@@ -369,9 +397,6 @@ func New(eng *sim.Engine, opts Options) (*Kernel, error) {
 		record:    opts.RecordResponses,
 		tr:        opts.Trace,
 		lockReg:   opts.LockRegime,
-		lockDoms:  map[int]*lockDomain{},
-		byTCB:     map[*task.TCB]*Thread{},
-		isrs:      map[int]func(*Kernel){},
 		memsys:    mem.NewSystem(),
 		footprint: mem.NewFootprint(),
 		ram:       mem.NewRAM(opts.RAMBudget),
@@ -491,6 +516,21 @@ func (k *Kernel) chargeRAM(kind string, bytes int) {
 // Threads returns all threads on the node.
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
+// thOf returns the thread owning t. TCB ids are creation indices into
+// k.threads, so the lookup is a slice index — this sits on the dispatch
+// hot path, where the map it replaced was measurable.
+func (k *Kernel) thOf(t *task.TCB) *Thread { return k.threads[t.ID] }
+
+// ensureHists allocates th's histogram pair (one allocation for both)
+// on the first recorded sample. Callers must have checked k.record.
+func (k *Kernel) ensureHists(th *Thread) {
+	if th.respHist == nil {
+		hp := new([2]stats.Histogram)
+		th.respHist = &hp[0]
+		th.blockHist = &hp[1]
+	}
+}
+
 // Current returns the running thread (nil when idle). On a multicore
 // kernel it reports CPU 0; see CurrentOn.
 func (k *Kernel) Current() *Thread { return k.cpus[0].current }
@@ -551,6 +591,9 @@ func (k *Kernel) AddTask(spec task.Spec) *Thread {
 }
 
 // AddTaskIn creates a thread in the given process.
+// threadSlabSize is the Thread/TCB slab granularity in AddTaskIn.
+const threadSlabSize = 16
+
 func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
 	if k.booted {
 		panic("kernel: AddTask after Boot")
@@ -558,24 +601,40 @@ func (k *Kernel) AddTaskIn(proc int, spec task.Spec) *Thread {
 	if spec.Prog == nil && spec.WCET > 0 {
 		spec.Prog = task.Program{task.Compute(spec.WCET)}
 	}
-	tcb := task.New(len(k.threads), spec)
-	tcb.State = task.Blocked
-	th := &Thread{
-		TCB:        tcb,
-		Proc:       proc,
-		releaseLbl: "release:" + tcb.Name,
-		aperiodic:  spec.Period == 0,
-		migrateTo:  -1,
+	// Thread and TCB storage comes from slabs (one allocation per 16
+	// tasks each): task construction dominates the allocation profile
+	// of sweeps, which build kernels by the hundred thousand. Pointers
+	// into a slab stay valid because a full slab is replaced, never
+	// grown in place.
+	if len(k.thSlab) == cap(k.thSlab) {
+		k.thSlab = make([]Thread, 0, threadSlabSize)
+		k.tcbSlab = make([]task.TCB, 0, threadSlabSize)
 	}
+	k.thSlab = k.thSlab[:len(k.thSlab)+1]
+	th := &k.thSlab[len(k.thSlab)-1]
+	k.tcbSlab = k.tcbSlab[:len(k.tcbSlab)+1]
+	tcb := &k.tcbSlab[len(k.tcbSlab)-1]
+	task.NewIn(tcb, len(k.threads), spec)
+	tcb.State = task.Blocked
+	// Both event labels in one allocation.
+	joint := "release:" + tcb.Name + "seg:" + tcb.Name
+	th.TCB = tcb
+	th.Proc = proc
+	th.releaseLbl = joint[:len("release:")+len(tcb.Name)]
+	th.segLbl = joint[len("release:")+len(tcb.Name):]
+	th.aperiodic = spec.Period == 0
+	th.migrateTo = -1
+	th.relTgt = releaseTarget{k: k, th: th}
 	if k.record {
-		th.respHist = &stats.Histogram{}
-		th.blockHist = &stats.Histogram{}
+		// The simulated kernel reserves the bucket arrays up front
+		// (deterministic RAM accounting); the host-side storage is
+		// allocated on first sample (ensureHists) — most tasks in big
+		// sweeps never record one.
 		k.chargeRAM("histogram", 2*8*181) // two fixed bucket arrays
 	}
 	k.chargeRAM("tcb", mem.RAMPerTCB)
 	k.chargeRAM("stack", mem.RAMPerStack)
 	k.threads = append(k.threads, th)
-	k.byTCB[tcb] = th
 	return th
 }
 
@@ -657,11 +716,15 @@ func (k *Kernel) Boot() error {
 	// priorities for inversion detection and deadlines for miss
 	// analysis without access to the Spec structs. The event's CPU
 	// field records the boot-time placement.
-	for _, th := range k.threads {
-		k.tr.AddCPU(k.eng.Now(), traceKindTaskInfo, th.TCB.Name,
-			fmt.Sprintf("prio=%d period=%d deadline=%d",
-				th.TCB.BasePrio, int64(th.TCB.Spec.Period), int64(th.TCB.Spec.RelDeadline())),
-			th.TCB.CPU)
+	if k.tr != nil {
+		// Skipped entirely without a trace: the Sprintf per task is
+		// measurable on construction-heavy benchmarks.
+		for _, th := range k.threads {
+			k.tr.AddCPU(k.eng.Now(), traceKindTaskInfo, th.TCB.Name,
+				fmt.Sprintf("prio=%d period=%d deadline=%d",
+					th.TCB.BasePrio, int64(th.TCB.Spec.Period), int64(th.TCB.Spec.RelDeadline())),
+				th.TCB.CPU)
+		}
 	}
 	for _, th := range k.threads {
 		if !th.aperiodic {
@@ -703,11 +766,7 @@ func (k *Kernel) bootCPUs(tcbs []*task.TCB) error {
 }
 
 func (k *Kernel) scheduleRelease(th *Thread) {
-	at := th.nextRel
-	k.eng.At(at, th.releaseLbl, func() {
-		k.exec = k.cpus[th.TCB.CPU]
-		k.onRelease(th)
-	})
+	k.eng.Schedule(th.nextRel, sim.ClassDefault, th.releaseLbl, &th.relTgt)
 }
 
 // Run advances the simulation by d of virtual time.

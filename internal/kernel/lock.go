@@ -66,6 +66,9 @@ func (k *Kernel) lockObj(class, id int, hold vtime.Duration) {
 func (k *Kernel) lockAcquire(dom int, hold vtime.Duration) {
 	d := k.lockDoms[dom]
 	if d == nil {
+		if k.lockDoms == nil {
+			k.lockDoms = map[int]*lockDomain{}
+		}
 		d = &lockDomain{owner: -1}
 		k.lockDoms[dom] = d
 	}

@@ -98,7 +98,7 @@ func (k *Kernel) pumpMailbox(mb *kmailbox) bool {
 	woke := false
 	for !mb.box.Empty() && mb.recvq.Len() > 0 {
 		wTCB := mb.recvq.PopHighest()
-		w := k.byTCB[wTCB]
+		w := k.thOf(wTCB)
 		msg, _ := mb.box.Pop() // loop condition guarantees non-empty
 		w.msgVal = msg.Val
 		// Charge the receiver-side copy now that the data moves.
@@ -121,7 +121,7 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 	woke := false
 	for !mb.box.Full() && mb.sendq.Len() > 0 {
 		sTCB := mb.sendq.PopHighest()
-		s := k.byTCB[sTCB]
+		s := k.thOf(sTCB)
 		prog := sTCB.Spec.Prog
 		if sTCB.PC < len(prog) && prog[sTCB.PC].Kind == task.OpSend {
 			op := prog[sTCB.PC]
@@ -137,7 +137,7 @@ func (k *Kernel) completePendingSends(mb *kmailbox) bool {
 		// Newly pushed data may satisfy a blocked receiver in turn.
 		for !mb.box.Empty() && mb.recvq.Len() > 0 {
 			wTCB := mb.recvq.PopHighest()
-			w := k.byTCB[wTCB]
+			w := k.thOf(wTCB)
 			msg, _ := mb.box.Pop()
 			w.msgVal = msg.Val
 			k.charge(k.prof.MailboxTransfer(msg.Size), &k.stats.IPCCharge)
@@ -302,6 +302,9 @@ func (k *Kernel) doIO(th *Thread, op task.Op) {
 
 // BindISR installs a handler for an interrupt vector.
 func (k *Kernel) BindISR(vector int, handler func(*Kernel)) {
+	if k.isrs == nil {
+		k.isrs = map[int]func(*Kernel){}
+	}
 	k.isrs[vector] = handler
 }
 

@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"emeralds/internal/analysis"
+	"emeralds/internal/costmodel"
+	"emeralds/internal/mem"
+	"emeralds/internal/parser"
+	"emeralds/internal/sched"
+	"emeralds/internal/sim"
+	"emeralds/internal/task"
+	"emeralds/internal/trace"
+	"emeralds/internal/vtime"
+)
+
+// Node is a bootable EMERALDS system assembled from one sim.Config:
+// the kernel, its trace ring, the scheduler instances (one per CPU),
+// and the §5.5.3 CSD partition search. It is the single construction
+// path — every cmd, scenario, and experiment builds systems through
+// NewNode or the one-shot Boot instead of hand-wiring Options.
+//
+// Typical use:
+//
+//	n := kernel.NewNode(sim.Config{})         // CSD-3, optimized sems
+//	sem := n.NewSemaphore("obj")
+//	n.AddTask(task.Spec{Period: ..., Prog: ...})
+//	if err := n.Boot(); err != nil { ... }
+//	n.Run(2 * vtime.Second)
+//	fmt.Println(n.Report())
+type Node struct {
+	cfg      sim.Config
+	kern     *Kernel
+	tr       *trace.Log
+	part     sched.Partition
+	prof     *costmodel.Profile
+	override []sched.Scheduler
+}
+
+// NewNode assembles a node from cfg. Configuration errors (an unknown
+// lock regime, an invalid CPU count) panic: by the time a config
+// reaches NewNode the flag layer has validated it, so a bad value is a
+// programmer error. Tasks and kernel objects are added before Boot.
+func NewNode(cfg sim.Config) *Node {
+	if cfg.Policy == "" {
+		cfg.Policy = sim.PolicyCSD
+	}
+	if cfg.Queues <= 1 {
+		cfg.Queues = 3
+	}
+	prof := cfg.Profile
+	if prof == nil {
+		prof = costmodel.M68040()
+	}
+	var regime LockRegime
+	if cfg.Lock != "" {
+		var err error
+		if regime, err = ParseLockRegime(cfg.Lock); err != nil {
+			panic(err)
+		}
+	}
+	var tr *trace.Log
+	if cfg.TraceCapacity > 0 {
+		tr = trace.New(cfg.TraceCapacity)
+	}
+	k, err := New(cfg.Engine, Options{
+		Profile:            prof,
+		CPUs:               cfg.CPUs,
+		LockRegime:         regime,
+		OptimizedSem:       !cfg.StandardSem,
+		DisableHints:       cfg.DisableHints,
+		DisablePlaceholder: cfg.DisablePlaceholder,
+		Trace:              tr,
+		DeadlineMonotonic:  cfg.DeadlineMonotonic,
+		PriorityCeiling:    cfg.PriorityCeiling,
+		RecordResponses:    cfg.RecordResponses,
+		RAMBudget:          cfg.RAMBudget,
+		Name:               cfg.Name,
+	})
+	if err != nil {
+		panic(err) // only reachable on programmer error
+	}
+	return &Node{cfg: cfg, kern: k, tr: tr, prof: prof}
+}
+
+// Boot is the one-shot builder: assemble a node from cfg, run setup
+// (object and task creation; may be nil), and boot it.
+func Boot(cfg sim.Config, setup func(*Node) error) (*Node, error) {
+	n := NewNode(cfg)
+	if setup != nil {
+		if err := setup(n); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.Boot(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Kernel exposes the underlying kernel for advanced wiring (ISRs,
+// devices, bus ports) and direct object access.
+func (n *Node) Kernel() *Kernel { return n.kern }
+
+// Config returns the configuration the node was built from (with
+// defaults resolved).
+func (n *Node) Config() sim.Config { return n.cfg }
+
+// OverrideScheduler installs caller-built policy instances in place of
+// the Policy-name selection at Boot — the escape hatch for ablations
+// that tweak a scheduler (e.g. CSD with ready counters disabled) or
+// probe loops that hand in a fresh instance per run. Pass one instance
+// for a single-CPU node, or exactly CPUs instances for a multicore one.
+func (n *Node) OverrideScheduler(ss ...sched.Scheduler) { n.override = ss }
+
+// AddTask admits a periodic task (aperiodic when Period is 0), running
+// the §6.2.1 parser over its program unless Config.NoParser is set.
+func (n *Node) AddTask(spec task.Spec) *Thread {
+	if !n.cfg.NoParser && spec.Prog != nil {
+		spec.Prog = parser.InsertHints(spec.Prog)
+	}
+	return n.kern.AddTask(spec)
+}
+
+// AddTaskIn is AddTask into a specific process.
+func (n *Node) AddTaskIn(proc int, spec task.Spec) *Thread {
+	if !n.cfg.NoParser && spec.Prog != nil {
+		spec.Prog = parser.InsertHints(spec.Prog)
+	}
+	return n.kern.AddTaskIn(proc, spec)
+}
+
+// Convenience delegates for kernel object creation.
+
+// NewSemaphore creates a mutex with priority inheritance.
+func (n *Node) NewSemaphore(name string) int { return n.kern.NewSemaphore(name) }
+
+// NewCountingSemaphore creates a counting semaphore.
+func (n *Node) NewCountingSemaphore(name string, count int) int {
+	return n.kern.NewCountingSemaphore(name, count)
+}
+
+// NewEvent creates an event object.
+func (n *Node) NewEvent(name string) int { return n.kern.NewEvent(name) }
+
+// NewCondVar creates a condition variable.
+func (n *Node) NewCondVar(name string) int { return n.kern.NewCondVar(name) }
+
+// NewMailbox creates a mailbox.
+func (n *Node) NewMailbox(name string, capacity int) int {
+	return n.kern.NewMailbox(name, capacity)
+}
+
+// NewStateMessage creates a §7 state message.
+func (n *Node) NewStateMessage(name string, depth, size int) int {
+	return n.kern.NewStateMessage(name, depth, size)
+}
+
+// NewProcess creates an address space.
+func (n *Node) NewProcess() int { return n.kern.NewProcess() }
+
+// Boot selects the scheduler (running the CSD partition search when
+// needed), binds it — one instance per CPU on a multicore build — and
+// starts the system at virtual time zero.
+func (n *Node) Boot() error {
+	m := n.kern.NumCPUs()
+	if len(n.override) > 0 {
+		if m > 1 {
+			if len(n.override) != m {
+				return fmt.Errorf("kernel: %d scheduler overrides for %d CPUs", len(n.override), m)
+			}
+			n.kern.SetSchedulers(n.override)
+		} else {
+			n.kern.SetScheduler(n.override[0])
+		}
+		return n.kern.Boot()
+	}
+	if m > 1 {
+		return n.bootMulti(m)
+	}
+	switch n.cfg.Policy {
+	case sim.PolicyEDF:
+		n.kern.SetScheduler(sched.NewEDF(n.prof))
+	case sim.PolicyRM:
+		n.kern.SetScheduler(sched.NewRM(n.prof))
+	case sim.PolicyRMHeap:
+		n.kern.SetScheduler(sched.NewRMHeap(n.prof))
+	case sim.PolicyFP:
+		n.kern.SetScheduler(sched.NewFP(n.prof))
+	case sim.PolicyCSD:
+		part, err := n.choosePartition(n.periodicSpecs())
+		if err != nil {
+			return err
+		}
+		n.part = part
+		n.kern.SetScheduler(sched.NewCSD(n.prof, part))
+	default:
+		return fmt.Errorf("kernel: unknown policy %q", n.cfg.Policy)
+	}
+	return n.kern.Boot()
+}
+
+// bootMulti binds one scheduler instance per CPU (instances hold queue
+// state and cannot be shared). For CSD the §5.5.3 partition search runs
+// per CPU over that CPU's share of the task set, previewed with the
+// same deterministic sched.AssignCPUs split Boot will use.
+func (n *Node) bootMulti(m int) error {
+	ss := make([]sched.Scheduler, m)
+	switch n.cfg.Policy {
+	case sim.PolicyEDF:
+		for i := range ss {
+			ss[i] = sched.NewEDF(n.prof)
+		}
+	case sim.PolicyRM:
+		for i := range ss {
+			ss[i] = sched.NewRM(n.prof)
+		}
+	case sim.PolicyRMHeap:
+		for i := range ss {
+			ss[i] = sched.NewRMHeap(n.prof)
+		}
+	case sim.PolicyFP:
+		for i := range ss {
+			ss[i] = sched.NewFP(n.prof)
+		}
+	case sim.PolicyCSD:
+		var tcbs []*task.TCB
+		for _, th := range n.kern.Threads() {
+			tcbs = append(tcbs, th.TCB)
+		}
+		perCPU := sched.AssignCPUs(tcbs, m)
+		for i := range ss {
+			var specs []task.Spec
+			for _, t := range perCPU[i] {
+				if t.Spec.Period > 0 {
+					specs = append(specs, t.Spec)
+				}
+			}
+			part, err := n.choosePartition(specs)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				n.part = part
+			}
+			ss[i] = sched.NewCSD(n.prof, part)
+		}
+	default:
+		return fmt.Errorf("kernel: unknown policy %q", n.cfg.Policy)
+	}
+	n.kern.SetSchedulers(ss)
+	return n.kern.Boot()
+}
+
+func (n *Node) periodicSpecs() []task.Spec {
+	var specs []task.Spec
+	for _, th := range n.kern.Threads() {
+		if th.TCB.Spec.Period > 0 {
+			specs = append(specs, th.TCB.Spec)
+		}
+	}
+	return specs
+}
+
+func (n *Node) choosePartition(specs []task.Spec) (sched.Partition, error) {
+	if n.cfg.DPSizes != nil {
+		return sched.Partition{DPSizes: n.cfg.DPSizes}, nil
+	}
+	count := len(specs)
+	if count == 0 {
+		return sched.Partition{DPSizes: make([]int, n.cfg.Queues-1)}, nil
+	}
+	rmSorted := analysis.SortRM(specs)
+	if part, _, ok := analysis.BestPartition(n.prof, rmSorted, n.cfg.Queues); ok {
+		return part, nil
+	}
+	// No partition passes the schedulability test (overload): degrade
+	// to the all-DP split, which behaves like EDF — the best a
+	// dynamic-priority scheduler can do under overload.
+	sizes := make([]int, n.cfg.Queues-1)
+	sizes[0] = count
+	return sched.Partition{DPSizes: sizes}, nil
+}
+
+// Partition reports the CSD partition chosen at Boot.
+func (n *Node) Partition() sched.Partition { return n.part }
+
+// Run advances virtual time by d.
+func (n *Node) Run(d vtime.Duration) { n.kern.Run(d) }
+
+// Now reports the current virtual time.
+func (n *Node) Now() vtime.Time { return n.kern.Now() }
+
+// Stats returns kernel-wide accounting.
+func (n *Node) Stats() Stats { return n.kern.Stats() }
+
+// Trace returns the trace log (nil when disabled).
+func (n *Node) Trace() *trace.Log { return n.tr }
+
+// Report renders a per-task and system summary.
+func (n *Node) Report() string {
+	var b strings.Builder
+	ths := append([]*Thread(nil), n.kern.Threads()...)
+	sort.Slice(ths, func(i, j int) bool { return ths[i].TCB.BasePrio < ths[j].TCB.BasePrio })
+	fmt.Fprintf(&b, "%s @ %v  scheduler=%s", n.kern.Name(), n.kern.Now(), n.kern.Scheduler().Name())
+	if n.cfg.Policy == sim.PolicyCSD {
+		fmt.Fprintf(&b, " partition=%v", n.part.DPSizes)
+	}
+	if m := n.kern.NumCPUs(); m > 1 {
+		fmt.Fprintf(&b, " cpus=%d lock=%s", m, n.kern.LockRegimeInEffect())
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-12s %10s %8s %6s %6s %7s %12s %12s\n",
+		"task", "period", "jobs", "done", "miss", "preempt", "avg-resp", "max-resp")
+	for _, th := range ths {
+		t := th.TCB
+		fmt.Fprintf(&b, "  %-12s %10v %8d %6d %6d %7d %12v %12v\n",
+			t.Name, t.Spec.Period, t.Releases, t.Completions, t.Misses, t.Preemptions,
+			t.AvgResp(), t.MaxResp)
+		if h := th.Responses(); h != nil && h.Count() > 0 {
+			fmt.Fprintf(&b, "  %-12s   response %s  %s\n", "", h.Summary(), h.Sparkline(24))
+		}
+	}
+	st := n.kern.Stats()
+	fmt.Fprintf(&b, "  switches=%d saved=%d preempt=%d misses=%d overhead=%v useful=%v\n",
+		st.ContextSwitches, st.SavedSwitches, st.Preemptions, st.Misses,
+		st.TotalOverhead(), st.UsefulCompute)
+	fmt.Fprintf(&b, "  kernel code %d bytes (budget %d); RAM %d bytes\n",
+		n.kern.Footprint().Total(), mem.KernelBudget, n.kern.RAM().Used())
+	return b.String()
+}

@@ -129,13 +129,17 @@ func (k *Kernel) doAcquire(th *Thread, op task.Op) {
 	k.inheritFromWaiter(s, th)
 	s.waiters.Add(th.TCB)
 	th.waitingSem = s
-	k.traceOccupancyEnd(th, traceKindSemBlock, semBlockDetail(s))
+	k.traceOccupancyEnd(th, traceKindSemBlock, k.semBlockDetail(s))
 	k.reschedule()
 }
 
 // semBlockDetail names the semaphore and, for a held mutex, its holder
 // — the identity the attribution engine charges the blocked time to.
-func semBlockDetail(s *semaphore) string {
+// Empty with tracing off: the concatenation only feeds the trace.
+func (k *Kernel) semBlockDetail(s *semaphore) string {
+	if k.tr == nil {
+		return ""
+	}
 	if s.owner != nil {
 		return s.name + " holder=" + s.owner.TCB.Name
 	}
@@ -202,7 +206,7 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 	s.blocked = nil
 	// Grant to the highest-priority waiter, if any.
 	if wTCB := s.waiters.PopHighest(); wTCB != nil {
-		w := k.byTCB[wTCB]
+		w := k.thOf(wTCB)
 		w.waitingSem = nil
 		if s.isMutex() {
 			s.owner = w
@@ -216,7 +220,8 @@ func (k *Kernel) releaseInternal(th *Thread, s *semaphore) {
 		wTCB.State = task.Ready
 		k.unblockTask(wTCB)
 		k.exec.met.Inc(metrics.SemGrants)
-		if w.blockHist != nil {
+		if k.record {
+			k.ensureHists(w)
 			w.blockHist.Add(k.eng.Now().Sub(w.semBlockAt))
 		}
 		k.trAdd(traceKindSemGrant, wTCB.Name, s.name)
@@ -392,7 +397,7 @@ func (k *Kernel) wakeup(th *Thread) bool {
 			k.stats.HintPIs++
 			k.exec.met.Inc(metrics.SavedSwitches)
 			k.exec.met.Inc(metrics.HintPIs)
-			k.trAdd(traceKindSemHintPI, th.TCB.Name, semBlockDetail(s))
+			k.trAdd(traceKindSemHintPI, th.TCB.Name, k.semBlockDetail(s))
 			return false
 		}
 		if s.isMutex() && s.owner == nil {
@@ -474,7 +479,7 @@ func (k *Kernel) signalEvent(id int, byName string) {
 		return
 	}
 	for _, wTCB := range ws {
-		w := k.byTCB[wTCB]
+		w := k.thOf(wTCB)
 		// PC is at the wait op; the signal completes it.
 		wTCB.PC++
 		k.wakeup(w)
@@ -544,7 +549,7 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 		if wTCB == nil {
 			break
 		}
-		w := k.byTCB[wTCB]
+		w := k.thOf(wTCB)
 		m := w.reacquire
 		if m == nil || m.count > 0 {
 			// Mutex free (or none): take it and wake.
@@ -578,7 +583,7 @@ func (k *Kernel) doCondSignal(th *Thread, op task.Op, broadcast bool) {
 			// The waiter silently moves from the condvar queue to the
 			// mutex queue; surface the transition so replay knows it is
 			// now semaphore-blocked (and on whom).
-			k.trAdd(traceKindSemBlock, wTCB.Name, semBlockDetail(m))
+			k.trAdd(traceKindSemBlock, wTCB.Name, k.semBlockDetail(m))
 			if k.optHints {
 				k.stats.SavedSwitches++
 				k.exec.met.Inc(metrics.SavedSwitches)

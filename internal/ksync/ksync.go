@@ -17,13 +17,22 @@ import (
 // queue-versus-heap measurement).
 type WaitQueue struct {
 	ts []*task.TCB
+	// Inline storage for the common few-waiter case, so the first Add
+	// does not allocate. Valid because WaitQueues are embedded in
+	// heap-resident kernel objects and never copied after first use.
+	buf [4]*task.TCB
 }
 
 // Len reports the number of waiters.
 func (w *WaitQueue) Len() int { return len(w.ts) }
 
 // Add inserts t.
-func (w *WaitQueue) Add(t *task.TCB) { w.ts = append(w.ts, t) }
+func (w *WaitQueue) Add(t *task.TCB) {
+	if w.ts == nil {
+		w.ts = w.buf[:0]
+	}
+	w.ts = append(w.ts, t)
+}
 
 // Remove deletes t if present, reporting whether it was found.
 func (w *WaitQueue) Remove(t *task.TCB) bool {
@@ -75,10 +84,15 @@ func (w *WaitQueue) Each(fn func(*task.TCB)) {
 	}
 }
 
-// Drain removes and returns all waiters (in insertion order).
+// Drain removes and returns all waiters (in insertion order). The
+// result is a copy: the queue may be refilled (reusing its inline
+// storage) while the caller is still walking the drained set.
 func (w *WaitQueue) Drain() []*task.TCB {
-	out := w.ts
-	w.ts = nil
+	if len(w.ts) == 0 {
+		return nil
+	}
+	out := append([]*task.TCB(nil), w.ts...)
+	w.ts = w.ts[:0]
 	return out
 }
 
@@ -99,6 +113,8 @@ type Inheritance struct {
 // locks it still holds.
 type Holder struct {
 	held []HeldRef
+	// Inline storage for the common nesting depth, as in WaitQueue.
+	buf [2]HeldRef
 }
 
 // NoCeiling marks a semaphore without a priority ceiling.
@@ -121,7 +137,12 @@ type HeldRef struct {
 }
 
 // Push records that t acquired sem.
-func (h *Holder) Push(ref HeldRef) { h.held = append(h.held, ref) }
+func (h *Holder) Push(ref HeldRef) {
+	if h.held == nil {
+		h.held = h.buf[:0]
+	}
+	h.held = append(h.held, ref)
+}
 
 // Pop removes the record for semID, reporting whether it was found.
 func (h *Holder) Pop(semID int) bool {

@@ -16,6 +16,9 @@ import (
 // report [38] describes configurability as the code-size lever) and
 // verifies the configured kernel stays within budget.
 type Footprint struct {
+	// services is nil until the set diverges from DefaultServiceSizes
+	// (kernel construction is hot in sweeps; the common full-featured
+	// kernel never pays for a map copy).
 	services map[string]int
 }
 
@@ -44,25 +47,40 @@ const PaperKernelSize = 13 * 1024
 
 // NewFootprint returns an accounting preloaded with every service.
 func NewFootprint() *Footprint {
-	f := &Footprint{services: map[string]int{}}
-	for k, v := range DefaultServiceSizes {
-		f.services[k] = v
+	return &Footprint{}
+}
+
+// configured returns the live service set, materializing the default
+// copy on first divergence.
+func (f *Footprint) configured() map[string]int {
+	if f.services == nil {
+		f.services = make(map[string]int, len(DefaultServiceSizes))
+		for k, v := range DefaultServiceSizes {
+			f.services[k] = v
+		}
 	}
-	return f
+	return f.services
 }
 
 // Strip removes a service from the build (configurability, [38]).
 func (f *Footprint) Strip(service string) error {
-	if _, ok := f.services[service]; !ok {
+	svc := f.configured()
+	if _, ok := svc[service]; !ok {
 		return fmt.Errorf("mem: unknown service %q", service)
 	}
-	delete(f.services, service)
+	delete(svc, service)
 	return nil
 }
 
 // Total reports the configured kernel size in bytes.
 func (f *Footprint) Total() int {
 	sum := 0
+	if f.services == nil {
+		for _, v := range DefaultServiceSizes {
+			sum += v
+		}
+		return sum
+	}
 	for _, v := range f.services {
 		sum += v
 	}
@@ -75,14 +93,15 @@ func (f *Footprint) WithinBudget() bool { return f.Total() <= KernelBudget }
 
 // Report renders a per-service size table.
 func (f *Footprint) Report() string {
-	names := make([]string, 0, len(f.services))
-	for k := range f.services {
+	svc := f.configured()
+	names := make([]string, 0, len(svc))
+	for k := range svc {
 		names = append(names, k)
 	}
 	sort.Strings(names)
 	s := ""
 	for _, n := range names {
-		s += fmt.Sprintf("  %-14s %5d bytes\n", n, f.services[n])
+		s += fmt.Sprintf("  %-14s %5d bytes\n", n, svc[n])
 	}
 	s += fmt.Sprintf("  %-14s %5d bytes (budget %d)\n", "total", f.Total(), KernelBudget)
 	return s

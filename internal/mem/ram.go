@@ -17,7 +17,16 @@ import (
 type RAM struct {
 	budget int
 	used   int
-	byKind map[string]int
+	// Per-kind totals as a small linear-scanned slice: the kernel uses
+	// well under a dozen kinds, and Charge runs on every object of
+	// every kernel a sweep constructs — a map assignment per charge
+	// showed up in the construction profile.
+	byKind []kindBytes
+}
+
+type kindBytes struct {
+	kind  string
+	bytes int
 }
 
 // Default per-object RAM costs in bytes (32-bit target layout).
@@ -33,9 +42,10 @@ const (
 )
 
 // NewRAM returns an accountant with the given budget in bytes
-// (0 = unlimited, for hosted simulation runs).
+// (0 = unlimited, for hosted simulation runs). The per-kind table is
+// created on first charge.
 func NewRAM(budget int) *RAM {
-	return &RAM{budget: budget, byKind: map[string]int{}}
+	return &RAM{budget: budget}
 }
 
 // Budget reports the configured budget (0 = unlimited).
@@ -49,7 +59,17 @@ func (r *RAM) Used() int { return r.used }
 // shows what blew the budget).
 func (r *RAM) Charge(kind string, bytes int) error {
 	r.used += bytes
-	r.byKind[kind] += bytes
+	found := false
+	for i := range r.byKind {
+		if r.byKind[i].kind == kind {
+			r.byKind[i].bytes += bytes
+			found = true
+			break
+		}
+	}
+	if !found {
+		r.byKind = append(r.byKind, kindBytes{kind, bytes})
+	}
 	if r.budget > 0 && r.used > r.budget {
 		return fmt.Errorf("mem: RAM budget exceeded: %d of %d bytes after %s (+%d)",
 			r.used, r.budget, kind, bytes)
@@ -59,14 +79,11 @@ func (r *RAM) Charge(kind string, bytes int) error {
 
 // Report renders per-kind usage.
 func (r *RAM) Report() string {
-	kinds := make([]string, 0, len(r.byKind))
-	for k := range r.byKind {
-		kinds = append(kinds, k)
-	}
-	sort.Strings(kinds)
+	kinds := append([]kindBytes(nil), r.byKind...)
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].kind < kinds[j].kind })
 	s := ""
 	for _, k := range kinds {
-		s += fmt.Sprintf("  %-12s %6d bytes\n", k, r.byKind[k])
+		s += fmt.Sprintf("  %-12s %6d bytes\n", k.kind, k.bytes)
 	}
 	budget := "unlimited"
 	if r.budget > 0 {

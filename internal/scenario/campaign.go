@@ -11,12 +11,16 @@ import (
 
 // CampaignConfig parameterizes a fuzzing campaign.
 type CampaignConfig struct {
-	Scenarios int   // number of scenarios to generate and run
-	BaseSeed  int64 // campaign seed; scenario i uses workload.SeedFor(BaseSeed, 0, i)
-	CPUs      int   // 0 = mix M ∈ {1,2,4}; > 0 pins the CPU count
-	Workers   int   // harness fan-out; 0 = all host CPUs
-	Minimize  bool  // delta-debug each violating scenario into a repro
-	Progress  io.Writer
+	Scenarios int    // number of scenarios to generate and run
+	BaseSeed  int64  // campaign seed; scenario i uses workload.SeedFor(BaseSeed, 0, i)
+	CPUs      int    // 0 = mix M ∈ {1,2,4}; > 0 pins the CPU count
+	Lock      string // "" = mixed regimes on multicore scenarios; else pins one
+	Workers   int    // harness fan-out; 0 = all host CPUs
+	Minimize  bool   // delta-debug each violating scenario into a repro
+	// SampleUs overrides the flight-recorder cadence (virtual µs);
+	// 0 keeps the default ~256 samples per horizon.
+	SampleUs float64
+	Progress io.Writer
 	// Scrape, when non-nil, feeds the live OpenMetrics surface:
 	// per-worker job throughput from the harness plus each scenario's
 	// merged kernel counters. Advisory; never affects the report.
@@ -75,7 +79,10 @@ func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, erro
 		Scrape:   cfg.Scrape,
 	}, func(ctx context.Context, job harness.Job) (campaignJob, error) {
 		s := Gen(cfg.BaseSeed, job.Index, cfg.CPUs)
-		res := Run(s)
+		if cfg.Lock != "" && s.CPUs > 1 {
+			s.Lock = cfg.Lock
+		}
+		res := RunSampled(s, cfg.SampleUs)
 		if cfg.Scrape != nil {
 			cfg.Scrape.MergeCounters(res.Counters())
 		}

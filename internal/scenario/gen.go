@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"emeralds/internal/core"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 	"emeralds/internal/workload"
@@ -17,7 +17,7 @@ import (
 // coprime) and scenario i is the same system in every run of the same
 // base seed.
 
-var policies = []core.Policy{core.PolicyCSD, core.PolicyEDF, core.PolicyRM, core.PolicyRMHeap}
+var policies = []string{sim.PolicyCSD, sim.PolicyEDF, sim.PolicyRM, sim.PolicyRMHeap}
 var cpuMix = []int{1, 2, 4}
 var lockMix = []string{"percpu", "perqueue", "biglock"}
 

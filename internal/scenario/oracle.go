@@ -5,10 +5,10 @@ import (
 
 	"emeralds/internal/analysis"
 	"emeralds/internal/attrib"
-	"emeralds/internal/core"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/telemetry"
 	"emeralds/internal/vtime"
@@ -62,7 +62,14 @@ func (r *Result) Counters() *metrics.Set { return r.counters }
 // never panics: a panic anywhere in build/boot/simulate surfaces as an
 // OraclePanic finding so the campaign keeps going and the scenario can
 // be minimized like any other violation.
-func Run(s *Scenario) (res *Result) {
+func Run(s *Scenario) *Result { return RunSampled(s, 0) }
+
+// RunSampled is Run with the flight-recorder cadence overridable: a
+// positive sampleUs (virtual microseconds, the emfuzz -sample-us flag)
+// replaces the default ~256-samples-per-horizon interval. The recorder
+// only reads kernel state, so the cadence never affects the oracles —
+// only the telemetry annotations' resolution.
+func RunSampled(s *Scenario, sampleUs float64) (res *Result) {
 	res = &Result{}
 	defer func() {
 		if v := recover(); v != nil {
@@ -81,6 +88,9 @@ func Run(s *Scenario) (res *Result) {
 	interval := s.Horizon / 256
 	if interval <= 0 {
 		interval = vtime.Microsecond
+	}
+	if sampleUs > 0 {
+		interval = vtime.Duration(sampleUs * 1000)
 	}
 	rec, err := telemetry.Attach(sys.Kernel(), telemetry.Config{Interval: interval, Capacity: 512})
 	if err != nil {
@@ -214,18 +224,18 @@ func Feasible(s *Scenario) bool {
 	return true
 }
 
-func feasibleOn(policy core.Policy, prof *costmodel.Profile, specs []task.Spec) bool {
+func feasibleOn(policy string, prof *costmodel.Profile, specs []task.Spec) bool {
 	if len(specs) == 0 {
 		return true
 	}
 	switch policy {
-	case core.PolicyEDF:
+	case sim.PolicyEDF:
 		return analysis.FeasibleEDF(prof, specs)
-	case core.PolicyRM:
+	case sim.PolicyRM:
 		return analysis.FeasibleRM(prof, specs)
-	case core.PolicyRMHeap:
+	case sim.PolicyRMHeap:
 		return analysis.FeasibleRMHeap(prof, specs)
-	case core.PolicyCSD:
+	case sim.PolicyCSD:
 		_, _, ok := analysis.BestPartition(prof, analysis.SortRM(specs), 3)
 		return ok
 	}

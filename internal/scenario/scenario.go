@@ -29,9 +29,9 @@ import (
 	"fmt"
 	"os"
 
-	"emeralds/internal/core"
 	"emeralds/internal/costmodel"
 	"emeralds/internal/kernel"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -52,7 +52,7 @@ type Scenario struct {
 	Name      string         `json:"name"` // generator archetype
 	Seed      int64          `json:"seed"`
 	Index     int            `json:"index"`
-	Policy    core.Policy    `json:"policy"`
+	Policy    string         `json:"policy"`    // a sim.Policy* name
 	StdSem    bool           `json:"std_sem"`   // §6.1 standard scheme instead of §6.2 optimized
 	CPUs      int            `json:"cpus"`      // 0 or 1 = single-CPU
 	Lock      string         `json:"lock"`      // lock regime on multicore builds
@@ -140,12 +140,12 @@ func (s *Scenario) Profile() *costmodel.Profile {
 	return costmodel.M68040()
 }
 
-// Build assembles the system: kernel objects in id order, then tasks.
-// It returns the system plus the aperiodic threads aligned with the
-// scenario's task indices (nil entries for periodic tasks), so Run can
-// schedule their arrivals.
-func Build(s *Scenario) (*core.System, []*kernel.Thread, error) {
-	cfg := core.Config{
+// Build assembles the system (not yet booted): kernel objects in id
+// order, then tasks. It returns the node plus the aperiodic threads
+// aligned with the scenario's task indices (nil entries for periodic
+// tasks), so Run can schedule their arrivals.
+func Build(s *Scenario) (*kernel.Node, []*kernel.Thread, error) {
+	cfg := sim.Config{
 		Policy:        s.Policy,
 		StandardSem:   s.StdSem,
 		Profile:       s.Profile(),
@@ -154,13 +154,12 @@ func Build(s *Scenario) (*core.System, []*kernel.Thread, error) {
 	}
 	if s.CPUs > 1 {
 		cfg.CPUs = s.CPUs
-		reg, err := kernel.ParseLockRegime(s.Lock)
-		if err != nil {
+		if _, err := kernel.ParseLockRegime(s.Lock); err != nil {
 			return nil, nil, err
 		}
-		cfg.LockRegime = reg
+		cfg.Lock = s.Lock
 	}
-	sys := core.New(cfg)
+	sys := kernel.NewNode(cfg)
 	for i := 0; i < s.Mutexes; i++ {
 		sys.NewSemaphore(fmt.Sprintf("m%d", i))
 	}

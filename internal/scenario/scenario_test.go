@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"emeralds/internal/core"
+	"emeralds/internal/sim"
 	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
@@ -110,7 +110,7 @@ func TestInversionCleanGate(t *testing.T) {
 // Minimize must then shrink the scenario while the finding persists.
 func TestRunCapturesPanicAndMinimizes(t *testing.T) {
 	s := &Scenario{
-		Name: "teeth", Policy: core.PolicyRM, ZeroCost: true,
+		Name: "teeth", Policy: sim.PolicyRM, ZeroCost: true,
 		Horizon: vtime.Millis(20),
 		Tasks: []Task{
 			{Spec: task.Spec{Name: "a", Period: vtime.Millis(10), WCET: vtime.Millis(1)}},
@@ -147,7 +147,7 @@ func TestRunCapturesPanicAndMinimizes(t *testing.T) {
 // kernel objects.
 func TestDropUnreferenced(t *testing.T) {
 	s := &Scenario{
-		Policy: core.PolicyRM, ZeroCost: true, Horizon: vtime.Millis(10),
+		Policy: sim.PolicyRM, ZeroCost: true, Horizon: vtime.Millis(10),
 		Mutexes: 2, Counting: []int{3}, Mailboxes: []int{4, 2},
 		Tasks: []Task{{Spec: task.Spec{Name: "a", Period: vtime.Millis(5),
 			WCET: vtime.Micros(300),

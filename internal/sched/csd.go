@@ -27,7 +27,7 @@ type CSD struct {
 	fp         schedq.Sorted
 	profile    *costmodel.Profile
 	noCounters bool
-	met        *metrics.Set // nil-safe; set by the kernel at Boot
+	met        *metrics.Set // never nil; replaced by the kernel at Boot
 }
 
 type dpQueue struct {
@@ -42,6 +42,10 @@ func NewCSD(profile *costmodel.Profile, part Partition) *CSD {
 		part:    part,
 		dp:      make([]dpQueue, len(part.DPSizes)),
 		profile: profileOrZero(profile),
+		// A private discard set, not nil and not a shared global:
+		// Inc on the hot select path stays branch-predictable without
+		// a nil guard, and parallel sweep workers never share storage.
+		met: &metrics.Set{},
 	}
 }
 

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"emeralds/internal/costmodel"
+	"emeralds/internal/schedq"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+// FP is a fixed-priority scheduler on the bitmap run queue
+// (schedq.Bitmap): every operation — block, unblock, select, priority
+// inheritance — is O(1), with selection two find-first-set
+// instructions and a head read. It schedules identically to RM (same
+// priorities, same tie-break), but its charged costs carry no
+// per-element scan term: the bitmap replaces every scan the §5.1
+// sorted queue pays for.
+//
+// FP deliberately does not reproduce the paper's measured structures —
+// RM and CSD keep the §5.1 Sorted queue because their charged costs
+// ARE the positional scan counts (including the §6.2 place-holder
+// windows). FP is the comparison point showing what a modern
+// bitmap-queue kernel charges for the same workload.
+type FP struct {
+	q       schedq.Bitmap
+	profile *costmodel.Profile
+}
+
+// NewFP returns the bitmap-queue fixed-priority scheduler.
+func NewFP(profile *costmodel.Profile) *FP {
+	return &FP{profile: profileOrZero(profile)}
+}
+
+// Name implements Scheduler.
+func (s *FP) Name() string { return "FP" }
+
+// Admit implements Scheduler. Only ready tasks enter the queue; tasks
+// must carry fixed priorities (see AssignRMPriorities).
+func (s *FP) Admit(ts []*task.TCB) {
+	for _, t := range ts {
+		if t.State == task.Ready {
+			s.q.Push(t)
+		}
+	}
+}
+
+// Block implements Scheduler: bitmap unlink, O(1) — the base cost
+// only, with no scan term.
+func (s *FP) Block(t *task.TCB) vtime.Duration {
+	if s.q.Contains(t) {
+		s.q.Remove(t)
+	}
+	return s.profile.RMBlock(0)
+}
+
+// Unblock implements Scheduler: bitmap push, O(1).
+func (s *FP) Unblock(t *task.TCB) vtime.Duration {
+	if !s.q.Contains(t) {
+		s.q.Push(t)
+	}
+	return s.profile.RMUnblock()
+}
+
+// Select implements Scheduler: find-first-set, O(1).
+func (s *FP) Select() (*task.TCB, vtime.Duration) {
+	return s.q.Peek(), s.profile.RMSelect()
+}
+
+// Inherit implements Scheduler. The bitmap has no positional order to
+// repair, so both the standard and the optimized §6.2 scheme are the
+// same O(1) requeue — no place-holder is needed (nil), and the flat
+// PIStep is charged either way.
+func (s *FP) Inherit(holder, waiter *task.TCB, optimized bool) (vtime.Duration, *task.TCB) {
+	requeued := s.q.Contains(holder)
+	if requeued {
+		s.q.Remove(holder)
+	}
+	inheritKeys(holder, waiter)
+	if requeued {
+		s.q.Push(holder)
+	}
+	return s.profile.PIStep, nil
+}
+
+// Restore implements Scheduler: O(1) requeue at the restored priority.
+func (s *FP) Restore(holder, placeholder *task.TCB, effPrio int, effDeadline vtime.Time, optimized bool) vtime.Duration {
+	requeued := s.q.Contains(holder)
+	if requeued {
+		s.q.Remove(holder)
+	}
+	holder.EffPrio = effPrio
+	holder.EffDeadline = effDeadline
+	if requeued {
+		s.q.Push(holder)
+	}
+	return s.profile.PIStep
+}
+
+// Detach implements Scheduler: bitmap unlink if present (only ready
+// tasks live in the queue).
+func (s *FP) Detach(t *task.TCB) vtime.Duration {
+	if s.q.Contains(t) {
+		s.q.Remove(t)
+	}
+	return s.profile.RMBlock(0)
+}
+
+// Attach implements Scheduler: bitmap push for ready tasks; blocked
+// tasks enter later, at their Unblock.
+func (s *FP) Attach(t *task.TCB) vtime.Duration {
+	if t.State == task.Ready && !s.q.Contains(t) {
+		s.q.Push(t)
+	}
+	return s.profile.RMInsert(0)
+}
+
+// Queue exposes the underlying bitmap for white-box tests.
+func (s *FP) Queue() *schedq.Bitmap { return &s.q }

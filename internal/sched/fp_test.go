@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"testing"
+
+	"emeralds/internal/costmodel"
+	"emeralds/internal/metrics"
+	"emeralds/internal/task"
+	"emeralds/internal/vtime"
+)
+
+func TestFPSelectsHighestPriorityReady(t *testing.T) {
+	s := NewFP(nil)
+	ts := mkSet(30, 10, 20)
+	sorted := AssignRMPriorities(ts)
+	s.Admit(sorted)
+	if got, _ := s.Select(); got != ts[1] {
+		t.Errorf("selected %v", got)
+	}
+	ts[1].State = task.Blocked
+	s.Block(ts[1])
+	if got, _ := s.Select(); got != ts[2] {
+		t.Errorf("after block: %v", got)
+	}
+	ts[1].State = task.Ready
+	s.Unblock(ts[1])
+	if got, _ := s.Select(); got != ts[1] {
+		t.Errorf("after unblock: %v", got)
+	}
+}
+
+// TestFPCostsAreScanFree pins the FP charge model: the RM base costs
+// with the per-element scan term identically zero, however long the
+// queue.
+func TestFPCostsAreScanFree(t *testing.T) {
+	p := costmodel.M68040()
+	s := NewFP(p)
+	ts := mkSet(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	sorted := AssignRMPriorities(ts)
+	s.Admit(sorted)
+	if _, c := s.Select(); c != p.RMSelect() {
+		t.Errorf("t_s = %v, want %v", c, p.RMSelect())
+	}
+	// Blocking the highest-priority task costs the base only — no scan
+	// for the next ready task (the bitmap finds it by first-set).
+	ts[0].State = task.Blocked
+	if c := s.Block(ts[0]); c != p.RMBlock(0) {
+		t.Errorf("t_b = %v, want scan-free %v", c, p.RMBlock(0))
+	}
+	ts[0].State = task.Ready
+	if c := s.Unblock(ts[0]); c != p.RMUnblock() {
+		t.Errorf("t_u = %v, want %v", c, p.RMUnblock())
+	}
+}
+
+// TestFPInheritRequeues verifies priority inheritance re-files a queued
+// holder at the inherited priority, O(1), with no place-holder.
+func TestFPInheritRequeues(t *testing.T) {
+	s := NewFP(nil)
+	ts := mkSet(10, 20, 30)
+	sorted := AssignRMPriorities(ts)
+	s.Admit(sorted)
+	holder, waiter := ts[2], ts[0] // lowest and highest priority
+	waiter.State = task.Blocked
+	s.Block(waiter)
+	cost, ph := s.Inherit(holder, waiter, true)
+	if ph != nil {
+		t.Fatalf("place-holder = %v, want nil (bitmap needs none)", ph)
+	}
+	if cost != costmodel.Zero().PIStep {
+		t.Fatalf("inherit cost = %v, want flat PIStep", cost)
+	}
+	if holder.EffPrio != waiter.EffPrio {
+		t.Fatalf("holder EffPrio = %d, want inherited %d", holder.EffPrio, waiter.EffPrio)
+	}
+	if got, _ := s.Select(); got != holder {
+		t.Fatalf("selected %v, want boosted holder", got)
+	}
+	s.Restore(holder, nil, holder.BasePrio, holder.EffDeadline, true)
+	if got, _ := s.Select(); got != ts[1] {
+		t.Fatalf("after restore selected %v, want %v", got, ts[1].Name)
+	}
+	if err := s.Queue().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFPHotPathZeroAlloc gates the whole FP dispatch loop —
+// block/unblock/select — at zero allocations.
+func TestFPHotPathZeroAlloc(t *testing.T) {
+	s := NewFP(nil)
+	ts := mkSet(1, 2, 3, 4, 5, 6, 7, 8)
+	sorted := AssignRMPriorities(ts)
+	s.Admit(sorted)
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, tk := range sorted {
+			tk.State = task.Blocked
+			s.Block(tk)
+		}
+		for _, tk := range sorted {
+			tk.State = task.Ready
+			s.Unblock(tk)
+		}
+		if tk, _ := s.Select(); tk == nil {
+			t.Fatal("no task selected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FP hot path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCSDInstrumentedSelectZeroAlloc gates the instrumented CSD hot
+// path: with a metrics set attached (and with the default discard set),
+// select/block/unblock allocate nothing.
+func TestCSDInstrumentedSelectZeroAlloc(t *testing.T) {
+	for _, attach := range []bool{false, true} {
+		s := NewCSD(nil, Partition{DPSizes: []int{2, 2}})
+		if attach {
+			s.SetMetrics(&metrics.Set{})
+		}
+		ts := mkSet(1, 2, 3, 4, 5, 6)
+		sorted := AssignRMPriorities(ts)
+		if err := s.Partition().Apply(sorted); err != nil {
+			t.Fatal(err)
+		}
+		for i, tk := range sorted {
+			tk.EffDeadline = vtime.Time(i+1) * vtime.Time(vtime.Millisecond)
+		}
+		s.Admit(sorted)
+		allocs := testing.AllocsPerRun(1000, func() {
+			for _, tk := range sorted {
+				tk.State = task.Blocked
+				s.Block(tk)
+			}
+			for _, tk := range sorted {
+				tk.State = task.Ready
+				s.Unblock(tk)
+			}
+			if tk, _ := s.Select(); tk == nil {
+				t.Fatal("no task selected")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("CSD select (metrics attached=%v) allocated %.1f times per run, want 0", attach, allocs)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"emeralds/internal/costmodel"
@@ -85,12 +86,19 @@ func AssignDMPriorities(ts []*task.TCB) []*task.TCB {
 func assignByKey(ts []*task.TCB, key func(*task.TCB) vtime.Duration) []*task.TCB {
 	sorted := make([]*task.TCB, len(ts))
 	copy(sorted, ts)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		ki, kj := key(sorted[i]), key(sorted[j])
-		if ki != kj {
-			return ki < kj
+	// slices.SortStableFunc: same ordering as sort.SliceStable with
+	// this comparator, without the reflect.Swapper allocation (priority
+	// assignment runs on every kernel construction, which sweeps do by
+	// the hundred thousand).
+	slices.SortStableFunc(sorted, func(a, b *task.TCB) int {
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			if ka < kb {
+				return -1
+			}
+			return 1
 		}
-		return sorted[i].ID < sorted[j].ID
+		return a.ID - b.ID
 	})
 	for rank, t := range sorted {
 		t.BasePrio = rank

@@ -1,0 +1,204 @@
+package schedq
+
+import (
+	"fmt"
+	"math/bits"
+
+	"emeralds/internal/task"
+)
+
+// Bitmap is an O(1) fixed-priority ready queue: one intrusive
+// doubly-linked list per priority level, a one-bit-per-level occupancy
+// word, and a one-bit-per-word summary. Selection is two find-first-set
+// instructions and a head read; insert and remove are pointer splices
+// plus bit updates — no scans, no per-operation allocation.
+//
+// This is the classic RTOS run-queue layout (a 64×64 bitmap covers
+// 4096 priority levels). It holds only ready tasks, like Heap, and
+// orders equal-priority tasks by ID so its pop order is exactly
+// (EffPrio, ID) — the same total order Heap and the §5.1 queues
+// resolve ties to, which keeps runs deterministic and lets property
+// tests compare the structures directly.
+//
+// Bitmap is the structural counterpart of the paper's measured §5.1
+// queues, not a replacement for them: RM and CSD charge virtual-time
+// costs derived from positional scan counts of the Sorted queue, so
+// they must keep using it. The FP policy (sched.NewFP) runs on Bitmap
+// and charges the base (scan-free) costs.
+type Bitmap struct {
+	summary uint64   // bit w set iff words[w] != 0
+	words   []uint64 // bit b of words[w] set iff level 64w+b is non-empty
+	heads   []*task.TCB
+	tails   []*task.TCB
+	n       int
+}
+
+// bitmapMaxPrio is the highest representable priority level: one
+// 64-bit summary word over 64 occupancy words.
+const bitmapMaxPrio = 64*64 - 1
+
+// Len reports how many ready tasks are queued.
+func (q *Bitmap) Len() int { return q.n }
+
+// Contains reports whether t is currently queued.
+func (q *Bitmap) Contains(t *task.TCB) bool { return t.QPrio >= 0 }
+
+// ensure grows the level tables to cover prio. Amortized over a
+// workload's lifetime: steady-state operation never grows.
+func (q *Bitmap) ensure(prio int) {
+	if prio < len(q.heads) {
+		return
+	}
+	if prio > bitmapMaxPrio {
+		panic(fmt.Sprintf("schedq: priority %d exceeds bitmap capacity %d", prio, bitmapMaxPrio))
+	}
+	levels := len(q.heads)
+	if levels == 0 {
+		levels = 64
+	}
+	for levels <= prio {
+		levels *= 2
+	}
+	heads := make([]*task.TCB, levels)
+	copy(heads, q.heads)
+	tails := make([]*task.TCB, levels)
+	copy(tails, q.tails)
+	words := make([]uint64, (levels+63)/64)
+	copy(words, q.words)
+	q.heads, q.tails, q.words = heads, tails, words
+}
+
+// Push enqueues ready task t at its effective priority. O(1) when t's
+// priority level is empty or t's ID is the largest at its level (the
+// steady state: priorities are unique ranks); ties insert in ID order
+// with a short walk.
+func (q *Bitmap) Push(t *task.TCB) {
+	if t.QPrio >= 0 {
+		panic(fmt.Sprintf("schedq: Push of %s already queued at level %d", t.Name, t.QPrio))
+	}
+	prio := t.EffPrio
+	if prio < 0 {
+		prio = 0
+	}
+	q.ensure(prio)
+	t.QPrio = prio
+	tail := q.tails[prio]
+	if tail == nil {
+		t.QPrev, t.QNext = nil, nil
+		q.heads[prio], q.tails[prio] = t, t
+		q.words[prio>>6] |= 1 << (uint(prio) & 63)
+		q.summary |= 1 << (uint(prio) >> 6)
+		q.n++
+		return
+	}
+	// Keep each level sorted by ID so pop order is (EffPrio, ID).
+	at := tail
+	for at != nil && at.ID > t.ID {
+		at = at.QPrev
+	}
+	if at == nil {
+		t.QPrev, t.QNext = nil, q.heads[prio]
+		q.heads[prio].QPrev = t
+		q.heads[prio] = t
+	} else {
+		t.QPrev, t.QNext = at, at.QNext
+		if at.QNext != nil {
+			at.QNext.QPrev = t
+		} else {
+			q.tails[prio] = t
+		}
+		at.QNext = t
+	}
+	q.n++
+}
+
+// Remove unlinks t. O(1).
+func (q *Bitmap) Remove(t *task.TCB) {
+	prio := t.QPrio
+	if prio < 0 || prio >= len(q.heads) {
+		panic(fmt.Sprintf("schedq: Remove of %s not in bitmap queue", t.Name))
+	}
+	if t.QPrev != nil {
+		t.QPrev.QNext = t.QNext
+	} else {
+		q.heads[prio] = t.QNext
+	}
+	if t.QNext != nil {
+		t.QNext.QPrev = t.QPrev
+	} else {
+		q.tails[prio] = t.QPrev
+	}
+	t.QNext, t.QPrev = nil, nil
+	t.QPrio = -1
+	q.n--
+	if q.heads[prio] == nil {
+		q.words[prio>>6] &^= 1 << (uint(prio) & 63)
+		if q.words[prio>>6] == 0 {
+			q.summary &^= 1 << (uint(prio) >> 6)
+		}
+	}
+}
+
+// Peek returns the highest-priority ready task without removing it, or
+// nil. Two find-first-set instructions and a head read.
+func (q *Bitmap) Peek() *task.TCB {
+	if q.summary == 0 {
+		return nil
+	}
+	w := uint(bits.TrailingZeros64(q.summary))
+	b := uint(bits.TrailingZeros64(q.words[w]))
+	return q.heads[w<<6|b]
+}
+
+// Pop removes and returns the highest-priority ready task, or nil.
+func (q *Bitmap) Pop() *task.TCB {
+	t := q.Peek()
+	if t != nil {
+		q.Remove(t)
+	}
+	return t
+}
+
+// CheckInvariants verifies list links, level filing, occupancy bits and
+// the count. Tests call it after every operation.
+func (q *Bitmap) CheckInvariants() error {
+	count := 0
+	for prio := range q.heads {
+		occupied := q.words[prio>>6]&(1<<(uint(prio)&63)) != 0
+		if (q.heads[prio] != nil) != occupied {
+			return fmt.Errorf("schedq: level %d occupancy bit %v but head %v", prio, occupied, q.heads[prio])
+		}
+		if (q.heads[prio] == nil) != (q.tails[prio] == nil) {
+			return fmt.Errorf("schedq: level %d head/tail mismatch", prio)
+		}
+		var prev *task.TCB
+		for t := q.heads[prio]; t != nil; t = t.QNext {
+			count++
+			if t.QPrio != prio {
+				return fmt.Errorf("schedq: %s filed at level %d but QPrio=%d", t.Name, prio, t.QPrio)
+			}
+			if t.QPrev != prev {
+				return fmt.Errorf("schedq: %s has QPrev %v, want %v", t.Name, t.QPrev, prev)
+			}
+			if prev != nil && prev.ID >= t.ID {
+				return fmt.Errorf("schedq: level %d not ID-ordered (%d before %d)", prio, prev.ID, t.ID)
+			}
+			prev = t
+			if count > q.n {
+				return fmt.Errorf("schedq: walked more than n=%d nodes (cycle?)", q.n)
+			}
+		}
+		if q.tails[prio] != prev {
+			return fmt.Errorf("schedq: level %d tail is %v, want %v", prio, q.tails[prio], prev)
+		}
+	}
+	for w, word := range q.words {
+		if (word != 0) != (q.summary&(1<<uint(w)) != 0) {
+			return fmt.Errorf("schedq: summary bit %d inconsistent with word %#x", w, word)
+		}
+	}
+	if count != q.n {
+		return fmt.Errorf("schedq: walked %d nodes, n=%d", count, q.n)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package schedq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"emeralds/internal/task"
+)
+
+func bitmapTask(id, prio int) *task.TCB {
+	t := task.New(id, task.Spec{Name: fmt.Sprintf("t%d", id)})
+	t.State = task.Ready
+	t.BasePrio = prio
+	t.EffPrio = prio
+	return t
+}
+
+// TestBitmapMatchesHeapPopOrder drives a Bitmap and a Heap (the Table 1
+// reference structure) through identical random push/pop/remove
+// interleavings — duplicate priorities included — and requires
+// identical pop results throughout: both structures resolve to the same
+// (EffPrio, ID) total order. The two use disjoint TCB fields (HeapIdx
+// vs QPrio and the queue links), so one task set serves both.
+func TestBitmapMatchesHeapPopOrder(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var bm Bitmap
+		var hp Heap
+		nTasks := 2 + rng.Intn(40)
+		maxPrio := 1 + rng.Intn(nTasks) // force duplicate priorities often
+		var out []*task.TCB             // tasks currently outside both queues
+		for i := 0; i < nTasks; i++ {
+			out = append(out, bitmapTask(i, rng.Intn(maxPrio)))
+		}
+		var in []*task.TCB
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(out) > 0: // push
+				i := rng.Intn(len(out))
+				tk := out[i]
+				out = append(out[:i], out[i+1:]...)
+				bm.Push(tk)
+				hp.Insert(tk)
+				in = append(in, tk)
+			case op == 1 && len(in) > 0: // pop highest from both
+				got := bm.Pop()
+				want := hp.Peek()
+				hp.Remove(want)
+				if got != want {
+					t.Fatalf("trial %d step %d: bitmap popped %s (prio %d), heap %s (prio %d)",
+						trial, step, got.Name, got.EffPrio, want.Name, want.EffPrio)
+				}
+				for i, tk := range in {
+					if tk == got {
+						in = append(in[:i], in[i+1:]...)
+						break
+					}
+				}
+				out = append(out, got)
+			case op == 2 && len(in) > 0: // remove an arbitrary member
+				i := rng.Intn(len(in))
+				tk := in[i]
+				in = append(in[:i], in[i+1:]...)
+				bm.Remove(tk)
+				hp.Remove(tk)
+				out = append(out, tk)
+			}
+			if err := bm.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if bm.Len() != hp.Len() {
+				t.Fatalf("trial %d step %d: bitmap len %d, heap len %d", trial, step, bm.Len(), hp.Len())
+			}
+		}
+		// Drain both completely; orders must agree to the end.
+		for bm.Len() > 0 {
+			got := bm.Pop()
+			want := hp.Peek()
+			hp.Remove(want)
+			if got != want {
+				t.Fatalf("trial %d drain: bitmap popped %s, heap %s", trial, got.Name, want.Name)
+			}
+		}
+		if hp.Len() != 0 {
+			t.Fatalf("trial %d: heap still has %d tasks", trial, hp.Len())
+		}
+	}
+}
+
+// TestBitmapPeekIsFirstSet pins the selection rule: the lowest occupied
+// priority level wins, and within a level the lowest ID.
+func TestBitmapPeekIsFirstSet(t *testing.T) {
+	var q Bitmap
+	a := bitmapTask(0, 130) // far level: exercises the summary word
+	b := bitmapTask(1, 7)
+	c := bitmapTask(2, 7) // same level as b, higher ID
+	q.Push(a)
+	q.Push(c)
+	q.Push(b)
+	if got := q.Peek(); got != b {
+		t.Fatalf("Peek = %s, want %s", got.Name, b.Name)
+	}
+	q.Remove(b)
+	if got := q.Peek(); got != c {
+		t.Fatalf("Peek after removing %s = %s, want %s", b.Name, q.Peek().Name, c.Name)
+	}
+	q.Remove(c)
+	if got := q.Peek(); got != a {
+		t.Fatalf("Peek = %s, want %s", got.Name, a.Name)
+	}
+	q.Remove(a)
+	if q.Peek() != nil || q.Len() != 0 {
+		t.Fatalf("queue not empty after removing all: len %d", q.Len())
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitmapPushPopZeroAlloc is the hot-path allocation gate: once the
+// level tables exist, push/pop/remove allocate nothing.
+func TestBitmapPushPopZeroAlloc(t *testing.T) {
+	var q Bitmap
+	tasks := make([]*task.TCB, 32)
+	for i := range tasks {
+		tasks[i] = bitmapTask(i, i*7%64)
+	}
+	q.Push(tasks[0]) // warm the level tables
+	q.Remove(tasks[0])
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, tk := range tasks {
+			q.Push(tk)
+		}
+		for q.Pop() != nil {
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bitmap push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBitmapGrowth exercises capacity doubling and the hard cap.
+func TestBitmapGrowth(t *testing.T) {
+	var q Bitmap
+	high := bitmapTask(0, 1000)
+	q.Push(high)
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Pop(); got != high {
+		t.Fatalf("Pop = %v, want %s", got, high.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push beyond bitmapMaxPrio did not panic")
+		}
+	}()
+	q.Push(bitmapTask(1, bitmapMaxPrio+1))
+}

@@ -117,6 +117,11 @@ type TCB struct {
 	// Queue links (owned by schedq).
 	QNext, QPrev *TCB
 	HeapIdx      int
+	// QPrio is the priority level this task is filed under in a bitmap
+	// run queue (schedq.Bitmap), -1 when not enqueued. Recorded at push
+	// time so removal unlinks from the right level even if EffPrio has
+	// changed since.
+	QPrio int
 
 	// Execution state (owned by the kernel).
 	PC          int            // index of the next op in Spec.Prog
@@ -136,17 +141,26 @@ type TCB struct {
 // New builds a TCB for the given spec. Priorities and CSD queue
 // assignment are filled in by the scheduler when the task is admitted.
 func New(id int, spec Spec) *TCB {
+	t := new(TCB)
+	NewIn(t, id, spec)
+	return t
+}
+
+// NewIn initializes a zeroed TCB in place. It exists so callers that
+// construct many tasks (sweeps build kernels by the hundred thousand)
+// can slab-allocate TCB storage instead of paying one heap object per
+// task.
+func NewIn(t *TCB, id int, spec Spec) {
 	if spec.Name == "" {
 		spec.Name = fmt.Sprintf("task%d", id)
 	}
-	return &TCB{
-		ID:          id,
-		Name:        spec.Name,
-		Spec:        spec,
-		State:       Dormant,
-		HeapIdx:     -1,
-		PendingHint: NoHint,
-	}
+	t.ID = id
+	t.Name = spec.Name
+	t.Spec = spec
+	t.State = Dormant
+	t.HeapIdx = -1
+	t.QPrio = -1
+	t.PendingHint = NoHint
 }
 
 // HigherPrio reports whether t has strictly higher effective priority

@@ -92,14 +92,25 @@ echo "== benchmark smoke (one iteration each) =="
 BENCHTIME=1x ./scripts/bench.sh "$tmp/bench.json" >/dev/null
 grep -q '"schema": "emeralds.bench/v1"' "$tmp/bench.json"
 
+echo "== allocation smoke gate =="
+# The zero-alloc contracts behind the hot-path redesign, pinned with
+# testing.AllocsPerRun: event dispatch off the timer wheel, bitmap
+# queue push/pop, the FP scheduler's select, and the instrumented CSD
+# select. A steady-state allocation anywhere on these paths fails here
+# before it can show up as a bench regression.
+go test -run 'ZeroAlloc|AllocationFree' \
+    ./internal/sim/ ./internal/schedq/ ./internal/sched/ ./internal/metrics/
+
 echo "== bench regression gate =="
 # Committed full-run numbers: this PR's BENCH file vs the previous
 # PR's. benchdiff's default 10% is right for same-machine comparisons;
 # across PRs the files come from different (shared, noisy) hosts where
 # repeated identical runs already scatter ±12%, so the cross-PR gate
-# allows 25% before failing.
-if [ -f BENCH_pr7.json ] && [ -f BENCH_pr8.json ]; then
-    go run ./scripts/benchdiff -tolerance 25 BENCH_pr7.json BENCH_pr8.json
+# allows 25% before failing. benchdiff only fails on slowdowns, so the
+# hot-path redesign's large speedups pass while future regressions
+# against BENCH_pr9.json's numbers are caught.
+if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
+    go run ./scripts/benchdiff -tolerance 25 BENCH_pr8.json BENCH_pr9.json
 else
     echo "bench files missing; skipping"
 fi
