@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"emeralds/internal/analysis"
@@ -17,6 +19,7 @@ import (
 	"emeralds/internal/costmodel"
 	"emeralds/internal/experiments"
 	"emeralds/internal/ipc"
+	"emeralds/internal/ipc/vlink"
 	"emeralds/internal/kernel"
 	"emeralds/internal/metrics"
 	"emeralds/internal/scenario"
@@ -193,9 +196,12 @@ func benchSemFigure(b *testing.B, kind experiments.SemQueueKind) {
 func BenchmarkFigure11(b *testing.B) { benchSemFigure(b, experiments.DPQueue) }
 func BenchmarkFigure12(b *testing.B) { benchSemFigure(b, experiments.FPQueue) }
 
-// --- §7: state messages vs mailboxes ------------------------------------
+// --- §7: state messages vs mailboxes vs virtual links --------------------
 
-func BenchmarkStateMessageVsMailbox(b *testing.B) {
+// BenchmarkIPCComparison (né BenchmarkStateMessageVsMailbox; renamed in
+// PR 10 when IPCComparison grew a fourth, virtual-link scenario per
+// job) measures the full three-mechanism grid point.
+func BenchmarkIPCComparison(b *testing.B) {
 	var pts []experiments.IPCPoint
 	for i := 0; i < b.N; i++ {
 		pts = experiments.IPCComparison([]int{8}, []int{4}, nil, experiments.Serial)
@@ -394,11 +400,110 @@ func BenchmarkMailboxOp(b *testing.B) {
 	}
 }
 
+// --- wait-free MPMC virtual link ------------------------------------------
+
+// BenchmarkVLinkOp measures the raw Go-level cost of an uncontended
+// enqueue/dequeue pair on the lock-free sequence-stamped ring — the
+// MPMC counterpart of BenchmarkMailboxOp's locked push/pop.
+func BenchmarkVLinkOp(b *testing.B) {
+	r := vlink.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TryEnqueue(ipc.Msg{Val: int64(i), Size: 8})
+		if got, ok := r.TryDequeue(); !ok || got.Val != int64(i) {
+			b.Fatal("value mismatch")
+		}
+	}
+}
+
+// benchContended drives g producer and g consumer goroutines through
+// ~1<<14 messages per iteration and reports msgs/sec. The Gosched in
+// the spin loops keeps the benchmark meaningful on single-CPU hosts,
+// where a bare spin would serialize on the scheduler quantum.
+func benchContended(b *testing.B, g int, enq func(ipc.Msg) bool, deq func() (ipc.Msg, bool)) {
+	const total = 1 << 14
+	prods, cons := g, g
+	per := total / prods
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for p := 0; p < prods; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for n := 0; n < per; n++ {
+					for !enq(ipc.Msg{Val: int64(n), Size: 8}) {
+						runtime.Gosched()
+					}
+				}
+			}()
+		}
+		var got atomic.Int64
+		for c := 0; c < cons; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, ok := deq(); ok {
+						if got.Add(1) >= int64(prods*per) {
+							return
+						}
+						continue
+					}
+					if got.Load() >= int64(prods*per) {
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(prods*per)*float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+// BenchmarkVLinkContended measures lock-free ring throughput under
+// goroutine contention; BenchmarkMailboxContended is the mutex-guarded
+// baseline on the identical workload. The acceptance bar for the PR 10
+// ring is beating the mailbox on msgs/sec from 4 goroutines up.
+func BenchmarkVLinkContended(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			r := vlink.New(256)
+			benchContended(b, g, r.TryEnqueue, r.TryDequeue)
+		})
+	}
+}
+
+func BenchmarkMailboxContended(b *testing.B) {
+	for _, g := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			var mu sync.Mutex
+			m := ipc.NewMailbox(0, "bench", 256)
+			enq := func(msg ipc.Msg) bool {
+				mu.Lock()
+				defer mu.Unlock()
+				if m.Full() {
+					return false
+				}
+				m.Push(msg)
+				return true
+			}
+			deq := func() (ipc.Msg, bool) {
+				mu.Lock()
+				defer mu.Unlock()
+				return m.Pop()
+			}
+			benchContended(b, g, enq, deq)
+		})
+	}
+}
+
 // --- fuzzing campaign throughput ------------------------------------------
 
 // BenchmarkFuzzCampaign measures cmd/emfuzz's end-to-end rate: generate,
 // build, simulate, and oracle-check a mixed 56-scenario slice (every
-// policy × scheme × M coordinate and all seven archetypes) per
+// policy × scheme × M coordinate and all eleven archetypes) per
 // iteration. scenarios/sec is what sizes CI and overnight campaigns.
 func BenchmarkFuzzCampaign(b *testing.B) {
 	const n = 56

@@ -1,10 +1,10 @@
 // Command emfuzz runs a property-based fuzzing campaign over randomly
 // generated scenarios: every policy, both semaphore schemes, and
-// M ∈ {1,2,4} unless -cpus pins one, with four oracles checked per
+// M ∈ {1,2,4} unless -cpus pins one, with five oracles checked per
 // trace (differential feasibility, attribution residual, priority
-// inversion, kernel invariants). Violations are minimized into
-// self-contained repro files and the exit status is 1, so the command
-// doubles as a CI gate.
+// inversion, kernel invariants, IPC synchronizability). Violations are
+// minimized into self-contained repro files and the exit status is 1,
+// so the command doubles as a CI gate.
 //
 //	emfuzz -scenarios 1000 -seed 1     # the PR acceptance run
 //	emfuzz -scenarios 50 -cpus 4       # pin quad-core scenarios
@@ -204,7 +204,8 @@ func render(out *strings.Builder, c *cli.Common, rep *scenario.CampaignReport, c
 	var sum [][]string
 	for _, o := range []string{
 		scenario.OracleFeasibleMiss, scenario.OracleResidual, scenario.OracleInversion,
-		scenario.OracleInvariant, scenario.OracleTruncated, scenario.OraclePanic,
+		scenario.OracleInvariant, scenario.OracleSync, scenario.OracleTruncated,
+		scenario.OraclePanic,
 	} {
 		sum = append(sum, []string{o, fmt.Sprint(rep.PerOracle[o])})
 	}

@@ -8,6 +8,7 @@
 //	emreport                             # replay the Table 2 workload on CSD-3
 //	emreport -policy rm -ms 200          # watch RM's τ₅ misses get explained
 //	emreport -trace trace.json           # analyze an emsim/emtrace trace export
+//	emreport -trace t.json -syncheck     # + communication synchronizability check
 //	emreport -json                       # artifact with attribution block in results/
 //
 // -trace accepts either a raw emeralds.trace/v1 JSON log or a Perfetto
@@ -25,6 +26,7 @@ import (
 
 	"emeralds/internal/attrib"
 	"emeralds/internal/cli"
+	"emeralds/internal/ipc/syncheck"
 	"emeralds/internal/kernel"
 	"emeralds/internal/sim"
 	"emeralds/internal/task"
@@ -44,15 +46,17 @@ func main() {
 	ms := flag.Float64("ms", 100, "virtual milliseconds to run (scenario mode)")
 	standard := flag.Bool("standard-sem", false, "use the standard §6.1 semaphore scheme")
 	traceIn := flag.String("trace", "", "analyze a trace JSON file instead of replaying a scenario")
+	doSync := flag.Bool("syncheck", false, "append an IPC synchronizability check (crown detection over the observed sends/receives)")
 	c.Parse()
 
 	var (
 		rep    *attrib.Report
+		events []trace.Event
 		source string
 		err    error
 	)
 	if *traceIn != "" {
-		rep, err = analyzeFile(*traceIn)
+		rep, events, err = analyzeFile(*traceIn)
 		source = *traceIn
 	} else {
 		cfg := scenario{
@@ -60,7 +64,7 @@ func main() {
 			Seed: c.Seed, Millis: *ms, StandardSem: *standard,
 			CPUs: c.CPUs, Lock: c.Lock,
 		}
-		rep, err = runScenario(cfg, c, f)
+		rep, events, err = runScenario(cfg, c, f)
 		source = cfg.String()
 	}
 	if err != nil {
@@ -76,6 +80,9 @@ func main() {
 	} else {
 		var sb strings.Builder
 		rep.RenderText(&sb, source)
+		if *doSync {
+			fmt.Fprintf(&sb, "\n%s", syncheck.Check(events).String())
+		}
 		fmt.Print(sb.String())
 		c.EmitText(sb.String())
 	}
@@ -172,43 +179,45 @@ func buildSystem(cfg scenario, f *cli.SimFlags) (*kernel.Node, error) {
 	return sys, nil
 }
 
-// runScenario replays the scenario's trace into a report.
-func runScenario(cfg scenario, c *cli.Common, f *cli.SimFlags) (*attrib.Report, error) {
+// runScenario replays the scenario's trace into a report, returning the
+// raw events too so -syncheck can re-analyze the same window.
+func runScenario(cfg scenario, c *cli.Common, f *cli.SimFlags) (*attrib.Report, []trace.Event, error) {
 	sys, err := buildSystem(cfg, f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if c != nil {
 		c.Diagnostics = sys.Kernel().Diagnostics()
 	}
 	if f != nil {
 		if err := f.Finish(sys); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	an, err := attrib.Analyze(sys.Trace().Events(), sys.Trace().Dropped())
+	events := sys.Trace().Events()
+	an, err := attrib.Analyze(events, sys.Trace().Dropped())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return an.Report(), nil
+	return an.Report(), events, nil
 }
 
 // analyzeFile loads a trace JSON file (raw log or Perfetto export) and
 // replays it.
-func analyzeFile(path string) (*attrib.Report, error) {
+func analyzeFile(path string) (*attrib.Report, []trace.Event, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	events, dropped, err := trace.ParseJSON(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	an, err := attrib.Analyze(events, dropped)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return an.Report(), nil
+	return an.Report(), events, nil
 }
 
 // writeCSV emits the per-task decomposition as machine-readable rows.

@@ -20,7 +20,7 @@ func goldenScenario() scenario {
 
 func renderScenario(t *testing.T, cfg scenario) string {
 	t.Helper()
-	rep, err := runScenario(cfg, nil, nil)
+	rep, _, err := runScenario(cfg, nil, nil)
 	if err != nil {
 		t.Fatalf("runScenario: %v", err)
 	}
@@ -86,7 +86,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fromFile, err := analyzeFile(path)
+	fromFile, _, err := analyzeFile(path)
 	if err != nil {
 		t.Fatalf("analyzeFile: %v", err)
 	}
@@ -103,7 +103,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 
 // TestCSVOutput sanity-checks the machine-readable mode.
 func TestCSVOutput(t *testing.T) {
-	rep, err := runScenario(goldenScenario(), nil, nil)
+	rep, _, err := runScenario(goldenScenario(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

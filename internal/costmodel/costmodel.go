@@ -100,6 +100,7 @@ type Profile struct {
 	CopyPerByte    vtime.Duration
 	StateMsgOp     vtime.Duration // fixed cost of a state-message read or write
 	SharedMemMapOp vtime.Duration // mapping a region into an address space
+	VLinkOp        vtime.Duration // fixed cost of one MPMC virtual-link enqueue or dequeue
 
 	// Multicore costs (beyond the paper; single-CPU runs never charge
 	// them). Migration is the Quest-V-style segment-boundary move of a
@@ -161,6 +162,12 @@ func M68040() *Profile {
 		CopyPerByte:    vtime.Micros(0.1),
 		StateMsgOp:     vtime.Micros(1.0),
 		SharedMemMapOp: vtime.Micros(5.0),
+		// A virtual-link slot claim is a bus-locked ticket increment
+		// plus a sequence-stamp publish — a couple of atomic RMWs,
+		// cheaper than the mailbox path's queue bookkeeping but
+		// pricier than the single-writer state-message store. Sized
+		// between the two (copy cost is charged per byte on top).
+		VLinkOp: vtime.Micros(1.5),
 
 		// Multicore constants, sized against the same 25 MHz budget:
 		// a migration moves one TCB across run queues and refills the
@@ -256,6 +263,17 @@ func (p *Profile) StateMsgTransfer(size int) vtime.Duration {
 	return linear(p.StateMsgOp, p.CopyPerByte, size)
 }
 
+// VLinkTransfer is the charge for moving n messages of size bytes each
+// through a virtual link from one side (a batched send claims its slots
+// with a single ticket reservation, so the fixed cost is paid once and
+// only the copies scale with the batch).
+func (p *Profile) VLinkTransfer(size, n int) vtime.Duration {
+	if n < 1 {
+		n = 1
+	}
+	return linear(p.VLinkOp, p.CopyPerByte, size*n)
+}
+
 // Scaled returns a copy of the profile with every cost multiplied by
 // factor — a first-order model of the paper's other targets (§2 names
 // the Motorola 68332, Intel i960 and Hitachi SH-2, all 15–25 MHz): a
@@ -294,6 +312,7 @@ func Scaled(base *Profile, factor float64, name string) *Profile {
 	p.CopyPerByte = s(base.CopyPerByte)
 	p.StateMsgOp = s(base.StateMsgOp)
 	p.SharedMemMapOp = s(base.SharedMemMapOp)
+	p.VLinkOp = s(base.VLinkOp)
 	p.Migration = s(base.Migration)
 	p.IPI = s(base.IPI)
 	p.SpinLock = s(base.SpinLock)

@@ -17,8 +17,9 @@ import (
 
 // This file regenerates the §7 comparison (reconstructed; see
 // DESIGN.md): per-message kernel overhead of state-message IPC versus
-// mailbox IPC for periodic producer/consumer communication, across
-// payload sizes and reader counts.
+// mailbox IPC — and, since PR 10, versus a batched MPMC virtual link —
+// for periodic producer/consumer communication, across payload sizes
+// and reader counts.
 //
 // The scenario is the paper's motivating pattern: one producer task
 // publishes a periodic state update (a sensor reading) and R consumer
@@ -27,7 +28,11 @@ import (
 // no system call, no blocking, no scheduler interaction. With
 // mailboxes the producer sends one copy per consumer and each consumer
 // blocks on an empty mailbox, so every delivery drags in system calls,
-// wait-queue manipulation and context switches.
+// wait-queue manipulation and context switches. A virtual link sits in
+// between: the producer batch-enqueues R messages in one wait-free ring
+// operation (the fixed cost is paid once per batch, not per message)
+// and each consumer dequeues one — the kernel is entered only to sleep
+// on an empty link and to wake sleepers.
 //
 // The metric is (total kernel overhead − overhead of the identical
 // task structure with the IPC ops stripped) / messages delivered,
@@ -41,9 +46,11 @@ type IPCPoint struct {
 
 	StatePerMsg   vtime.Duration `json:"state_us_per_msg"`
 	MailboxPerMsg vtime.Duration `json:"mailbox_us_per_msg"`
+	VLinkPerMsg   vtime.Duration `json:"vlink_us_per_msg"`
 
 	StateSwitchesPerMsg   float64 `json:"state_cs_per_msg"`
 	MailboxSwitchesPerMsg float64 `json:"mailbox_cs_per_msg"`
+	VLinkSwitchesPerMsg   float64 `json:"vlink_cs_per_msg"`
 }
 
 // SpeedupX reports how many times cheaper state messages are.
@@ -55,8 +62,9 @@ func (p IPCPoint) SpeedupX() float64 {
 }
 
 // IPCComparison sweeps payload sizes and reader counts, one harness
-// job per (readers, size) grid point; each job runs its three
-// deterministic scenarios (state, mailbox, baseline) back to back.
+// job per (readers, size) grid point; each job runs its four
+// deterministic scenarios (state, mailbox, vlink, baseline) back to
+// back.
 func IPCComparison(sizes, readers []int, prof *costmodel.Profile, par Par) []IPCPoint {
 	pts, _ := IPCComparisonDiag(sizes, readers, prof, par)
 	return pts
@@ -105,6 +113,8 @@ func IPCComparisonDiag(sizes, readers []int, prof *costmodel.Profile, par Par) (
 			collect("state", sk)
 			mo, ms, mk := ipcScenario("mailbox", sz, r, prof)
 			collect("mailbox", mk)
+			vo, vs, vk := ipcScenario("vlink", sz, r, prof)
+			collect("vlink", vk)
 			bo, bs, bk := ipcScenario("none", sz, r, prof)
 			collect("none", bk)
 			msgs := ipcMessages(r)
@@ -113,8 +123,10 @@ func IPCComparisonDiag(sizes, readers []int, prof *costmodel.Profile, par Par) (
 				Readers:               r,
 				StatePerMsg:           (so - bo) / vtime.Duration(msgs),
 				MailboxPerMsg:         (mo - bo) / vtime.Duration(msgs),
+				VLinkPerMsg:           (vo - bo) / vtime.Duration(msgs),
 				StateSwitchesPerMsg:   (ss - bs) / float64(msgs),
 				MailboxSwitchesPerMsg: (ms - bs) / float64(msgs),
+				VLinkSwitchesPerMsg:   (vs - bs) / float64(msgs),
 			}
 			return out, nil
 		})
@@ -167,7 +179,7 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 	})
 	k := n.Kernel()
 
-	var stateID int
+	var stateID, vlID int
 	mboxes := make([]int, readers)
 	switch mode {
 	case "state":
@@ -176,6 +188,10 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 		for i := range mboxes {
 			mboxes[i] = k.NewMailbox(fmt.Sprintf("mb%d", i), 2)
 		}
+	case "vlink":
+		// One shared MPMC link, sized for a full batch plus slack so the
+		// producer never blocks in the steady state.
+		vlID = k.NewVLink("vl", 2*readers, false)
 	}
 
 	// Producer: offset half a period so consumers are already waiting —
@@ -190,6 +206,8 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 		for i := range mboxes {
 			prodProg = append(prodProg, task.Send(mboxes[i], 42, size))
 		}
+	case "vlink":
+		prodProg = append(prodProg, task.VSend(vlID, 42, size, readers))
 	}
 	k.AddTask(task.Spec{
 		Name:   "producer",
@@ -206,6 +224,8 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 			prog = append(prog, task.StateRead(stateID))
 		case "mailbox":
 			prog = append(prog, task.Recv(mboxes[i]))
+		case "vlink":
+			prog = append(prog, task.VRecv(vlID))
 		}
 		k.AddTask(task.Spec{
 			Name:   fmt.Sprintf("consumer%d", i),
@@ -226,13 +246,13 @@ func ipcScenario(mode string, size, readers int, prof *costmodel.Profile) (vtime
 // RenderIPC prints the comparison.
 func RenderIPC(pts []IPCPoint) string {
 	var b strings.Builder
-	b.WriteString("State messages vs mailboxes: kernel overhead per delivered message\n")
-	fmt.Fprintf(&b, "%8s %8s %14s %14s %10s %12s %12s\n",
-		"readers", "size", "state/msg", "mailbox/msg", "speedup", "state cs/m", "mbox cs/m")
+	b.WriteString("State messages vs mailboxes vs virtual links: kernel overhead per delivered message\n")
+	fmt.Fprintf(&b, "%8s %8s %14s %14s %14s %10s %12s %12s %12s\n",
+		"readers", "size", "state/msg", "mailbox/msg", "vlink/msg", "speedup", "state cs/m", "mbox cs/m", "vlink cs/m")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%8d %8d %14v %14v %9.1fx %12.2f %12.2f\n",
-			p.Readers, p.Size, p.StatePerMsg, p.MailboxPerMsg, p.SpeedupX(),
-			p.StateSwitchesPerMsg, p.MailboxSwitchesPerMsg)
+		fmt.Fprintf(&b, "%8d %8d %14v %14v %14v %9.1fx %12.2f %12.2f %12.2f\n",
+			p.Readers, p.Size, p.StatePerMsg, p.MailboxPerMsg, p.VLinkPerMsg, p.SpeedupX(),
+			p.StateSwitchesPerMsg, p.MailboxSwitchesPerMsg, p.VLinkSwitchesPerMsg)
 	}
 	return b.String()
 }

@@ -1,0 +1,38 @@
+package syncheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSyncheckParse throws arbitrary bytes at the trace-JSON parser and
+// checker: it must never panic, and on parseable input the verdict must
+// be deterministic (two runs agree). Seeds live under
+// testdata/fuzz/FuzzSyncheckParse; ci.sh runs a short -fuzztime smoke.
+func FuzzSyncheckParse(f *testing.F) {
+	f.Add([]byte(`{"schema":"emeralds.trace/v1","total":2,"dropped":0,"events":[` +
+		`{"at":0,"kind":"msg-send","task":"a","detail":"q0"},` +
+		`{"at":1,"kind":"msg-recv","task":"b","detail":"q0"}]}`))
+	f.Add([]byte(`{"schema":"emeralds.trace/v1","total":0,"dropped":0,"events":[]}`))
+	f.Add([]byte(`{"schema":"emeralds.trace/v1","total":4,"dropped":0,"events":[` +
+		`{"at":0,"kind":"vlink-send","task":"t1","detail":"vl0"},` +
+		`{"at":1,"kind":"vlink-send","task":"t2","detail":"vl0"},` +
+		`{"at":2,"kind":"vlink-recv","task":"t1","detail":"vl0"},` +
+		`{"at":3,"kind":"vlink-recv","task":"t2","detail":"vl0"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep1, err1 := CheckRaw(data)
+		rep2, err2 := CheckRaw(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic error: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Fatalf("nondeterministic verdict:\n%+v\n%+v", rep1, rep2)
+		}
+		rep1.OK()
+		_ = rep1.String()
+	})
+}

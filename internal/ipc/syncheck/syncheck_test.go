@@ -1,0 +1,159 @@
+package syncheck
+
+import (
+	"strings"
+	"testing"
+
+	"emeralds/internal/trace"
+)
+
+func ev(kind trace.Kind, task, detail string) trace.Event {
+	return trace.Event{Kind: kind, Task: task, Detail: detail}
+}
+
+func TestSyncheckEmptyTrace(t *testing.T) {
+	rep := Check(nil)
+	if !rep.OK() || rep.Messages != 0 {
+		t.Fatalf("empty trace: %+v", rep)
+	}
+}
+
+// A two-stage pipeline is synchronizable: messages flow one way.
+func TestSyncheckPipelineSynchronizable(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs,
+			ev(trace.MsgSend, "stage0", "q0"),
+			ev(trace.MsgRecv, "stage1", "q0"),
+			ev(trace.VLinkSend, "stage1", "vl0"),
+			ev(trace.VLinkRecv, "stage2", "vl0"),
+		)
+	}
+	rep := Check(evs)
+	if !rep.OK() || !rep.Synchronizable {
+		t.Fatalf("pipeline: %+v", rep)
+	}
+	if rep.Messages != 10 || len(rep.Queues) != 2 {
+		t.Fatalf("pipeline stats: %+v", rep)
+	}
+}
+
+// The canonical non-synchronizable shape: two tasks send to each other
+// first and receive afterwards. Under rendezvous both would block
+// forever, so the observed execution cannot be flattened — a 2-crown.
+func TestSyncheckCrossingExchangeNotSynchronizable(t *testing.T) {
+	evs := []trace.Event{
+		ev(trace.MsgSend, "t1", "q2"),
+		ev(trace.MsgSend, "t2", "q1"),
+		ev(trace.MsgRecv, "t2", "q2"),
+		ev(trace.MsgRecv, "t1", "q1"),
+	}
+	rep := Check(evs)
+	if rep.Synchronizable {
+		t.Fatalf("crossing exchange judged synchronizable: %+v", rep)
+	}
+	if rep.OK() {
+		t.Fatal("OK() true on a crown")
+	}
+	if len(rep.Crown) < 2 {
+		t.Fatalf("crown witness too short: %v", rep.Crown)
+	}
+	if !strings.Contains(rep.String(), "NOT synchronizable") {
+		t.Fatalf("render: %s", rep.String())
+	}
+}
+
+// The sequential version of the same exchange (send, delivered, reply)
+// is synchronizable.
+func TestSyncheckSequentialExchangeSynchronizable(t *testing.T) {
+	evs := []trace.Event{
+		ev(trace.MsgSend, "t1", "q2"),
+		ev(trace.MsgRecv, "t2", "q2"),
+		ev(trace.MsgSend, "t2", "q1"),
+		ev(trace.MsgRecv, "t1", "q1"),
+	}
+	rep := Check(evs)
+	if !rep.OK() || !rep.Synchronizable {
+		t.Fatalf("sequential exchange: %+v", rep)
+	}
+}
+
+// A receive with no prior send on its queue cannot come from a FIFO
+// queue: flagged as unmatched, failing OK() even though no crown exists.
+func TestSyncheckUnmatchedReceive(t *testing.T) {
+	evs := []trace.Event{
+		ev(trace.MsgRecv, "t1", "q0"),
+		ev(trace.MsgSend, "t2", "q0"),
+	}
+	rep := Check(evs)
+	if rep.Unmatched != 1 {
+		t.Fatalf("unmatched = %d, want 1", rep.Unmatched)
+	}
+	if rep.OK() {
+		t.Fatal("OK() true with unmatched receives")
+	}
+}
+
+// Unreceived sends are fine (messages still in flight at horizon end).
+func TestSyncheckInFlightSendsOK(t *testing.T) {
+	evs := []trace.Event{
+		ev(trace.VLinkSend, "t1", "vl0"),
+		ev(trace.VLinkSend, "t1", "vl0"),
+		ev(trace.VLinkRecv, "t2", "vl0"),
+	}
+	rep := Check(evs)
+	if !rep.OK() || rep.Messages != 1 || rep.Sends != 2 {
+		t.Fatalf("in-flight sends: %+v", rep)
+	}
+}
+
+// ISR injections (interrupt events with a bare queue-name detail) count
+// as sends by "isr"; "vector N" and "<q> drop" details do not.
+func TestSyncheckISRInjection(t *testing.T) {
+	evs := []trace.Event{
+		ev(trace.Interrupt, "isr", "rx"),
+		ev(trace.Interrupt, "isr", "rx drop"),
+		ev(trace.Interrupt, "isr", "vector 3"),
+		ev(trace.MsgRecv, "t1", "rx"),
+	}
+	rep := Check(evs)
+	if rep.Sends != 1 || rep.Recvs != 1 || rep.Unmatched != 0 {
+		t.Fatalf("ISR injection: %+v", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("ISR trace not OK: %+v", rep)
+	}
+}
+
+// A fan: two producers into one MPMC link, two consumers out of it —
+// always synchronizable (communication is one-directional).
+func TestSyncheckFanSynchronizable(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 8; i++ {
+		evs = append(evs, ev(trace.VLinkSend, []string{"p0", "p1"}[i%2], "vl0"))
+	}
+	for i := 0; i < 8; i++ {
+		evs = append(evs, ev(trace.VLinkRecv, []string{"c0", "c1"}[i%2], "vl0"))
+	}
+	rep := Check(evs)
+	if !rep.OK() || rep.Messages != 8 {
+		t.Fatalf("fan: %+v", rep)
+	}
+}
+
+// CheckRaw round-trips through the trace JSON schema.
+func TestSyncheckCheckRaw(t *testing.T) {
+	raw := []byte(`{"schema":"emeralds.trace/v1","total":2,"dropped":0,"events":[` +
+		`{"at":0,"kind":"msg-send","task":"a","detail":"q0"},` +
+		`{"at":1,"kind":"msg-recv","task":"b","detail":"q0"}]}`)
+	rep, err := CheckRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Messages != 1 {
+		t.Fatalf("raw: %+v", rep)
+	}
+	if _, err := CheckRaw([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

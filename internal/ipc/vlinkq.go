@@ -1,0 +1,106 @@
+package ipc
+
+import (
+	"emeralds/internal/metrics"
+)
+
+// VLink is the simulated-kernel counterpart of the native MPMC ring in
+// internal/ipc/vlink: a bounded multi-producer multi-consumer message
+// queue in the Virtual-Link style. In virtual time the kernel is a
+// sequential interpreter, so no atomics are needed here — the structure
+// models the ring's semantics (bounded FIFO, batched slot claims, a
+// selectable full-queue policy) while the cost model charges the O(1)
+// ticket-claim profile of the real thing. Drop mode mirrors
+// Virtual-Link's lossy telemetry channels: a full link refuses the
+// surplus and counts it, never blocking the producer.
+type VLink struct {
+	ID      int
+	Name    string
+	Drop    bool // full-queue policy: drop (count) instead of blocking
+	buf     []Msg
+	head    int
+	n       int
+	dropped uint64
+	met     *metrics.Set // nil-safe; see Observe
+}
+
+// NewVLink returns a virtual link holding at most capacity messages.
+func NewVLink(id int, name string, capacity int, drop bool) *VLink {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &VLink{ID: id, Name: name, Drop: drop, buf: make([]Msg, capacity)}
+}
+
+// Observe directs the link's send/receive/drop counters into set, so
+// every queue operation is counted exactly once however the kernel
+// reaches it (task op, pending-send completion).
+func (v *VLink) Observe(set *metrics.Set) { v.met = set }
+
+// Cap reports the capacity.
+func (v *VLink) Cap() int { return len(v.buf) }
+
+// Len reports the number of queued messages.
+func (v *VLink) Len() int { return v.n }
+
+// Space reports the number of free slots.
+func (v *VLink) Space() int { return len(v.buf) - v.n }
+
+// Full reports whether a single-message send would not fit.
+func (v *VLink) Full() bool { return v.n == len(v.buf) }
+
+// Empty reports whether a receive would block.
+func (v *VLink) Empty() bool { return v.n == 0 }
+
+// Dropped reports the number of messages refused in drop mode.
+func (v *VLink) Dropped() uint64 { return v.dropped }
+
+// Push enqueues one message, reporting whether it was accepted. A full
+// link refuses (the kernel blocks the sender or, in drop mode, routes
+// the refusal through PushDrop).
+func (v *VLink) Push(m Msg) bool {
+	if v.n == len(v.buf) {
+		return false
+	}
+	v.buf[(v.head+v.n)%len(v.buf)] = m
+	v.n++
+	if v.met != nil {
+		v.met.Inc(metrics.VLinkSends)
+	}
+	return true
+}
+
+// PushBatch enqueues n copies of m, returning the number accepted. In
+// drop mode the surplus is counted as dropped; in block mode the caller
+// must have checked Space() >= n first (batches are all-or-nothing).
+func (v *VLink) PushBatch(m Msg, n int) int {
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if !v.Push(m) {
+			break
+		}
+		accepted++
+	}
+	if v.Drop && accepted < n {
+		surplus := uint64(n - accepted)
+		v.dropped += surplus
+		if v.met != nil {
+			v.met.Add(metrics.VLinkDrops, surplus)
+		}
+	}
+	return accepted
+}
+
+// Pop dequeues the oldest message.
+func (v *VLink) Pop() (Msg, bool) {
+	if v.n == 0 {
+		return Msg{}, false
+	}
+	m := v.buf[v.head]
+	v.head = (v.head + 1) % len(v.buf)
+	v.n--
+	if v.met != nil {
+		v.met.Inc(metrics.VLinkRecvs)
+	}
+	return m, true
+}

@@ -405,6 +405,14 @@ func (k *Kernel) opCharge(op task.Op) vtime.Duration {
 		// State messages bypass the kernel entirely: a protected
 		// shared-memory write, no system call (§7).
 		return p.StateMsgTransfer(op.Size)
+	case task.OpVSend:
+		// Virtual links extend the §7 no-syscall philosophy to MPMC: the
+		// fast path is a user-space ticket claim plus the message copies
+		// (the kernel is entered only to sleep or wake, charged on the
+		// blocking paths where it occurs). One claim covers the batch.
+		return p.VLinkTransfer(op.Size, op.Batch())
+	case task.OpVRecv:
+		return p.VLinkTransfer(op.Size, 1)
 	case task.OpLoad, task.OpStore:
 		return vtime.Duration(op.Size) * p.CopyPerByte
 	case task.OpIO:
@@ -428,7 +436,8 @@ func (k *Kernel) accountOp(op task.Op, c vtime.Duration) {
 	case task.OpAcquire, task.OpRelease, task.OpWaitEvent, task.OpSignalEvent,
 		task.OpCondWait, task.OpCondSignal, task.OpCondBroadcast:
 		k.stats.SemCharge += c
-	case task.OpSend, task.OpRecv, task.OpStateWrite, task.OpStateRead, task.OpBusSend:
+	case task.OpSend, task.OpRecv, task.OpStateWrite, task.OpStateRead, task.OpBusSend,
+		task.OpVSend, task.OpVRecv:
 		k.stats.IPCCharge += c
 	default:
 		k.stats.SyscallCharge += c
@@ -470,6 +479,10 @@ func (k *Kernel) performOp(th *Thread, op task.Op) {
 		k.doBusSend(th, op)
 	case task.OpDelay:
 		k.doDelay(th, op)
+	case task.OpVSend:
+		k.doVSend(th, op)
+	case task.OpVRecv:
+		k.doVRecv(th, op)
 	default:
 		panic(fmt.Sprintf("kernel: unknown op %v", op))
 	}

@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 
+	"emeralds/internal/task"
 	"emeralds/internal/vtime"
 )
 
@@ -29,6 +30,31 @@ func (k *Kernel) CheckInvariants() []string {
 			bad = append(bad, fmt.Sprintf(
 				"mailbox %s: %d/%d slots used while %d senders blocked (lost wakeup)",
 				mb.box.Name, mb.box.Len(), mb.box.Cap(), mb.sendq.Len()))
+		}
+	}
+
+	// Virtual links: same lost-wakeup discipline, adjusted for batch
+	// sends — the highest-priority blocked sender gates the queue, so
+	// blocked senders are legitimate only while its whole batch still
+	// does not fit (drop-mode sends never block at all).
+	for _, vl := range k.vlinks {
+		if vl.q.Len() > 0 && vl.recvq.Len() > 0 {
+			bad = append(bad, fmt.Sprintf(
+				"vlink %s: %d messages queued while %d receivers blocked (lost wakeup)",
+				vl.q.Name, vl.q.Len(), vl.recvq.Len()))
+		}
+		if head := vl.sendq.Peek(); head != nil {
+			if vl.q.Drop {
+				bad = append(bad, fmt.Sprintf(
+					"vlink %s: %d senders blocked on a drop-mode link",
+					vl.q.Name, vl.sendq.Len()))
+			} else if prog := head.Spec.Prog; head.PC < len(prog) &&
+				prog[head.PC].Kind == task.OpVSend &&
+				vl.q.Space() >= prog[head.PC].Batch() {
+				bad = append(bad, fmt.Sprintf(
+					"vlink %s: %d free slots fit the head batch of %d while %d senders blocked (lost wakeup)",
+					vl.q.Name, vl.q.Space(), prog[head.PC].Batch(), vl.sendq.Len()))
+			}
 		}
 	}
 

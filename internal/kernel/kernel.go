@@ -223,6 +223,11 @@ type Stats struct {
 	StateReads      uint64
 	Interrupts      uint64
 
+	// Virtual-link counters; always zero without vlinks and omitted
+	// from serialized artifacts so existing ones stay byte-identical.
+	VLinkMsgs    uint64 `json:",omitempty"` // messages accepted onto links
+	VLinkDropped uint64 `json:",omitempty"` // drop-mode refusals
+
 	SchedCharge   vtime.Duration // t_b + t_u + t_s charges
 	SwitchCharge  vtime.Duration // context-switch charges
 	SemCharge     vtime.Duration // semaphore path charges (incl. PI)
@@ -325,6 +330,7 @@ type Kernel struct {
 	events []*kevent
 	cvs    []*condvar
 	mboxes []*kmailbox
+	vlinks []*kvlink
 	states []*ipc.StateMessage
 	memsys *mem.System
 	devs   []Device
@@ -567,12 +573,19 @@ func (k *Kernel) ReadyCountOn(c int) int {
 // NumMailboxes reports how many mailboxes exist on the node.
 func (k *Kernel) NumMailboxes() int { return len(k.mboxes) }
 
+// NumVLinks reports how many virtual links exist on the node.
+func (k *Kernel) NumVLinks() int { return len(k.vlinks) }
+
 // QueuedMessages reports the instantaneous total of messages sitting in
-// all mailboxes — the occupancy gauge the telemetry sampler records.
+// all mailboxes and virtual links — the occupancy gauge the telemetry
+// sampler records.
 func (k *Kernel) QueuedMessages() int {
 	n := 0
 	for _, mb := range k.mboxes {
 		n += mb.box.Len()
+	}
+	for _, vl := range k.vlinks {
+		n += vl.q.Len()
 	}
 	return n
 }

@@ -19,9 +19,10 @@ import (
 // Lock-domain address space: domain 0 is the big kernel lock, domains
 // [1, 1+M) are the per-CPU run queues, object domains follow.
 const (
-	domBig  = 0
-	objSem  = 0 // object classes, spaced so ids never collide
-	objMbox = 1
+	domBig   = 0
+	objSem   = 0 // object classes, spaced so ids never collide
+	objMbox  = 1
+	objVLink = 2
 )
 
 // lockRunq charges the lock protecting CPU c's run queue around an
@@ -42,8 +43,8 @@ func (k *Kernel) lockRunq(c int, hold vtime.Duration) {
 	}
 }
 
-// lockObj charges the lock protecting a shared kernel object (semaphore
-// or mailbox) around an operation holding it for `hold`. Objects are
+// lockObj charges the lock protecting a shared kernel object (semaphore,
+// mailbox, or virtual link) around an operation holding it for `hold`. Objects are
 // locked under every regime — they are shared state on any kernel — but
 // under LockBig the domain is the one big lock.
 func (k *Kernel) lockObj(class, id int, hold vtime.Duration) {
@@ -55,7 +56,7 @@ func (k *Kernel) lockObj(class, id int, hold vtime.Duration) {
 		return
 	}
 	base := 1 + len(k.cpus)
-	k.lockAcquire(base+2*id+class, hold)
+	k.lockAcquire(base+3*id+class, hold)
 }
 
 // lockAcquire models taking lock domain dom for a critical section of

@@ -7,6 +7,7 @@ import (
 	"emeralds/internal/mem"
 	"emeralds/internal/sched"
 	"emeralds/internal/task"
+	"emeralds/internal/trace"
 	"emeralds/internal/vtime"
 )
 
@@ -345,4 +346,102 @@ func TestSetAlarmInvalidEventPanics(t *testing.T) {
 		}
 	}()
 	k.SetAlarm(vtime.Millisecond, 7)
+}
+
+// When several senders sleep on a full mailbox, each freed slot must go
+// to the highest-priority waiter — completePendingSends pops the wait
+// queue in priority order, not FIFO. Three EDF senders with distinct
+// deadlines block behind a 1-slot box; the drain order in the trace
+// must follow their deadlines.
+func TestCompletePendingSendsPriorityOrder(t *testing.T) {
+	prof := costmodel.Zero()
+	tr := trace.New(1 << 12)
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof), Trace: tr})
+	mb := k.NewMailbox("q", 1)
+	// EDF priority at t=0 is the period (= relative deadline): "tight"
+	// runs first and fills the box; "mid" and "loose" block behind it.
+	k.AddTask(task.Spec{Name: "tight", Period: 40 * vtime.Millisecond,
+		Prog: task.Program{task.Send(mb, 1, 8)}})
+	k.AddTask(task.Spec{Name: "mid", Period: 60 * vtime.Millisecond,
+		Prog: task.Program{task.Send(mb, 2, 8)}})
+	k.AddTask(task.Spec{Name: "loose", Period: 80 * vtime.Millisecond,
+		Prog: task.Program{task.Send(mb, 3, 8)}})
+	rcv := k.AddTask(task.Spec{Name: "rcv", Period: 120 * vtime.Millisecond, Phase: 2 * vtime.Millisecond,
+		Prog: task.Program{
+			task.Recv(mb), task.Compute(100 * vtime.Microsecond),
+			task.Recv(mb), task.Compute(100 * vtime.Microsecond),
+			task.Recv(mb),
+		}})
+	boot(t, k)
+	k.Run(30 * vtime.Millisecond)
+	if rcv.TCB.Completions != 1 {
+		t.Fatalf("receiver completions = %d", rcv.TCB.Completions)
+	}
+	var sends []string
+	for _, ev := range tr.Events() {
+		if ev.Kind == trace.MsgSend {
+			sends = append(sends, ev.Task)
+		}
+	}
+	want := []string{"tight", "mid", "loose"}
+	if len(sends) != 3 || sends[0] != want[0] || sends[1] != want[1] || sends[2] != want[2] {
+		t.Fatalf("send completion order %v, want %v", sends, want)
+	}
+	for _, msg := range k.CheckInvariants() {
+		t.Errorf("invariant: %s", msg)
+	}
+}
+
+// An ISR injection into a box kept full by blocked senders must drop
+// the sample without disturbing the senders: when the receiver finally
+// drains, the blocked sends complete and the dropped ISR value never
+// surfaces.
+func TestInjectMessageFullBoxPreservesBlockedSenders(t *testing.T) {
+	prof := costmodel.Zero()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	mb := k.NewMailbox("q", 1)
+	snd := k.AddTask(task.Spec{Name: "snd", Period: 50 * vtime.Millisecond,
+		Prog: task.Program{task.Send(mb, 1, 8), task.Send(mb, 2, 8)}})
+	rcv := k.AddTask(task.Spec{Name: "rcv", Period: 50 * vtime.Millisecond, Phase: 10 * vtime.Millisecond,
+		Prog: task.Program{task.Recv(mb), task.Compute(100 * vtime.Microsecond), task.Recv(mb)}})
+	boot(t, k)
+	// At 2 ms the box holds msg 1 and snd sleeps on msg 2: the ISR
+	// sample must be dropped, not queued ahead of the blocked send.
+	k.Engine().At(vtime.Time(2*vtime.Millisecond), "rx", func() {
+		if k.InjectMessage(mb, 99, 8) {
+			t.Error("inject into a full mailbox reported delivery")
+		}
+	})
+	k.Run(40 * vtime.Millisecond)
+	if snd.TCB.Completions != 1 || rcv.TCB.Completions != 1 {
+		t.Fatalf("completions: snd=%d rcv=%d", snd.TCB.Completions, rcv.TCB.Completions)
+	}
+	if rcv.LastMsg() != 2 {
+		t.Errorf("receiver got %d, want the blocked sender's 2", rcv.LastMsg())
+	}
+	if k.Stats().MsgsDropped != 1 {
+		t.Errorf("dropped = %d", k.Stats().MsgsDropped)
+	}
+}
+
+// StateWriteISR charges the calibrated wait-free transfer cost to the
+// IPC account — and only that: no syscall, no semaphore traffic (§7's
+// no-system-call claim extends to interrupt context).
+func TestStateWriteISRChargesIPCOnly(t *testing.T) {
+	prof := costmodel.M68040()
+	k, _ := New(nil, Options{Profile: prof, Scheduler: sched.NewEDF(prof)})
+	sm := k.NewStateMessage("s", 3, 16)
+	boot(t, k)
+	base := k.Stats().IPCCharge
+	k.StateWriteISR(sm, 7)
+	st := k.Stats()
+	if got, want := st.IPCCharge-base, prof.StateMsgTransfer(16); got != want {
+		t.Errorf("IPC charge = %v, want %v", got, want)
+	}
+	if st.SyscallCharge != 0 || st.SemCharge != 0 {
+		t.Errorf("ISR state write touched syscall/sem accounts: %v %v", st.SyscallCharge, st.SemCharge)
+	}
+	if v, ok := k.StateValue(sm); !ok || v != 7 {
+		t.Errorf("value = %d/%v", v, ok)
+	}
 }

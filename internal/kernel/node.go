@@ -153,6 +153,11 @@ func (n *Node) NewMailbox(name string, capacity int) int {
 	return n.kern.NewMailbox(name, capacity)
 }
 
+// NewVLink creates an MPMC virtual link.
+func (n *Node) NewVLink(name string, capacity int, drop bool) int {
+	return n.kern.NewVLink(name, capacity, drop)
+}
+
 // NewStateMessage creates a §7 state message.
 func (n *Node) NewStateMessage(name string, depth, size int) int {
 	return n.kern.NewStateMessage(name, depth, size)

@@ -32,4 +32,8 @@ const (
 	// Multicore kinds; never emitted by a single-CPU kernel.
 	traceKindMigrate     = trace.Migrate
 	traceKindMigrateDone = trace.MigrateDone
+
+	// Virtual-link kinds; never emitted by scenarios without vlinks.
+	traceKindVLinkSend = trace.VLinkSend
+	traceKindVLinkRecv = trace.VLinkRecv
 )

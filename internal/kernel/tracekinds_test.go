@@ -21,6 +21,7 @@ func TestTraceKindAliasesInSync(t *testing.T) {
 		traceKindStateWrite, traceKindStateRead,
 		traceKindInterrupt, traceKindFault, traceKindIdle,
 		traceKindTaskInfo, traceKindMigrate, traceKindMigrateDone,
+		traceKindVLinkSend, traceKindVLinkRecv,
 	}
 	if len(aliases) != int(trace.NumKinds) {
 		t.Fatalf("tracekinds.go declares %d aliases, trace.Kind has %d kinds", len(aliases), trace.NumKinds)

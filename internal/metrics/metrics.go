@@ -58,6 +58,14 @@ const (
 	LockContentions // locked kernel ops that found their lock domain busy
 	LockWaitNs      // total simulated ns spent spinning on busy lock domains
 
+	// Virtual-link (MPMC queue) counters. Appended after the multicore
+	// block so they share its omit-while-zero Snapshot rule: scenarios
+	// without vlinks keep byte-identical artifacts.
+	VLinkSends  // messages enqueued into a virtual link
+	VLinkRecvs  // messages dequeued from a virtual link
+	VLinkBlocks // sends/receives that blocked on a full/empty link
+	VLinkDrops  // drop-mode sends refused by a full link
+
 	// NumIDs is the number of defined counters (sentinel, not a counter).
 	NumIDs
 )
@@ -93,6 +101,10 @@ var names = [NumIDs]string{
 	IPIs:            "ipis",
 	LockContentions: "lock_contentions",
 	LockWaitNs:      "lock_wait_ns",
+	VLinkSends:      "vlink_sends",
+	VLinkRecvs:      "vlink_recvs",
+	VLinkBlocks:     "vlink_blocks",
+	VLinkDrops:      "vlink_drops",
 }
 
 func (id ID) String() string {

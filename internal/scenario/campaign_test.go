@@ -30,8 +30,8 @@ func TestCampaignClean(t *testing.T) {
 	if rep.Clean == 0 || rep.Feasible == 0 {
 		t.Fatalf("differential oracle never armed: clean=%d feasible=%d", rep.Clean, rep.Feasible)
 	}
-	if len(rep.PerKind) != 7 {
-		t.Fatalf("campaign of %d scenarios hit %d archetypes, want 7", n, len(rep.PerKind))
+	if len(rep.PerKind) != 11 {
+		t.Fatalf("campaign of %d scenarios hit %d archetypes, want 11", n, len(rep.PerKind))
 	}
 }
 

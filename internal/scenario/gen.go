@@ -13,18 +13,22 @@ import (
 // The scenario space: every index deterministically selects one point
 // of the (policy × semaphore scheme × CPU count × archetype) product
 // plus a private RNG stream, so any contiguous index range covers the
-// whole product (the coordinate periods 4, 2, 3 and 7 are pairwise
-// coprime) and scenario i is the same system in every run of the same
-// base seed.
+// whole product (the policy×scheme coordinate repeats mod 8, the CPU
+// mix mod 24, and the archetype mod 11 — 11 is coprime with 24, so the
+// full product recurs every lcm = 264 indices) and scenario i is the
+// same system in every run of the same base seed.
 
 var policies = []string{sim.PolicyCSD, sim.PolicyEDF, sim.PolicyRM, sim.PolicyRMHeap}
 var cpuMix = []int{1, 2, 4}
 var lockMix = []string{"percpu", "perqueue", "biglock"}
 
-// archetype names, indexed by kind.
+// archetype names, indexed by kind. The length must stay coprime with
+// 24 (the policy × scheme × CPU-mix period) or part of the product
+// becomes unreachable; TestGenCoversProduct locks this.
 var kinds = []string{
 	"harmonic", "nonharmonic", "deadlines", "bursty",
 	"overrun", "sem-chain", "mailbox-graph",
+	"vlink-fan", "vlink-pipe", "vlink-drop", "vlink-mixed",
 }
 
 // Gen generates scenario `index` of the campaign with the given base
@@ -65,6 +69,14 @@ func Gen(base int64, index, forcedCPUs int) *Scenario {
 		genSemChain(s, rng)
 	case "mailbox-graph":
 		genMailboxGraph(s, rng)
+	case "vlink-fan":
+		genVLinkFan(s, rng, false)
+	case "vlink-pipe":
+		genVLinkPipe(s, rng)
+	case "vlink-drop":
+		genVLinkFan(s, rng, true)
+	case "vlink-mixed":
+		genVLinkMixed(s, rng)
 	}
 	if s.CPUs > 1 {
 		// Pin a minority of tasks to random CPUs; AssignCPUs honors the
@@ -89,7 +101,7 @@ func (s *Scenario) finishHorizon() {
 	var perMs float64
 	var maxPeriod vtime.Duration
 	for _, t := range s.Tasks {
-		perJob := float64(2*len(t.Spec.Prog) + 8)
+		perJob := float64(2*len(t.Spec.Prog) + 8 + batchExtra(t.Spec.Prog))
 		if t.Spec.Period > 0 {
 			perMs += perJob / float64(t.Spec.Period.Millis())
 			if t.Spec.Period > maxPeriod {
@@ -300,5 +312,126 @@ func genMailboxGraph(s *Scenario, rng *rand.Rand) {
 			Prog:   prog,
 		}
 		s.Tasks = append(s.Tasks, Task{Spec: spec})
+	}
+}
+
+// genVLinkFan: the MPMC shape — several producers batch-sending into
+// one shared virtual link, several consumers draining it. Communication
+// is one-directional (a DAG), so the trace must always be
+// synchronizable; what varies is contention on the wakeup paths. With
+// drop=true the link is lossy: producers never block and the surplus is
+// counted, exercising the drop accounting end to end.
+func genVLinkFan(s *Scenario, rng *rand.Rand, drop bool) {
+	s.ZeroCost = rng.Intn(2) == 0
+	nProd := 2 + rng.Intn(2)
+	nCons := 2 + rng.Intn(2)
+	batch := 1 + rng.Intn(3)
+	cap := batch + rng.Intn(4) // a block-mode batch must be able to fit
+	if drop {
+		cap = 1 + rng.Intn(3) // lossy links can be tighter than a batch
+	}
+	s.VLinks = []VLinkSpec{{Cap: cap, Drop: drop}}
+	period := vtime.Duration(5+5*rng.Intn(3)) * vtime.Millisecond
+	for i := 0; i < nProd; i++ {
+		prog := task.Program{
+			task.Compute(vtime.Duration(50+rng.Intn(200)) * vtime.Microsecond),
+			task.VSend(0, int64(i+1), 8+rng.Intn(56), batch),
+		}
+		s.Tasks = append(s.Tasks, Task{Spec: task.Spec{
+			Name:   fmt.Sprintf("p%d", i),
+			Period: period,
+			WCET:   prog.ComputeTime(),
+			Phase:  vtime.Duration(rng.Intn(2000)) * vtime.Microsecond,
+			Prog:   prog,
+		}})
+	}
+	// Consumers jointly at least match the production rate in block
+	// mode, so backpressure clears within a few periods; in drop mode
+	// they deliberately lag so the link overflows.
+	perCons := (nProd*batch + nCons - 1) / nCons
+	if drop {
+		perCons = 1
+	}
+	for i := 0; i < nCons; i++ {
+		prog := task.Program{}
+		for r := 0; r < perCons; r++ {
+			prog = append(prog, task.VRecv(0))
+		}
+		prog = append(prog, task.Compute(vtime.Duration(50+rng.Intn(200))*vtime.Microsecond))
+		s.Tasks = append(s.Tasks, Task{Spec: task.Spec{
+			Name:   fmt.Sprintf("c%d", i),
+			Period: period,
+			WCET:   prog.ComputeTime(),
+			Phase:  vtime.Duration(2000+rng.Intn(2000)) * vtime.Microsecond,
+			Prog:   prog,
+		}})
+	}
+}
+
+// genVLinkPipe: a pipeline over block-mode virtual links, the vlink
+// twin of mailbox-graph — except stage boundaries move whole batches,
+// so one op can fill a link and the all-or-nothing batch blocking is
+// exercised alongside per-message receives.
+func genVLinkPipe(s *Scenario, rng *rand.Rand) {
+	s.ZeroCost = rng.Intn(2) == 0
+	stages := 3 + rng.Intn(2)
+	batch := 1 + rng.Intn(3)
+	for i := 0; i < stages-1; i++ {
+		s.VLinks = append(s.VLinks, VLinkSpec{Cap: batch + rng.Intn(3)})
+	}
+	period := vtime.Duration(5+5*rng.Intn(3)) * vtime.Millisecond
+	for i := 0; i < stages; i++ {
+		var prog task.Program
+		if i > 0 {
+			for r := 0; r < batch; r++ {
+				prog = append(prog, task.VRecv(i-1))
+			}
+		}
+		prog = append(prog, task.Compute(vtime.Duration(100+rng.Intn(400))*vtime.Microsecond))
+		if i < stages-1 {
+			prog = append(prog, task.VSend(i, int64(i), 8+rng.Intn(56), batch))
+		}
+		s.Tasks = append(s.Tasks, Task{Spec: task.Spec{
+			Name:   fmt.Sprintf("s%d", i),
+			Period: period,
+			WCET:   prog.ComputeTime(),
+			Phase:  vtime.Duration(rng.Intn(2000)) * vtime.Microsecond,
+			Prog:   prog,
+		}})
+	}
+}
+
+// genVLinkMixed: one DAG mixing the two queue families — a mailbox hop
+// feeding a vlink hop — so the synchronizability oracle sees matched
+// msg-send/recv and vlink-send/recv events in a single causal order,
+// and the kernel interleaves both wakeup paths in one scenario.
+func genVLinkMixed(s *Scenario, rng *rand.Rand) {
+	s.ZeroCost = rng.Intn(2) == 0
+	batch := 1 + rng.Intn(2)
+	s.Mailboxes = []int{1 + rng.Intn(3)}
+	s.VLinks = []VLinkSpec{{Cap: batch + rng.Intn(3)}}
+	period := vtime.Duration(5+5*rng.Intn(3)) * vtime.Millisecond
+	head := task.Program{
+		task.Compute(vtime.Duration(100+rng.Intn(300)) * vtime.Microsecond),
+		task.Send(0, 1, 8+rng.Intn(24)),
+	}
+	mid := task.Program{
+		task.Recv(0),
+		task.Compute(vtime.Duration(100+rng.Intn(300)) * vtime.Microsecond),
+		task.VSend(0, 2, 8+rng.Intn(24), batch),
+	}
+	tail := task.Program{}
+	for r := 0; r < batch; r++ {
+		tail = append(tail, task.VRecv(0))
+	}
+	tail = append(tail, task.Compute(vtime.Duration(100+rng.Intn(300))*vtime.Microsecond))
+	for i, prog := range []task.Program{head, mid, tail} {
+		s.Tasks = append(s.Tasks, Task{Spec: task.Spec{
+			Name:   fmt.Sprintf("x%d", i),
+			Period: period,
+			WCET:   prog.ComputeTime(),
+			Phase:  vtime.Duration(rng.Intn(2000)) * vtime.Microsecond,
+			Prog:   prog,
+		}})
 	}
 }

@@ -109,6 +109,7 @@ func clone(s *Scenario) *Scenario {
 	c := *s
 	c.Counting = append([]int(nil), s.Counting...)
 	c.Mailboxes = append([]int(nil), s.Mailboxes...)
+	c.VLinks = append([]VLinkSpec(nil), s.VLinks...)
 	c.Tasks = make([]Task, len(s.Tasks))
 	for i, t := range s.Tasks {
 		c.Tasks[i] = Task{
@@ -130,6 +131,7 @@ func clone(s *Scenario) *Scenario {
 func dropUnreferenced(s *Scenario) *Scenario {
 	usedSem := map[int]bool{}
 	usedMbox := map[int]bool{}
+	usedVLink := map[int]bool{}
 	for _, t := range s.Tasks {
 		for _, op := range t.Spec.Prog {
 			switch op.Kind {
@@ -137,6 +139,8 @@ func dropUnreferenced(s *Scenario) *Scenario {
 				usedSem[op.Obj] = true
 			case task.OpSend, task.OpRecv:
 				usedMbox[op.Obj] = true
+			case task.OpVSend, task.OpVRecv:
+				usedVLink[op.Obj] = true
 			}
 			// Hint is only meaningful on blocking ops; elsewhere the
 			// field is zero-valued and must not pin semaphore 0 alive.
@@ -174,23 +178,46 @@ func dropUnreferenced(s *Scenario) *Scenario {
 		next++
 		newMboxes = append(newMboxes, s.Mailboxes[id])
 	}
+	vlinkMap := make([]int, len(s.VLinks))
+	newVLinks := []VLinkSpec(nil)
+	next = 0
+	for id := range s.VLinks {
+		if !usedVLink[id] {
+			vlinkMap[id] = -1
+			continue
+		}
+		vlinkMap[id] = next
+		next++
+		newVLinks = append(newVLinks, s.VLinks[id])
+	}
 	if newMutexes == s.Mutexes && len(newCounting) == len(s.Counting) &&
-		len(newMboxes) == len(s.Mailboxes) {
+		len(newMboxes) == len(s.Mailboxes) && len(newVLinks) == len(s.VLinks) {
 		return nil
 	}
 	c := clone(s)
 	c.Mutexes, c.Counting, c.Mailboxes = newMutexes, newCounting, newMboxes
+	c.VLinks = newVLinks
+	// Out-of-range ids are left untouched: a wild reference is often the
+	// very bug being minimized, and rewriting it would change the repro.
+	remap := func(m []int, id int) int {
+		if id >= 0 && id < len(m) {
+			return m[id]
+		}
+		return id
+	}
 	for i := range c.Tasks {
 		for j := range c.Tasks[i].Spec.Prog {
 			op := &c.Tasks[i].Spec.Prog[j]
 			switch op.Kind {
 			case task.OpAcquire, task.OpRelease:
-				op.Obj = semMap[op.Obj]
+				op.Obj = remap(semMap, op.Obj)
 			case task.OpSend, task.OpRecv:
-				op.Obj = mboxMap[op.Obj]
+				op.Obj = remap(mboxMap, op.Obj)
+			case task.OpVSend, task.OpVRecv:
+				op.Obj = remap(vlinkMap, op.Obj)
 			}
 			if op.Blocking() && op.Hint != task.NoHint {
-				op.Hint = semMap[op.Hint]
+				op.Hint = remap(semMap, op.Hint)
 			}
 		}
 	}

@@ -2,10 +2,12 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 
 	"emeralds/internal/analysis"
 	"emeralds/internal/attrib"
 	"emeralds/internal/costmodel"
+	"emeralds/internal/ipc/syncheck"
 	"emeralds/internal/metrics"
 	"emeralds/internal/sched"
 	"emeralds/internal/sim"
@@ -20,6 +22,7 @@ const (
 	OracleResidual     = "attrib-residual" // activation partition did not sum exactly
 	OracleInversion    = "inversion"       // priority-inversion window outside the blocking chain
 	OracleInvariant    = "invariant"       // kernel quiescent-state audit failed
+	OracleSync         = "syncheck"        // observed IPC not synchronizable / non-FIFO
 	OracleTruncated    = "truncated"       // trace ring overflowed despite horizon sizing
 	OraclePanic        = "panic"           // the simulation itself panicked
 )
@@ -154,6 +157,21 @@ func RunSampled(s *Scenario, sampleUs float64) (res *Result) {
 		res.Findings = append(res.Findings, Finding{OracleTruncated,
 			fmt.Sprintf("%d events dropped with capacity %d", d, s.TraceCapacity())})
 	} else {
+		// (f) synchronizability: every generated communication topology
+		// is a DAG (pipelines, fans), which is provably crown-free — so
+		// any crown in the observed send/receive order, or a receive
+		// that FIFO matching cannot pair with an earlier send, is a
+		// kernel bug, not a workload property. Applies to any scenario
+		// with queues.
+		if len(s.Mailboxes) > 0 || len(s.VLinks) > 0 {
+			if rep := syncheck.Check(log.Events()); !rep.OK() {
+				detail := fmt.Sprintf("unmatched receives: %d", rep.Unmatched)
+				if !rep.Synchronizable {
+					detail = "crown: " + strings.Join(rep.Crown, "; ")
+				}
+				res.Findings = append(res.Findings, Finding{OracleSync, detail})
+			}
+		}
 		an, err := attrib.Analyze(log.Events(), 0)
 		if err != nil {
 			res.Findings = append(res.Findings, Finding{OracleResidual, "analyze: " + err.Error()})

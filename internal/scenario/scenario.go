@@ -4,7 +4,7 @@
 // semaphore scheme, CPU count, kernel objects, task set, aperiodic
 // arrivals — generated reproducibly from (base seed, index) via
 // workload.SeedFor. Run builds the system, simulates the horizon, and
-// checks four oracles against the trace:
+// checks five oracles against the trace:
 //
 //	(a) analysis-feasible ⇒ zero deadline misses (differential oracle,
 //	    applied only to analysis-clean scenarios: zero cost profile,
@@ -17,7 +17,11 @@
 //	    inheritance bounds);
 //	(d) kernel quiescent-state invariants (no lost wakeups, no leaked
 //	    locks, no counter skew, no negative charges), surfaced as
-//	    findings rather than panics.
+//	    findings rather than panics;
+//	(e) observed mailbox/vlink communication is synchronizable
+//	    (crown-free, internal/ipc/syncheck) with every receive
+//	    FIFO-matched to an earlier send — sound because every generated
+//	    topology is a DAG.
 //
 // Violations are auto-minimized (minimize.go) into self-contained
 // repros; the committed corpus under testdata/ replays as regression
@@ -43,11 +47,19 @@ type Task struct {
 	Arrivals []vtime.Time `json:"arrivals,omitempty"`
 }
 
+// VLinkSpec declares one MPMC virtual link: its capacity and full-queue
+// policy (drop-with-counter instead of blocking the producer).
+type VLinkSpec struct {
+	Cap  int  `json:"cap"`
+	Drop bool `json:"drop,omitempty"`
+}
+
 // Scenario is a self-contained, JSON-serializable system description.
 // Semaphore ids are assigned in declaration order — mutexes 0..Mutexes-1,
 // then one counting semaphore per Counting entry — and mailbox ids
-// 0..len(Mailboxes)-1, matching the kernel's creation-order ids, so task
-// programs can reference objects by the same small integers.
+// 0..len(Mailboxes)-1 and vlink ids 0..len(VLinks)-1, matching the
+// kernel's creation-order ids, so task programs can reference objects
+// by the same small integers.
 type Scenario struct {
 	Name      string         `json:"name"` // generator archetype
 	Seed      int64          `json:"seed"`
@@ -61,6 +73,7 @@ type Scenario struct {
 	Mutexes   int            `json:"mutexes"`
 	Counting  []int          `json:"counting,omitempty"`  // initial counts
 	Mailboxes []int          `json:"mailboxes,omitempty"` // capacities
+	VLinks    []VLinkSpec    `json:"vlinks,omitempty"`    // MPMC virtual links
 	Tasks     []Task         `json:"tasks"`
 }
 
@@ -121,7 +134,7 @@ func (s *Scenario) InversionClean() bool {
 func (s *Scenario) TraceCapacity() int {
 	events := 64 // boot task-info lines and slack
 	for _, t := range s.Tasks {
-		perJob := 2*len(t.Spec.Prog) + 8
+		perJob := 2*len(t.Spec.Prog) + 8 + batchExtra(t.Spec.Prog)
 		if t.Spec.Period > 0 {
 			jobs := int(s.Horizon/t.Spec.Period) + 2
 			events += jobs * perJob
@@ -130,6 +143,18 @@ func (s *Scenario) TraceCapacity() int {
 		}
 	}
 	return 2 * events
+}
+
+// batchExtra counts the trace events a program emits beyond the usual
+// ~2 per op: a batched vlink send traces one event per message.
+func batchExtra(p task.Program) int {
+	extra := 0
+	for _, op := range p {
+		if op.Kind == task.OpVSend {
+			extra += op.Batch() - 1
+		}
+	}
+	return extra
 }
 
 // Profile returns the scenario's cost model.
@@ -168,6 +193,9 @@ func Build(s *Scenario) (*kernel.Node, []*kernel.Thread, error) {
 	}
 	for i, cap := range s.Mailboxes {
 		sys.NewMailbox(fmt.Sprintf("mb%d", i), cap)
+	}
+	for i, v := range s.VLinks {
+		sys.NewVLink(fmt.Sprintf("vl%d", i), v.Cap, v.Drop)
 	}
 	aper := make([]*kernel.Thread, len(s.Tasks))
 	for i, t := range s.Tasks {

@@ -41,7 +41,7 @@ func TestGenCoverage(t *testing.T) {
 	if want := 4 * 2 * 3; len(coords) != want {
 		t.Fatalf("saw %d policy/scheme/CPUs coordinates, want %d: %v", len(coords), want, coords)
 	}
-	if want := 7; len(kinds) != want {
+	if want := 11; len(kinds) != want {
 		t.Fatalf("saw %d archetypes, want %d: %v", len(kinds), want, kinds)
 	}
 	// Pinning the CPU count must not disturb the rest of the coordinates.
@@ -49,6 +49,30 @@ func TestGenCoverage(t *testing.T) {
 		s := Gen(1, index, 4)
 		if s.CPUs != 4 {
 			t.Fatalf("index %d: forced CPUs=4, got %d", index, s.CPUs)
+		}
+	}
+}
+
+// The archetype count must stay coprime with the 24-index
+// policy × scheme × CPU cycle: over one 264-index period every
+// (archetype, policy, scheme, CPUs) tuple is generated exactly once.
+// gen.go's header comment promises this; growing the kinds table to a
+// length sharing a factor with 24 would silently lock whole
+// combinations out of the campaign forever (9 kinds, for example,
+// pins each archetype/policy/scheme combo to a single CPU count).
+func TestGenCoversProduct(t *testing.T) {
+	const period = 11 * 24 // lcm(len(kinds), 24)
+	seen := map[string]int{}
+	for index := 500; index < 500+period; index++ {
+		s := Gen(3, index, 0)
+		seen[fmt.Sprintf("%s/%s/%v/%d", s.Name, s.Policy, s.StdSem, s.CPUs)]++
+	}
+	if want := 11 * 4 * 2 * 3; len(seen) != want {
+		t.Fatalf("saw %d distinct tuples, want %d", len(seen), want)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple %s generated %d times in one period", k, n)
 		}
 	}
 }

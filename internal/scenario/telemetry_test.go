@@ -13,10 +13,10 @@ import (
 // whose "liar" task executes past its declared budget — must carry at
 // least one telemetry annotation localizing the misbehavior.
 func TestOverrunScenarioFlagsTelemetryAnomaly(t *testing.T) {
-	// Overrun is archetype index%7 == 4; scan the first few seeds of
+	// Overrun is archetype index%11 == 4; scan the first few seeds of
 	// that lane for one where the lie actually produces misses or
 	// overruns (some draws stay schedulable despite lying).
-	for idx := 4; idx < 4+7*10; idx += 7 {
+	for idx := 4; idx < 4+11*10; idx += 11 {
 		s := Gen(1, idx, 1)
 		if s.Name != "overrun" {
 			t.Fatalf("index %d generated archetype %q, want overrun", idx, s.Name)
@@ -58,7 +58,7 @@ func TestAnomaliesAreNotViolations(t *testing.T) {
 // violation list.
 func TestCampaignAggregatesAnomalies(t *testing.T) {
 	rep, err := RunCampaign(context.Background(), CampaignConfig{
-		Scenarios: 21, // three full archetype cycles, incl. 3 overruns
+		Scenarios: 33, // three full archetype cycles, incl. 3 overruns
 		BaseSeed:  1,
 		CPUs:      1,
 		Workers:   4,

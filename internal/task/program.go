@@ -62,6 +62,16 @@ const (
 	// OpDelay blocks the task for Dur of virtual time (bounded sleep).
 	// Carries Hint like the other blocking calls.
 	OpDelay
+	// OpVSend enqueues N messages (Val, Size bytes each) onto virtual
+	// link Obj in one batched claim. On a block-mode link the batch is
+	// all-or-nothing: it blocks until the link has room for all N; on a
+	// drop-mode link it never blocks and surplus messages are dropped
+	// and counted.
+	OpVSend
+	// OpVRecv dequeues one message from virtual link Obj (blocks while
+	// empty on block- and drop-mode links alike). Carries Hint like
+	// OpWaitEvent.
+	OpVRecv
 )
 
 func (k OpKind) String() string {
@@ -70,6 +80,7 @@ func (k OpKind) String() string {
 		"send", "recv", "state-write", "state-read",
 		"cond-wait", "cond-signal", "cond-broadcast",
 		"load", "store", "io", "bus-send", "delay",
+		"vsend", "vrecv",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -86,13 +97,23 @@ type Op struct {
 	Val  int64          // value for writes/sends
 	Size int            // payload size in bytes for IPC and memory ops
 	Off  int            // offset for memory ops
+	N    int            // batch size for OpVSend; 0 means 1
+}
+
+// Batch is the effective message count of an OpVSend (N, minimum 1).
+func (o Op) Batch() int {
+	if o.N < 1 {
+		return 1
+	}
+	return o.N
 }
 
 // Blocking reports whether the op can block the calling task (and hence
 // is a candidate to carry a semaphore hint, §6.2.1).
 func (o Op) Blocking() bool {
 	switch o.Kind {
-	case OpWaitEvent, OpRecv, OpCondWait, OpAcquire, OpSend, OpDelay:
+	case OpWaitEvent, OpRecv, OpCondWait, OpAcquire, OpSend, OpDelay,
+		OpVSend, OpVRecv:
 		return true
 	}
 	return false
@@ -123,6 +144,13 @@ func (o Op) String() string {
 		return fmt.Sprintf("store(%d, off=%d, val=%d)", o.Obj, o.Off, o.Val)
 	case OpBusSend:
 		return fmt.Sprintf("bus-send(%d, %d bytes)", o.Obj, o.Size)
+	case OpVSend:
+		return fmt.Sprintf("vsend(%d, %d×%d bytes)", o.Obj, o.Batch(), o.Size)
+	case OpVRecv:
+		if o.Hint != NoHint {
+			return fmt.Sprintf("vrecv(%d, hint=%d)", o.Obj, o.Hint)
+		}
+		return fmt.Sprintf("vrecv(%d, hint=-1)", o.Obj)
 	}
 	return o.Kind.String()
 }
@@ -228,3 +256,12 @@ func BusSend(id int, val int64, size int) Op {
 
 // Delay returns an op that blocks the task for d of virtual time.
 func Delay(d vtime.Duration) Op { return Op{Kind: OpDelay, Dur: d, Hint: NoHint} }
+
+// VSend returns an op that batch-enqueues n messages of size bytes
+// holding val onto virtual link id.
+func VSend(id int, val int64, size, n int) Op {
+	return Op{Kind: OpVSend, Obj: id, Val: val, Size: size, N: n, Hint: NoHint}
+}
+
+// VRecv returns an op that dequeues one message from virtual link id.
+func VRecv(id int) Op { return Op{Kind: OpVRecv, Obj: id, Hint: NoHint} }

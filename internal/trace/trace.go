@@ -45,6 +45,12 @@ const (
 	// window. Neither is emitted by single-CPU runs.
 	Migrate
 	MigrateDone
+	// VLinkSend/VLinkRecv are one event per message through a virtual
+	// link (MPMC queue); batched sends emit one per enqueued message so
+	// the synchronizability checker can match them individually. Never
+	// emitted by scenarios without vlinks.
+	VLinkSend
+	VLinkRecv
 
 	// NumKinds is the number of defined kinds (sentinel, not a Kind).
 	// kindNames and the kernel's tracekinds.go aliases are locked to it
@@ -60,6 +66,7 @@ var kindNames = [NumKinds]string{
 	"msg-send", "msg-recv", "state-write", "state-read",
 	"interrupt", "FAULT", "idle", "task-info",
 	"migrate", "migrate-done",
+	"vlink-send", "vlink-recv",
 }
 
 // The literal above must fill the array exactly: a Kind added without a

@@ -4,14 +4,14 @@
 # results at the repo root, so numbers can be committed and diffed
 # across PRs.
 #
-#   scripts/bench.sh                  # full run, writes BENCH_pr9.json
+#   scripts/bench.sh                  # full run, writes BENCH_pr10.json
 #   BENCHTIME=1x scripts/bench.sh     # smoke run (one iteration each)
 #   scripts/bench.sh out.json         # alternate output path
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${1:-BENCH_pr9.json}"
+OUT="${1:-BENCH_pr10.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 

@@ -56,6 +56,25 @@ go run ./cmd/ablate -workers 1 -quiet -lock-ms 100 -sweep-workloads 2 -json-out 
 go run ./cmd/ablate -workers 8 -quiet -lock-ms 100 -sweep-workloads 2 -json-out "$tmp/abl8.json" >/dev/null
 go run ./scripts/artifactdiff "$tmp/abl1.json" "$tmp/abl8.json"
 
+echo "== lock-free vlink race gate =="
+# The wait-free MPMC ring is the one data structure real goroutines hit
+# concurrently: hammer its property tests under the race detector at
+# several GOMAXPROCS settings (the stress test sweeps 1/4/8 internally).
+go test -race -run 'TestVLink' -count=5 ./internal/ipc/vlink/
+
+echo "== native fuzz smoke (committed corpora + 10s each) =="
+# Both native fuzz targets: syncheck's trace-JSON parser/checker and the
+# scenario repro loader's marshal round-trip. The committed seed corpora
+# replay in every plain `go test`; here each target also explores for a
+# few seconds.
+go test -run '^$' -fuzz FuzzSyncheckParse -fuzztime 10s ./internal/ipc/syncheck/
+go test -run '^$' -fuzz FuzzReproRoundTrip -fuzztime 10s ./internal/scenario/
+
+echo "== coverage ratchet =="
+# Statement coverage of the IPC, kernel, and scenario packages must not
+# drop below the committed baseline (results/coverage.txt).
+./scripts/cover.sh
+
 echo "== fuzz smoke (fixed seed, zero violations) =="
 # A deterministic slice of the emfuzz campaign: 50 scenarios sweep all
 # four policies, both semaphore schemes, and every archetype; one run
@@ -108,9 +127,9 @@ echo "== bench regression gate =="
 # repeated identical runs already scatter ±12%, so the cross-PR gate
 # allows 25% before failing. benchdiff only fails on slowdowns, so the
 # hot-path redesign's large speedups pass while future regressions
-# against BENCH_pr9.json's numbers are caught.
-if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
-    go run ./scripts/benchdiff -tolerance 25 BENCH_pr8.json BENCH_pr9.json
+# against BENCH_pr10.json's numbers are caught.
+if [ -f BENCH_pr9.json ] && [ -f BENCH_pr10.json ]; then
+    go run ./scripts/benchdiff -tolerance 25 BENCH_pr9.json BENCH_pr10.json
 else
     echo "bench files missing; skipping"
 fi
